@@ -1,0 +1,491 @@
+//! The load balancer — the scientific heart of NetSolve.
+//!
+//! Given the agent's knowledge of the domain (server performance, current
+//! workload, network characteristics, problem complexity models), rank the
+//! candidate servers for a request by **minimum predicted completion
+//! time**:
+//!
+//! ```text
+//! T(server) = T_send + T_compute + T_recv
+//! T_send    = latency(client→server) + bytes_in  / bandwidth(client→server)
+//! T_recv    = latency(server→client) + bytes_out / bandwidth(server→client)
+//! T_compute = complexity(n) / p'
+//! p'        = mflops · 100 / (100 + workload)
+//! ```
+//!
+//! `p'` is NetSolve's "hypothetical performance": the machine's benchmarked
+//! speed degraded by its reported workload percentage.
+//!
+//! This module is deliberately *pure*: the live agent daemon and the
+//! discrete-event simulator both call [`rank`], so simulated experiments
+//! exercise the production policy code. Baseline policies (round-robin,
+//! random, load-only, fastest-CPU, nearest-network) are implemented for
+//! the R2 comparison.
+
+use netsolve_core::ids::{HostId, ServerId};
+use netsolve_core::problem::{Complexity, RequestShape};
+use netsolve_core::rng::Rng64;
+use netsolve_net::NetworkView;
+
+/// Everything the balancer needs to know about one candidate server at
+/// ranking time. Snapshots are assembled by the agent (live mode) or the
+/// simulator from their respective state.
+#[derive(Debug, Clone)]
+pub struct ServerSnapshot {
+    /// Server identity.
+    pub server_id: ServerId,
+    /// Host the server runs on (for network lookups).
+    pub host: HostId,
+    /// Connect address handed to clients.
+    pub address: String,
+    /// Benchmarked performance, Mflop/s.
+    pub mflops: f64,
+    /// Effective workload percentage (already aged by the workload
+    /// manager; 0 = idle, 100 = fully busy).
+    pub workload: f64,
+}
+
+impl ServerSnapshot {
+    /// NetSolve's hypothetical performance under load.
+    pub fn effective_mflops(&self) -> f64 {
+        self.mflops * 100.0 / (100.0 + self.workload.max(0.0))
+    }
+}
+
+/// Scheduling policies. `MinimumCompletionTime` is the paper's
+/// contribution; the others are the baselines it is compared against in
+/// experiment R2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Rank by predicted total completion time (the NetSolve policy).
+    MinimumCompletionTime,
+    /// Rotate through eligible servers regardless of their state.
+    RoundRobin,
+    /// Uniformly random order.
+    Random,
+    /// Least-loaded first (ignores speed and network).
+    LoadOnly,
+    /// Highest raw Mflop/s first (ignores load and network).
+    FastestCpu,
+    /// Smallest network transfer time first (ignores compute entirely).
+    NearestNetwork,
+}
+
+impl Policy {
+    /// All policies, for experiment sweeps.
+    pub fn all() -> &'static [Policy] {
+        &[
+            Policy::MinimumCompletionTime,
+            Policy::RoundRobin,
+            Policy::Random,
+            Policy::LoadOnly,
+            Policy::FastestCpu,
+            Policy::NearestNetwork,
+        ]
+    }
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::MinimumCompletionTime => "MCT",
+            Policy::RoundRobin => "round-robin",
+            Policy::Random => "random",
+            Policy::LoadOnly => "load-only",
+            Policy::FastestCpu => "fastest-cpu",
+            Policy::NearestNetwork => "nearest-net",
+        }
+    }
+}
+
+impl std::str::FromStr for Policy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "MCT" | "mct" => Policy::MinimumCompletionTime,
+            "round-robin" | "rr" => Policy::RoundRobin,
+            "random" => Policy::Random,
+            "load-only" => Policy::LoadOnly,
+            "fastest-cpu" => Policy::FastestCpu,
+            "nearest-net" => Policy::NearestNetwork,
+            other => return Err(format!("unknown policy '{other}'")),
+        })
+    }
+}
+
+/// Mutable state some policies need across calls (round-robin position,
+/// random stream).
+#[derive(Debug)]
+pub struct BalancerState {
+    rr_counter: u64,
+    rng: Rng64,
+}
+
+impl BalancerState {
+    /// Fresh state with a deterministic random stream.
+    pub fn new(seed: u64) -> Self {
+        BalancerState { rr_counter: 0, rng: Rng64::new(seed) }
+    }
+}
+
+impl Default for BalancerState {
+    fn default() -> Self {
+        Self::new(0xBA1A)
+    }
+}
+
+/// One ranked candidate: the server plus the MCT prediction for it (always
+/// computed, whatever the policy, so predictor accuracy can be evaluated
+/// under every policy).
+#[derive(Debug, Clone)]
+pub struct Ranked {
+    /// The candidate server snapshot.
+    pub server: ServerSnapshot,
+    /// Predicted total completion seconds under the MCT formula.
+    pub predicted_secs: f64,
+    /// Predicted network seconds (both directions), for breakdowns.
+    pub predicted_net_secs: f64,
+    /// Predicted compute seconds.
+    pub predicted_compute_secs: f64,
+}
+
+/// Predict the three components of completion time for one server.
+pub fn predict(
+    server: &ServerSnapshot,
+    shape: &RequestShape,
+    complexity: Complexity,
+    net: &NetworkView,
+    client_host: HostId,
+) -> (f64, f64, f64) {
+    let t_send = net.transfer_secs(client_host, server.host, shape.bytes_in);
+    let t_recv = net.transfer_secs(server.host, client_host, shape.bytes_out);
+    let t_compute = complexity.seconds_at(shape.n, server.effective_mflops());
+    (t_send + t_recv + t_compute, t_send + t_recv, t_compute)
+}
+
+/// Rank eligible servers for a request under the given policy.
+///
+/// `servers` must already be filtered to those advertising the problem and
+/// not marked down — eligibility is the registry's and fault tracker's
+/// business, ordering is ours. Ties are broken by `ServerId` so results
+/// are deterministic.
+pub fn rank(
+    policy: Policy,
+    servers: &[ServerSnapshot],
+    shape: &RequestShape,
+    complexity: Complexity,
+    net: &NetworkView,
+    client_host: HostId,
+    state: &mut BalancerState,
+) -> Vec<Ranked> {
+    let mut ranked: Vec<Ranked> = servers
+        .iter()
+        .map(|s| {
+            let (total, net_t, comp_t) = predict(s, shape, complexity, net, client_host);
+            Ranked {
+                server: s.clone(),
+                predicted_secs: total,
+                predicted_net_secs: net_t,
+                predicted_compute_secs: comp_t,
+            }
+        })
+        .collect();
+
+    match policy {
+        Policy::MinimumCompletionTime => {
+            ranked.sort_by(|a, b| {
+                a.predicted_secs
+                    .total_cmp(&b.predicted_secs)
+                    .then(a.server.server_id.cmp(&b.server.server_id))
+            });
+        }
+        Policy::RoundRobin => {
+            ranked.sort_by_key(|r| r.server.server_id);
+            if !ranked.is_empty() {
+                let offset = (state.rr_counter as usize) % ranked.len();
+                ranked.rotate_left(offset);
+                state.rr_counter = state.rr_counter.wrapping_add(1);
+            }
+        }
+        Policy::Random => {
+            ranked.sort_by_key(|r| r.server.server_id);
+            state.rng.shuffle(&mut ranked);
+        }
+        Policy::LoadOnly => {
+            ranked.sort_by(|a, b| {
+                a.server
+                    .workload
+                    .total_cmp(&b.server.workload)
+                    .then(b.server.mflops.total_cmp(&a.server.mflops))
+                    .then(a.server.server_id.cmp(&b.server.server_id))
+            });
+        }
+        Policy::FastestCpu => {
+            ranked.sort_by(|a, b| {
+                b.server
+                    .mflops
+                    .total_cmp(&a.server.mflops)
+                    .then(a.server.server_id.cmp(&b.server.server_id))
+            });
+        }
+        Policy::NearestNetwork => {
+            ranked.sort_by(|a, b| {
+                a.predicted_net_secs
+                    .total_cmp(&b.predicted_net_secs)
+                    .then(a.server.server_id.cmp(&b.server.server_id))
+            });
+        }
+    }
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u64, mflops: f64, workload: f64) -> ServerSnapshot {
+        ServerSnapshot {
+            server_id: ServerId(id),
+            host: HostId(100 + id),
+            address: format!("srv{id}"),
+            mflops,
+            workload,
+        }
+    }
+
+    fn dgesv_shape(n: u64) -> RequestShape {
+        RequestShape {
+            problem: "dgesv".into(),
+            n,
+            bytes_in: 8 * n * n + 8 * n,
+            bytes_out: 8 * n,
+        }
+    }
+
+    fn cubic() -> Complexity {
+        Complexity::new(2.0 / 3.0, 3.0).unwrap()
+    }
+
+    #[test]
+    fn effective_mflops_degrades_with_workload() {
+        assert_eq!(snap(1, 100.0, 0.0).effective_mflops(), 100.0);
+        assert_eq!(snap(1, 100.0, 100.0).effective_mflops(), 50.0);
+        assert!((snap(1, 100.0, 300.0).effective_mflops() - 25.0).abs() < 1e-12);
+        // negative workloads are clamped
+        assert_eq!(snap(1, 100.0, -20.0).effective_mflops(), 100.0);
+    }
+
+    #[test]
+    fn mct_prefers_faster_idle_server() {
+        let servers = vec![snap(1, 50.0, 0.0), snap(2, 200.0, 0.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        let out = rank(
+            Policy::MinimumCompletionTime,
+            &servers,
+            &dgesv_shape(500),
+            cubic(),
+            &net,
+            HostId(1),
+            &mut st,
+        );
+        assert_eq!(out[0].server.server_id, ServerId(2));
+        assert!(out[0].predicted_secs < out[1].predicted_secs);
+    }
+
+    #[test]
+    fn mct_penalizes_loaded_server() {
+        // Same hardware, one heavily loaded.
+        let servers = vec![snap(1, 100.0, 400.0), snap(2, 100.0, 0.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        let out = rank(
+            Policy::MinimumCompletionTime,
+            &servers,
+            &dgesv_shape(300),
+            cubic(),
+            &net,
+            HostId(1),
+            &mut st,
+        );
+        assert_eq!(out[0].server.server_id, ServerId(2));
+    }
+
+    #[test]
+    fn mct_accounts_for_network_crossover() {
+        // Fast server behind a slow link vs slow server on a fast link:
+        // for a transfer-dominated problem the near server must win.
+        let fast_far = snap(1, 1000.0, 0.0);
+        let slow_near = snap(2, 50.0, 0.0);
+        let mut net = NetworkView::new(1e-3, 1.25e6);
+        // client is host 1; fast server's host link is terrible
+        net.observe(HostId(1), fast_far.host, 0.05, 1e6);
+        net.observe(fast_far.host, HostId(1), 0.05, 1e6);
+        net.observe(HostId(1), slow_near.host, 1e-4, 100e6);
+        net.observe(slow_near.host, HostId(1), 1e-4, 100e6);
+
+        // linear-cost problem with a big payload: transfer dominates
+        let shape = RequestShape {
+            problem: "vsort".into(),
+            n: 100_000,
+            bytes_in: 800_000,
+            bytes_out: 800_000,
+        };
+        let linear = Complexity::new(20.0, 1.0).unwrap();
+        let mut st = BalancerState::default();
+        let out = rank(
+            Policy::MinimumCompletionTime,
+            &[fast_far.clone(), slow_near.clone()],
+            &shape,
+            linear,
+            &net,
+            HostId(1),
+            &mut st,
+        );
+        assert_eq!(out[0].server.server_id, ServerId(2), "near server should win");
+
+        // but a compute-dominated cubic problem flips the choice
+        let shape = dgesv_shape(2000);
+        let out = rank(
+            Policy::MinimumCompletionTime,
+            &[fast_far, slow_near],
+            &shape,
+            cubic(),
+            &net,
+            HostId(1),
+            &mut st,
+        );
+        assert_eq!(out[0].server.server_id, ServerId(1), "fast server should win");
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let servers = vec![snap(1, 100.0, 0.0), snap(2, 100.0, 0.0), snap(3, 100.0, 0.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        let firsts: Vec<u64> = (0..6)
+            .map(|_| {
+                rank(
+                    Policy::RoundRobin,
+                    &servers,
+                    &dgesv_shape(10),
+                    cubic(),
+                    &net,
+                    HostId(1),
+                    &mut st,
+                )[0]
+                    .server
+                    .server_id
+                    .raw()
+            })
+            .collect();
+        assert_eq!(firsts, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed_and_covers() {
+        let servers: Vec<_> = (1..=4).map(|i| snap(i, 100.0, 0.0)).collect();
+        let net = NetworkView::lan_defaults();
+        let shape = dgesv_shape(10);
+
+        let firsts = |seed: u64| -> Vec<u64> {
+            let mut st = BalancerState::new(seed);
+            (0..40)
+                .map(|_| {
+                    rank(Policy::Random, &servers, &shape, cubic(), &net, HostId(1), &mut st)[0]
+                        .server
+                        .server_id
+                        .raw()
+                })
+                .collect()
+        };
+        assert_eq!(firsts(7), firsts(7), "same seed, same stream");
+        let seen: std::collections::HashSet<u64> = firsts(7).into_iter().collect();
+        assert_eq!(seen.len(), 4, "random policy should hit every server");
+    }
+
+    #[test]
+    fn load_only_ignores_speed() {
+        let servers = vec![snap(1, 1000.0, 50.0), snap(2, 10.0, 5.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        let out = rank(Policy::LoadOnly, &servers, &dgesv_shape(100), cubic(), &net, HostId(1), &mut st);
+        assert_eq!(out[0].server.server_id, ServerId(2));
+    }
+
+    #[test]
+    fn fastest_cpu_ignores_load() {
+        let servers = vec![snap(1, 1000.0, 500.0), snap(2, 10.0, 0.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        let out = rank(Policy::FastestCpu, &servers, &dgesv_shape(100), cubic(), &net, HostId(1), &mut st);
+        assert_eq!(out[0].server.server_id, ServerId(1));
+    }
+
+    #[test]
+    fn nearest_network_ignores_compute() {
+        let slow_near = snap(1, 1.0, 0.0);
+        let fast_far = snap(2, 10_000.0, 0.0);
+        let mut net = NetworkView::new(1e-3, 1e6);
+        net.observe(HostId(9), slow_near.host, 1e-5, 1e9);
+        net.observe(slow_near.host, HostId(9), 1e-5, 1e9);
+        let mut st = BalancerState::default();
+        let out = rank(
+            Policy::NearestNetwork,
+            &[slow_near, fast_far],
+            &dgesv_shape(1000),
+            cubic(),
+            &net,
+            HostId(9),
+            &mut st,
+        );
+        assert_eq!(out[0].server.server_id, ServerId(1));
+    }
+
+    #[test]
+    fn empty_server_list_yields_empty_ranking() {
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        for &p in Policy::all() {
+            let out = rank(p, &[], &dgesv_shape(10), cubic(), &net, HostId(1), &mut st);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn prediction_components_sum() {
+        let s = snap(1, 100.0, 20.0);
+        let net = NetworkView::lan_defaults();
+        let (total, net_t, comp_t) = predict(&s, &dgesv_shape(200), cubic(), &net, HostId(1));
+        assert!((total - (net_t + comp_t)).abs() < 1e-12);
+        assert!(net_t > 0.0 && comp_t > 0.0);
+    }
+
+    #[test]
+    fn policy_parsing_and_names() {
+        for &p in Policy::all() {
+            let parsed: Policy = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("bogus".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_server_id() {
+        // Identical servers: MCT order must be stable by id.
+        let servers = vec![snap(3, 100.0, 0.0), snap(1, 100.0, 0.0), snap(2, 100.0, 0.0)];
+        let net = NetworkView::lan_defaults();
+        let mut st = BalancerState::default();
+        // NOTE: hosts differ but defaults make transfer identical.
+        let out = rank(
+            Policy::MinimumCompletionTime,
+            &servers,
+            &dgesv_shape(50),
+            cubic(),
+            &net,
+            HostId(1),
+            &mut st,
+        );
+        let ids: Vec<u64> = out.iter().map(|r| r.server.server_id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

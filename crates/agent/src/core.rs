@@ -1,0 +1,591 @@
+//! The agent brain: registry + workload manager + fault tracker + network
+//! view + load balancer, behind one message-level interface.
+//!
+//! [`AgentCore`] is transport-free (time comes in as a parameter), so the
+//! live daemon wraps it in a mutex and the simulator drives it directly
+//! with virtual time — both exercise identical decision logic.
+
+use std::collections::HashMap;
+
+use netsolve_core::clock::SimTime;
+use netsolve_core::config::AgentConfig;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::ids::{HostId, ServerId};
+use netsolve_core::problem::RequestShape;
+use netsolve_net::NetworkView;
+use netsolve_proto::{Candidate, Message, QueryShape};
+
+use crate::balance::{rank, BalancerState, Policy, Ranked, ServerSnapshot};
+use crate::fault::FaultTracker;
+use crate::registry::ServerRegistry;
+use crate::workload::WorkloadManager;
+
+/// How long an unconfirmed assignment keeps counting against a server.
+/// Clients normally clear assignments promptly with `CompletionReport` /
+/// `FailureReport`; the TTL only bounds the damage of a client that
+/// vanished mid-request.
+const PENDING_TTL_SECS: f64 = 300.0;
+
+/// The complete state of one NetSolve agent.
+pub struct AgentCore {
+    config: AgentConfig,
+    policy: Policy,
+    registry: ServerRegistry,
+    workloads: WorkloadManager,
+    faults: FaultTracker,
+    network: NetworkView,
+    balancer: BalancerState,
+    /// Assignment times of requests the agent has routed but not yet seen
+    /// complete or fail — NetSolve's defence against the herd effect:
+    /// between two workload reports, the agent itself is the only one who
+    /// knows it just sent a server three jobs.
+    pending: HashMap<ServerId, Vec<SimTime>>,
+}
+
+impl AgentCore {
+    /// Agent with the given configuration, scheduling policy and initial
+    /// network assumptions.
+    pub fn new(config: AgentConfig, policy: Policy, network: NetworkView) -> Self {
+        AgentCore {
+            workloads: WorkloadManager::new(config.workload),
+            faults: FaultTracker::new(config.fault),
+            config,
+            policy,
+            registry: ServerRegistry::new(),
+            network,
+            balancer: BalancerState::default(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Agent with defaults: MCT policy, LAN network assumptions.
+    pub fn with_defaults() -> Self {
+        Self::new(AgentConfig::default(), Policy::MinimumCompletionTime, NetworkView::lan_defaults())
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Change the scheduling policy (used by experiment sweeps).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// Immutable access to the server registry.
+    pub fn registry(&self) -> &ServerRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the network view (the simulator seeds topology
+    /// through this).
+    pub fn network_mut(&mut self) -> &mut NetworkView {
+        &mut self.network
+    }
+
+    /// Register a server (message-level entry point uses this too).
+    pub fn register_server(
+        &mut self,
+        desc: &netsolve_proto::ServerDescriptor,
+        now: SimTime,
+    ) -> Result<ServerId> {
+        let id = self.registry.register(desc)?;
+        // A fresh server is assumed idle until its first report.
+        self.workloads.record(id, 0.0, now);
+        Ok(id)
+    }
+
+    /// Store a workload report.
+    pub fn workload_report(&mut self, server: ServerId, workload: f64, now: SimTime) {
+        if self.registry.get(server).is_some() {
+            self.workloads.record(server, workload, now);
+        }
+    }
+
+    /// Record a client failure report. Returns whether the server was
+    /// marked down by this report. Also clears one pending assignment —
+    /// the failed request is no longer heading for that server.
+    pub fn failure_report(&mut self, server: ServerId, now: SimTime) -> bool {
+        self.clear_one_pending(server);
+        self.faults.record_failure(server, now)
+    }
+
+    /// Record a client success (clears fault state and one pending
+    /// assignment).
+    pub fn success_report(&mut self, server: ServerId) {
+        self.clear_one_pending(server);
+        self.faults.record_success(server);
+    }
+
+    fn clear_one_pending(&mut self, server: ServerId) {
+        if let Some(entries) = self.pending.get_mut(&server) {
+            // Oldest first: completions generally arrive in dispatch order.
+            if !entries.is_empty() {
+                entries.remove(0);
+            }
+            if entries.is_empty() {
+                self.pending.remove(&server);
+            }
+        }
+    }
+
+    /// Count unexpired pending assignments for a server.
+    pub fn pending_load(&self, server: ServerId, now: SimTime) -> usize {
+        self.pending
+            .get(&server)
+            .map(|e| {
+                e.iter()
+                    .filter(|t| now.since(**t) < PENDING_TTL_SECS)
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    fn note_assignment(&mut self, server: ServerId, now: SimTime) {
+        if !self.config.pending_tracking {
+            return;
+        }
+        let entries = self.pending.entry(server).or_default();
+        entries.retain(|t| now.since(*t) < PENDING_TTL_SECS);
+        entries.push(now);
+    }
+
+    /// Record an observed network measurement between two hosts.
+    pub fn observe_network(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        latency_secs: f64,
+        bandwidth_bps: f64,
+    ) {
+        self.network.observe(from, to, latency_secs, bandwidth_bps);
+    }
+
+    /// Whether a server is currently excluded by the fault tracker.
+    pub fn is_down(&self, server: ServerId, now: SimTime) -> bool {
+        self.faults.is_down(server, now)
+    }
+
+    /// Snapshot the eligible servers for a problem at `now` (advertise it,
+    /// not marked down), with aged workloads.
+    pub fn snapshots_for(&self, problem: &str, now: SimTime) -> Vec<ServerSnapshot> {
+        self.registry
+            .servers_for(problem)
+            .into_iter()
+            .filter(|s| !self.faults.is_down(s.server_id, now))
+            .map(|s| ServerSnapshot {
+                server_id: s.server_id,
+                host: s.host,
+                address: s.address.clone(),
+                mflops: s.mflops,
+                // Reported workload, aged by TTL, plus 100% per request the
+                // agent itself routed there since the last report.
+                workload: self.workloads.effective(s.server_id, now)
+                    + 100.0 * self.pending_load(s.server_id, now) as f64,
+            })
+            .collect()
+    }
+
+    /// The full ranking for a request (every eligible server, best first).
+    pub fn rank_request(
+        &mut self,
+        shape: &RequestShape,
+        client_host: HostId,
+        now: SimTime,
+    ) -> Result<Vec<Ranked>> {
+        let spec = self
+            .registry
+            .spec(&shape.problem)
+            .ok_or_else(|| NetSolveError::ProblemNotFound(shape.problem.clone()))?;
+        let complexity = spec.complexity;
+        let snapshots = self.snapshots_for(&shape.problem, now);
+        if snapshots.is_empty() {
+            return Err(NetSolveError::NoServerAvailable(shape.problem.clone()));
+        }
+        let ranked = rank(
+            self.policy,
+            &snapshots,
+            shape,
+            complexity,
+            &self.network,
+            client_host,
+            &mut self.balancer,
+        );
+        // The top candidate is where the client will (almost certainly)
+        // send the request: count it as pending until confirmed.
+        if let Some(first) = ranked.first() {
+            self.note_assignment(first.server.server_id, now);
+        }
+        Ok(ranked)
+    }
+
+    /// Answer a client's server query with the top-k candidate list.
+    pub fn query(&mut self, q: &QueryShape, now: SimTime) -> Result<Vec<Candidate>> {
+        let shape = RequestShape {
+            problem: q.problem.clone(),
+            n: q.n,
+            bytes_in: q.bytes_in,
+            bytes_out: q.bytes_out,
+        };
+        let ranked = self.rank_request(&shape, HostId(q.client_host), now)?;
+        Ok(ranked
+            .into_iter()
+            .take(self.config.candidates_returned.0)
+            .map(|r| Candidate {
+                server_id: r.server.server_id.raw(),
+                address: r.server.address,
+                predicted_secs: r.predicted_secs,
+            })
+            .collect())
+    }
+
+    /// Protocol-level dispatch: consume one incoming message, produce the
+    /// reply. Unknown or inappropriate messages produce `Error` replies;
+    /// this function never fails (the transport loop must always have
+    /// something to send back).
+    pub fn handle_message(&mut self, msg: &Message, now: SimTime) -> Message {
+        match msg {
+            Message::RegisterServer(desc) => match self.register_server(desc, now) {
+                Ok(id) => Message::RegisterAck {
+                    accepted: true,
+                    detail: id.raw().to_string(),
+                },
+                Err(e) => Message::RegisterAck { accepted: false, detail: e.to_string() },
+            },
+            Message::WorkloadReport { server_id, workload } => {
+                self.workload_report(ServerId(*server_id), *workload, now);
+                Message::Pong
+            }
+            Message::ServerQuery(q) | Message::ServerQueryForwarded(q) => {
+                match self.query(q, now) {
+                    Ok(candidates) => Message::ServerList { candidates },
+                    Err(e) => Message::from_error(&e),
+                }
+            }
+            Message::ListProblems => Message::ProblemCatalogue {
+                names: self.registry.problem_names(),
+            },
+            Message::ListServers => Message::ServerInfoList {
+                servers: self
+                    .registry
+                    .all_servers()
+                    .into_iter()
+                    .map(|s| netsolve_proto::ServerInfo {
+                        server_id: s.server_id.raw(),
+                        host: s.host_name.clone(),
+                        address: s.address.clone(),
+                        mflops: s.mflops,
+                        workload: self.workloads.effective(s.server_id, now)
+                            + 100.0 * self.pending_load(s.server_id, now) as f64,
+                        down: self.faults.is_down(s.server_id, now),
+                        problems: s.problems.len() as u32,
+                    })
+                    .collect(),
+            },
+            Message::DescribeProblem { problem }
+            | Message::DescribeProblemForwarded { problem } => match self.registry.spec(problem) {
+                Some(spec) => Message::ProblemDescription { pdl: netsolve_pdl::render(spec) },
+                None => Message::from_error(&NetSolveError::ProblemNotFound(problem.clone())),
+            },
+            Message::FailureReport { server_id, .. } => {
+                self.failure_report(ServerId(*server_id), now);
+                Message::Pong
+            }
+            Message::CompletionReport {
+                server_id,
+                client_host,
+                total_secs,
+                compute_secs,
+                bytes,
+                ..
+            } => {
+                let sid = ServerId(*server_id);
+                self.success_report(sid);
+                // Refresh the network estimate for this pair: the
+                // non-compute part of the call moved `bytes` across the
+                // link (NetSolve updated its network table the same way).
+                let transfer = total_secs - compute_secs;
+                if let Some(server) = self.registry.get(sid) {
+                    if *bytes > 0 && transfer > 1e-9 && transfer.is_finite() {
+                        let bandwidth = *bytes as f64 / transfer;
+                        let server_host = server.host;
+                        let client = HostId(*client_host);
+                        // Negative latency sample = "no latency info":
+                        // NetworkView ignores invalid latency samples and
+                        // only updates bandwidth.
+                        self.network.observe(client, server_host, -1.0, bandwidth);
+                        self.network.observe(server_host, client, -1.0, bandwidth);
+                    }
+                }
+                Message::Pong
+            }
+            Message::Ping => Message::Pong,
+            other => Message::from_error(&NetSolveError::Protocol(format!(
+                "agent cannot handle {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::standard_descriptor;
+
+    fn agent_with_servers(specs: &[(&str, f64)]) -> AgentCore {
+        let mut agent = AgentCore::with_defaults();
+        for (i, (host, mflops)) in specs.iter().enumerate() {
+            agent
+                .register_server(
+                    &standard_descriptor(host, &format!("srv{i}"), *mflops),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        agent
+    }
+
+    fn query(n: u64) -> QueryShape {
+        QueryShape {
+            client_host: 0,
+            problem: "dgesv".into(),
+            n,
+            bytes_in: 8 * n * n,
+            bytes_out: 8 * n,
+        }
+    }
+
+    #[test]
+    fn query_returns_ranked_candidates() {
+        let mut agent = agent_with_servers(&[("slow", 10.0), ("fast", 1000.0)]);
+        let candidates = agent.query(&query(400), SimTime::ZERO).unwrap();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].address, "srv1", "fast server first");
+        assert!(candidates[0].predicted_secs <= candidates[1].predicted_secs);
+    }
+
+    #[test]
+    fn query_unknown_problem_errors() {
+        let mut agent = agent_with_servers(&[("h", 100.0)]);
+        let mut q = query(10);
+        q.problem = "nonexistent".into();
+        assert!(matches!(
+            agent.query(&q, SimTime::ZERO),
+            Err(NetSolveError::ProblemNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn query_with_no_servers_errors() {
+        let mut agent = AgentCore::with_defaults();
+        // Register then unregister via fault-down to empty the pool:
+        // simplest path — never register at all, but the problem must be
+        // known; use a fresh agent and expect ProblemNotFound instead.
+        assert!(agent.query(&query(10), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn down_server_excluded_until_cooldown() {
+        let mut agent = agent_with_servers(&[("a", 100.0), ("b", 100.0)]);
+        let now = SimTime::ZERO;
+        // two failures mark server 1 down (default policy threshold = 2)
+        agent.failure_report(ServerId(1), now);
+        agent.failure_report(ServerId(1), now);
+        assert!(agent.is_down(ServerId(1), now));
+
+        let candidates = agent.query(&query(100), now).unwrap();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].server_id, 2);
+
+        // after the cooldown it is eligible again
+        let later = SimTime::from_secs(120.0);
+        let candidates = agent.query(&query(100), later).unwrap();
+        assert_eq!(candidates.len(), 2);
+    }
+
+    #[test]
+    fn all_servers_down_yields_no_server_available() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        let now = SimTime::ZERO;
+        agent.failure_report(ServerId(1), now);
+        agent.failure_report(ServerId(1), now);
+        assert!(matches!(
+            agent.query(&query(10), now),
+            Err(NetSolveError::NoServerAvailable(_))
+        ));
+    }
+
+    #[test]
+    fn workload_reports_shift_ranking() {
+        // Two identical servers; load one up and it must drop to 2nd.
+        let mut agent = agent_with_servers(&[("a", 100.0), ("b", 100.0)]);
+        let now = SimTime::from_secs(1.0);
+        agent.workload_report(ServerId(1), 300.0, now);
+        agent.workload_report(ServerId(2), 0.0, now);
+        let candidates = agent.query(&query(400), now).unwrap();
+        assert_eq!(candidates[0].server_id, 2);
+    }
+
+    #[test]
+    fn stale_workload_degrades_server() {
+        let mut agent = agent_with_servers(&[("a", 100.0), ("b", 100.0)]);
+        // server 1 reported long ago (its report will age out);
+        // server 2 reports fresh idleness at query time.
+        agent.workload_report(ServerId(1), 0.0, SimTime::ZERO);
+        let later = SimTime::from_secs(500.0);
+        agent.workload_report(ServerId(2), 0.0, later);
+        let candidates = agent.query(&query(400), later).unwrap();
+        assert_eq!(candidates[0].server_id, 2, "fresh server preferred over stale");
+    }
+
+    #[test]
+    fn candidate_list_truncated_to_config() {
+        let servers: Vec<(String, f64)> = (0..10).map(|i| (format!("h{i}"), 100.0)).collect();
+        let refs: Vec<(&str, f64)> = servers.iter().map(|(h, m)| (h.as_str(), *m)).collect();
+        let mut agent = agent_with_servers(&refs);
+        let candidates = agent.query(&query(50), SimTime::ZERO).unwrap();
+        assert_eq!(candidates.len(), 5, "default candidate cap is 5");
+    }
+
+    #[test]
+    fn message_dispatch_register_and_query() {
+        let mut agent = AgentCore::with_defaults();
+        let now = SimTime::ZERO;
+        let reply = agent.handle_message(
+            &Message::RegisterServer(standard_descriptor("h", "srv0", 100.0)),
+            now,
+        );
+        match reply {
+            Message::RegisterAck { accepted, detail } => {
+                assert!(accepted);
+                assert_eq!(detail, "1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let reply = agent.handle_message(&Message::ServerQuery(query(100)), now);
+        match reply {
+            Message::ServerList { candidates } => assert_eq!(candidates.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let reply = agent.handle_message(&Message::ListProblems, now);
+        match reply {
+            Message::ProblemCatalogue { names } => assert!(names.contains(&"dgesv".to_string())),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let reply = agent.handle_message(
+            &Message::DescribeProblem { problem: "dgesv".into() },
+            now,
+        );
+        match reply {
+            Message::ProblemDescription { pdl } => assert!(pdl.contains("@PROBLEM dgesv")),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert_eq!(agent.handle_message(&Message::Ping, now), Message::Pong);
+    }
+
+    #[test]
+    fn message_dispatch_rejects_misdirected_messages() {
+        let mut agent = AgentCore::with_defaults();
+        let reply = agent.handle_message(
+            &Message::RequestSubmit { request_id: 1, problem: "x".into(), inputs: vec![] },
+            SimTime::ZERO,
+        );
+        assert!(matches!(reply, Message::Error { .. }));
+    }
+
+    #[test]
+    fn pending_assignments_expire_and_clear() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        let now = SimTime::ZERO;
+        // Each query notes one pending assignment on the top candidate.
+        agent.query(&query(100), now).unwrap();
+        agent.query(&query(100), now).unwrap();
+        assert_eq!(agent.pending_load(ServerId(1), now), 2);
+        // A success clears one, a failure clears another.
+        agent.success_report(ServerId(1));
+        assert_eq!(agent.pending_load(ServerId(1), now), 1);
+        agent.failure_report(ServerId(1), now);
+        assert_eq!(agent.pending_load(ServerId(1), now), 0);
+        // Unconfirmed assignments expire after the TTL.
+        agent.query(&query(100), now).unwrap();
+        assert_eq!(agent.pending_load(ServerId(1), SimTime::from_secs(299.0)), 1);
+        assert_eq!(agent.pending_load(ServerId(1), SimTime::from_secs(301.0)), 0);
+    }
+
+    #[test]
+    fn completion_reports_teach_the_network_view() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        let now = SimTime::ZERO;
+        let before = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        // Report a completion that proves the link is ~100x faster than the
+        // LAN default: 8 MB in 10 ms of non-compute time.
+        for _ in 0..50 {
+            let reply = agent.handle_message(
+                &Message::CompletionReport {
+                    server_id: 1,
+                    client_host: 0,
+                    problem: "dgesv".into(),
+                    total_secs: 0.020,
+                    compute_secs: 0.010,
+                    bytes: 8_000_000,
+                },
+                now,
+            );
+            assert_eq!(reply, Message::Pong);
+        }
+        let after = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        assert!(
+            after < before / 5.0,
+            "prediction should drop once the real bandwidth is learned: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn bogus_completion_reports_are_harmless() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        let now = SimTime::ZERO;
+        let before = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        for (total, compute, bytes, server_id) in [
+            (0.0, 0.0, 1_000u64, 1u64),          // zero transfer time
+            (1.0, 2.0, 1_000, 1),                 // negative transfer
+            (f64::NAN, 0.0, 1_000, 1),            // NaN
+            (1.0, 0.5, 0, 1),                     // zero bytes
+            (1.0, 0.5, 1_000, 999),               // unknown server
+        ] {
+            agent.handle_message(
+                &Message::CompletionReport {
+                    server_id,
+                    client_host: 0,
+                    problem: "dgesv".into(),
+                    total_secs: total,
+                    compute_secs: compute,
+                    bytes,
+                },
+                now,
+            );
+        }
+        let after = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        assert!((after - before).abs() < before * 0.05, "{before} vs {after}");
+    }
+
+    #[test]
+    fn failed_registration_reports_reason() {
+        let mut agent = AgentCore::with_defaults();
+        let mut bad = standard_descriptor("h", "srv0", 100.0);
+        bad.mflops = -1.0;
+        let reply = agent.handle_message(&Message::RegisterServer(bad), SimTime::ZERO);
+        match reply {
+            Message::RegisterAck { accepted, detail } => {
+                assert!(!accepted);
+                assert!(detail.contains("performance"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The live agent daemon: an [`AgentCore`] served over a transport.
+//!
+//! One accept loop; each connection gets its own handler thread running a
+//! simple request/reply protocol (every incoming message is answered).
+//! Works identically over TCP and the in-process channel transport.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use netsolve_core::clock::{Clock, RealClock};
+use netsolve_core::error::Result;
+use netsolve_net::{Connection, Transport};
+use parking_lot::Mutex;
+
+use crate::core::AgentCore;
+
+/// Handle to a running agent daemon.
+pub struct AgentDaemon {
+    core: Arc<Mutex<AgentCore>>,
+    address: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    transport: Arc<dyn Transport>,
+}
+
+/// How long a federated agent waits for each peer's answer.
+const PEER_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+impl AgentDaemon {
+    /// Start an agent listening at `hint` on the given transport, serving
+    /// the given core. Time is wall-clock.
+    pub fn start(
+        transport: Arc<dyn Transport>,
+        hint: &str,
+        core: AgentCore,
+    ) -> Result<AgentDaemon> {
+        Self::start_with_clock(transport, hint, core, Arc::new(RealClock::new()))
+    }
+
+    /// Start a *federated* agent: when a local server query finds nothing,
+    /// the daemon forwards it to the peer agents at `peers` and merges
+    /// their candidate lists (best predicted time first). Peers answer
+    /// from local state only, so federation depth is one hop and loops are
+    /// impossible even when peers list each other.
+    pub fn start_federated(
+        transport: Arc<dyn Transport>,
+        hint: &str,
+        core: AgentCore,
+        peers: Vec<String>,
+    ) -> Result<AgentDaemon> {
+        Self::start_inner(transport, hint, core, Arc::new(RealClock::new()), peers)
+    }
+
+    /// Start with an explicit clock (tests use a virtual one).
+    pub fn start_with_clock(
+        transport: Arc<dyn Transport>,
+        hint: &str,
+        core: AgentCore,
+        clock: Arc<dyn Clock>,
+    ) -> Result<AgentDaemon> {
+        Self::start_inner(transport, hint, core, clock, Vec::new())
+    }
+
+    fn start_inner(
+        transport: Arc<dyn Transport>,
+        hint: &str,
+        core: AgentCore,
+        clock: Arc<dyn Clock>,
+        peers: Vec<String>,
+    ) -> Result<AgentDaemon> {
+        let listener = transport.listen(hint)?;
+        let address = listener.address();
+        let core = Arc::new(Mutex::new(core));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_core = Arc::clone(&core);
+        let accept_stop = Arc::clone(&stop);
+        let accept_transport = Arc::clone(&transport);
+        let peers = Arc::new(peers);
+        let accept_thread = std::thread::Builder::new()
+            .name("agent-accept".into())
+            .spawn(move || {
+                loop {
+                    match listener.accept() {
+                        Ok(conn) => {
+                            if accept_stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let core = Arc::clone(&accept_core);
+                            let clock = Arc::clone(&clock);
+                            let transport = Arc::clone(&accept_transport);
+                            let peers = Arc::clone(&peers);
+                            std::thread::Builder::new()
+                                .name("agent-conn".into())
+                                .spawn(move || {
+                                    serve_connection(conn, core, clock, transport, peers)
+                                })
+                                .expect("spawn agent connection thread");
+                        }
+                        Err(_) => {
+                            if accept_stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // transient accept failure; keep serving
+                        }
+                    }
+                }
+            })
+            .expect("spawn agent accept thread");
+
+        Ok(AgentDaemon {
+            core,
+            address,
+            stop,
+            accept_thread: Some(accept_thread),
+            transport,
+        })
+    }
+
+    /// Address clients and servers should dial.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Shared handle to the core (experiments inspect and tweak state).
+    pub fn core(&self) -> Arc<Mutex<AgentCore>> {
+        Arc::clone(&self.core)
+    }
+
+    /// Stop accepting connections and join the accept thread. Existing
+    /// per-connection threads finish when their peers hang up.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.transport.unblock(&self.address);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AgentDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    mut conn: Box<dyn Connection>,
+    core: Arc<Mutex<AgentCore>>,
+    clock: Arc<dyn Clock>,
+    transport: Arc<dyn Transport>,
+    peers: Arc<Vec<String>>,
+) {
+    loop {
+        let msg = match conn.recv() {
+            Ok(m) => m,
+            Err(_) => return, // peer hung up or stream corrupted
+        };
+        let mut reply = {
+            let mut core = core.lock();
+            let now = clock.now();
+            core.handle_message(&msg, now)
+        };
+        // Federation: client requests that found nothing locally are
+        // widened to the peer agents (outside the core lock — peers may be
+        // slow). Forwarded variants are answered locally only, so
+        // federation is one hop deep and loop-free.
+        if !peers.is_empty() && matches!(reply, netsolve_proto::Message::Error { .. }) {
+            match &msg {
+                netsolve_proto::Message::ServerQuery(q) => {
+                    if let Some(candidates) = query_peers(&transport, &peers, q) {
+                        reply = netsolve_proto::Message::ServerList { candidates };
+                    }
+                }
+                netsolve_proto::Message::DescribeProblem { problem } => {
+                    if let Some(pdl) = describe_via_peers(&transport, &peers, problem) {
+                        reply = netsolve_proto::Message::ProblemDescription { pdl };
+                    }
+                }
+                _ => {}
+            }
+        }
+        if conn.send(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Ask every peer agent for candidates; merge and rank by predicted time.
+/// Returns `None` when no peer had anything either.
+fn query_peers(
+    transport: &Arc<dyn Transport>,
+    peers: &[String],
+    q: &netsolve_proto::QueryShape,
+) -> Option<Vec<netsolve_proto::Candidate>> {
+    let mut merged: Vec<netsolve_proto::Candidate> = Vec::new();
+    for peer in peers {
+        let Ok(mut conn) = transport.connect(peer) else {
+            continue;
+        };
+        let ask = netsolve_proto::Message::ServerQueryForwarded(q.clone());
+        match netsolve_net::call(conn.as_mut(), &ask, PEER_TIMEOUT) {
+            Ok(netsolve_proto::Message::ServerList { candidates }) => {
+                merged.extend(candidates);
+            }
+            _ => continue,
+        }
+    }
+    if merged.is_empty() {
+        return None;
+    }
+    merged.sort_by(|a, b| a.predicted_secs.total_cmp(&b.predicted_secs));
+    merged.dedup_by_key(|c| c.server_id);
+    merged.truncate(5);
+    Some(merged)
+}
+
+/// Ask peers to describe a problem unknown locally.
+fn describe_via_peers(
+    transport: &Arc<dyn Transport>,
+    peers: &[String],
+    problem: &str,
+) -> Option<String> {
+    for peer in peers {
+        let Ok(mut conn) = transport.connect(peer) else {
+            continue;
+        };
+        let ask = netsolve_proto::Message::DescribeProblemForwarded {
+            problem: problem.to_string(),
+        };
+        if let Ok(netsolve_proto::Message::ProblemDescription { pdl }) =
+            netsolve_net::call(conn.as_mut(), &ask, PEER_TIMEOUT)
+        {
+            return Some(pdl);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::standard_descriptor;
+    use netsolve_net::{call, ChannelNetwork};
+    use netsolve_proto::{Message, QueryShape};
+    use std::time::Duration;
+
+    fn timeout() -> Duration {
+        Duration::from_secs(5)
+    }
+
+    #[test]
+    fn daemon_serves_registration_and_queries() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let mut daemon =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+
+        // register a server over the wire
+        let mut conn = net.connect("agent").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("h1", "srv1", 200.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+
+        // query from a different connection (like a real client)
+        let mut conn2 = net.connect("agent").unwrap();
+        let reply = call(
+            conn2.as_mut(),
+            &Message::ServerQuery(QueryShape {
+                client_host: 0,
+                problem: "dgesv".into(),
+                n: 100,
+                bytes_in: 80_000,
+                bytes_out: 800,
+            }),
+            timeout(),
+        )
+        .unwrap();
+        match reply {
+            Message::ServerList { candidates } => {
+                assert_eq!(candidates.len(), 1);
+                assert_eq!(candidates[0].address, "srv1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        daemon.stop();
+    }
+
+    #[test]
+    fn daemon_serves_concurrent_clients() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let mut daemon =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut conn = net.connect("agent").unwrap();
+                    for _ in 0..20 {
+                        let reply = call(conn.as_mut(), &Message::Ping, timeout()).unwrap();
+                        assert_eq!(reply, Message::Pong);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        daemon.stop();
+    }
+
+    #[test]
+    fn daemon_stop_is_idempotent() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net);
+        let mut daemon =
+            AgentDaemon::start(transport, "agent", AgentCore::with_defaults()).unwrap();
+        daemon.stop();
+        daemon.stop();
+    }
+
+    #[test]
+    fn federation_widens_queries_and_describes() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        // Agent B holds the only server; agent A federates with B.
+        let mut agent_b = AgentDaemon::start(
+            Arc::clone(&transport),
+            "agent-b",
+            AgentCore::with_defaults(),
+        )
+        .unwrap();
+        let mut agent_a = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-a",
+            AgentCore::with_defaults(),
+            vec!["agent-b".into()],
+        )
+        .unwrap();
+        // Register a server with B only.
+        let mut conn = net.connect("agent-b").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("hb", "srvb", 150.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+
+        // A client of agent A can describe and place dgesv via federation.
+        let mut client_conn = net.connect("agent-a").unwrap();
+        let reply = call(
+            client_conn.as_mut(),
+            &Message::DescribeProblem { problem: "dgesv".into() },
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::ProblemDescription { .. }), "{reply:?}");
+
+        let reply = call(
+            client_conn.as_mut(),
+            &Message::ServerQuery(QueryShape {
+                client_host: 0,
+                problem: "dgesv".into(),
+                n: 50,
+                bytes_in: 20_400,
+                bytes_out: 408,
+            }),
+            timeout(),
+        )
+        .unwrap();
+        match reply {
+            Message::ServerList { candidates } => {
+                assert_eq!(candidates.len(), 1);
+                assert_eq!(candidates[0].address, "srvb");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        agent_a.stop();
+        agent_b.stop();
+    }
+
+    #[test]
+    fn mutual_federation_does_not_loop_on_unknown_problem() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let mut agent_a = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-a",
+            AgentCore::with_defaults(),
+            vec!["agent-b".into()],
+        )
+        .unwrap();
+        let mut agent_b = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-b",
+            AgentCore::with_defaults(),
+            vec!["agent-a".into()],
+        )
+        .unwrap();
+        let mut conn = net.connect("agent-a").unwrap();
+        // Nothing anywhere: must come back as an error promptly, not hang.
+        let reply = call(
+            conn.as_mut(),
+            &Message::ServerQuery(QueryShape {
+                client_host: 0,
+                problem: "nothing".into(),
+                n: 1,
+                bytes_in: 8,
+                bytes_out: 8,
+            }),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::Error { .. }));
+        agent_a.stop();
+        agent_b.stop();
+    }
+
+    #[test]
+    fn daemon_over_tcp() {
+        let transport: Arc<dyn Transport> = Arc::new(netsolve_net::TcpTransport::new());
+        let mut daemon = AgentDaemon::start(
+            Arc::clone(&transport),
+            "127.0.0.1:0",
+            AgentCore::with_defaults(),
+        )
+        .unwrap();
+        let mut conn = transport.connect(daemon.address()).unwrap();
+        let reply = call(conn.as_mut(), &Message::ListProblems, timeout()).unwrap();
+        assert!(matches!(reply, Message::ProblemCatalogue { .. }));
+        daemon.stop();
+    }
+}

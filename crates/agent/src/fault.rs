@@ -1,0 +1,166 @@
+//! Fault tracking: how the agent remembers which servers are misbehaving.
+//!
+//! Clients report failures (connection refused, execution error, timeout)
+//! back to the agent. After a configurable number of *consecutive*
+//! failures a server is marked down and excluded from rankings for a
+//! cooldown period; any success resets its record. This is the agent half
+//! of NetSolve's fault tolerance — the client half is walking down the
+//! ranked candidate list (`netsolve-client`).
+
+use std::collections::HashMap;
+
+use netsolve_core::clock::SimTime;
+use netsolve_core::config::FaultPolicy;
+use netsolve_core::ids::ServerId;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultRecord {
+    consecutive_failures: u32,
+    down_since: Option<SimTime>,
+    total_failures: u64,
+    total_successes: u64,
+}
+
+/// Per-server failure bookkeeping with down/cooldown semantics.
+#[derive(Debug, Clone)]
+pub struct FaultTracker {
+    policy: FaultPolicy,
+    records: HashMap<ServerId, FaultRecord>,
+}
+
+impl FaultTracker {
+    /// Tracker with the given policy.
+    pub fn new(policy: FaultPolicy) -> Self {
+        FaultTracker { policy, records: HashMap::new() }
+    }
+
+    /// Record a reported failure at `now`. Returns `true` if this report
+    /// transitioned the server to down.
+    pub fn record_failure(&mut self, server: ServerId, now: SimTime) -> bool {
+        let rec = self.records.entry(server).or_default();
+        rec.consecutive_failures += 1;
+        rec.total_failures += 1;
+        if rec.down_since.is_none()
+            && rec.consecutive_failures >= self.policy.failures_to_mark_down
+        {
+            rec.down_since = Some(now);
+            return true;
+        }
+        false
+    }
+
+    /// Record a success: clears consecutive failures and any down mark.
+    pub fn record_success(&mut self, server: ServerId) {
+        let rec = self.records.entry(server).or_default();
+        rec.consecutive_failures = 0;
+        rec.down_since = None;
+        rec.total_successes += 1;
+    }
+
+    /// Whether the server should be excluded from rankings at `now`.
+    /// After the cooldown expires the server becomes eligible again (one
+    /// probe request will either succeed — clearing the record — or push
+    /// it straight back down).
+    pub fn is_down(&self, server: ServerId, now: SimTime) -> bool {
+        match self.records.get(&server).and_then(|r| r.down_since) {
+            Some(since) => now.since(since) < self.policy.down_cooldown_secs,
+            None => false,
+        }
+    }
+
+    /// Lifetime failure count (diagnostics).
+    pub fn total_failures(&self, server: ServerId) -> u64 {
+        self.records.get(&server).map(|r| r.total_failures).unwrap_or(0)
+    }
+
+    /// Lifetime success count (diagnostics).
+    pub fn total_successes(&self, server: ServerId) -> u64 {
+        self.records.get(&server).map(|r| r.total_successes).unwrap_or(0)
+    }
+
+    /// Forget a server entirely (unregistration).
+    pub fn forget(&mut self, server: ServerId) {
+        self.records.remove(&server);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> FaultTracker {
+        FaultTracker::new(FaultPolicy { failures_to_mark_down: 2, down_cooldown_secs: 60.0 })
+    }
+
+    #[test]
+    fn unknown_server_is_up() {
+        let t = tracker();
+        assert!(!t.is_down(ServerId(1), SimTime::ZERO));
+    }
+
+    #[test]
+    fn marks_down_after_threshold() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        let now = SimTime::ZERO;
+        assert!(!t.record_failure(s, now), "first failure not enough");
+        assert!(!t.is_down(s, now));
+        assert!(t.record_failure(s, now), "second failure marks down");
+        assert!(t.is_down(s, now));
+        // further failures don't re-transition
+        assert!(!t.record_failure(s, now));
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        t.record_failure(s, SimTime::ZERO);
+        t.record_success(s);
+        assert!(!t.record_failure(s, SimTime::ZERO), "count restarted");
+        assert!(!t.is_down(s, SimTime::ZERO));
+        assert_eq!(t.total_failures(s), 2);
+        assert_eq!(t.total_successes(s), 1);
+    }
+
+    #[test]
+    fn cooldown_expires() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        t.record_failure(s, SimTime::ZERO);
+        t.record_failure(s, SimTime::ZERO);
+        assert!(t.is_down(s, SimTime::from_secs(59.0)));
+        assert!(!t.is_down(s, SimTime::from_secs(60.0)), "cooldown over");
+    }
+
+    #[test]
+    fn success_clears_down_mark() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        t.record_failure(s, SimTime::ZERO);
+        t.record_failure(s, SimTime::ZERO);
+        assert!(t.is_down(s, SimTime::ZERO));
+        t.record_success(s);
+        assert!(!t.is_down(s, SimTime::ZERO));
+    }
+
+    #[test]
+    fn forget_erases_history() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        t.record_failure(s, SimTime::ZERO);
+        t.record_failure(s, SimTime::ZERO);
+        t.forget(s);
+        assert!(!t.is_down(s, SimTime::ZERO));
+        assert_eq!(t.total_failures(s), 0);
+    }
+
+    #[test]
+    fn servers_tracked_independently() {
+        let mut t = tracker();
+        t.record_failure(ServerId(1), SimTime::ZERO);
+        t.record_failure(ServerId(1), SimTime::ZERO);
+        assert!(t.is_down(ServerId(1), SimTime::ZERO));
+        assert!(!t.is_down(ServerId(2), SimTime::ZERO));
+    }
+}

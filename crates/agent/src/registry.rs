@@ -1,0 +1,279 @@
+//! The agent's server registry: which servers exist, where they are, and
+//! which problems each advertises.
+//!
+//! Registration carries the server's catalogue as rendered PDL source; the
+//! agent parses it, merges new problems into its domain-wide problem index
+//! and checks that re-registrations of a known problem agree with the
+//! existing signature (two servers advertising incompatible `dgesv`s would
+//! corrupt every prediction).
+
+use std::collections::{HashMap, HashSet};
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::ids::{HostId, ServerId};
+use netsolve_core::problem::ProblemSpec;
+use netsolve_pdl::parse;
+use netsolve_proto::ServerDescriptor;
+
+/// One registered server as the agent sees it.
+#[derive(Debug, Clone)]
+pub struct RegisteredServer {
+    /// Identity assigned at registration.
+    pub server_id: ServerId,
+    /// Host identity (shared by servers on the same host name).
+    pub host: HostId,
+    /// Host name as reported.
+    pub host_name: String,
+    /// Connect address for clients.
+    pub address: String,
+    /// Benchmarked Mflop/s.
+    pub mflops: f64,
+    /// Problems this server advertises.
+    pub problems: HashSet<String>,
+}
+
+/// The domain's server and problem index.
+#[derive(Debug, Default)]
+pub struct ServerRegistry {
+    servers: HashMap<ServerId, RegisteredServer>,
+    specs: HashMap<String, ProblemSpec>,
+    hosts: HashMap<String, HostId>,
+    next_server: u64,
+    next_host: u64,
+}
+
+impl ServerRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a server from its wire descriptor. Validates:
+    /// * Mflop/s is positive and finite;
+    /// * the PDL parses and covers every advertised problem name;
+    /// * re-advertised problems match the known signature exactly.
+    ///
+    /// Returns the assigned [`ServerId`].
+    pub fn register(&mut self, desc: &ServerDescriptor) -> Result<ServerId> {
+        if !(desc.mflops > 0.0) || !desc.mflops.is_finite() {
+            return Err(NetSolveError::Registration(format!(
+                "invalid performance {} Mflop/s",
+                desc.mflops
+            )));
+        }
+        if desc.problems.is_empty() {
+            return Err(NetSolveError::Registration(
+                "server advertises no problems".into(),
+            ));
+        }
+        let parsed = parse(&desc.pdl_source)?;
+        let parsed_by_name: HashMap<&str, &ProblemSpec> =
+            parsed.iter().map(|p| (p.name.as_str(), p)).collect();
+        for name in &desc.problems {
+            let spec = parsed_by_name.get(name.as_str()).ok_or_else(|| {
+                NetSolveError::Registration(format!(
+                    "advertised problem '{name}' missing from PDL source"
+                ))
+            })?;
+            if let Some(known) = self.specs.get(name) {
+                if known != *spec {
+                    return Err(NetSolveError::Registration(format!(
+                        "problem '{name}' conflicts with an existing registration"
+                    )));
+                }
+            }
+        }
+        // All validated: commit.
+        for name in &desc.problems {
+            let spec = parsed_by_name[name.as_str()];
+            self.specs.entry(name.clone()).or_insert_with(|| spec.clone());
+        }
+        let host = *self.hosts.entry(desc.host.clone()).or_insert_with(|| {
+            self.next_host += 1;
+            HostId(self.next_host)
+        });
+        self.next_server += 1;
+        let server_id = ServerId(self.next_server);
+        self.servers.insert(
+            server_id,
+            RegisteredServer {
+                server_id,
+                host,
+                host_name: desc.host.clone(),
+                address: desc.address.clone(),
+                mflops: desc.mflops,
+                problems: desc.problems.iter().cloned().collect(),
+            },
+        );
+        Ok(server_id)
+    }
+
+    /// Remove a server. Its problems stay in the domain index (other
+    /// servers may still serve them; orphaned specs are harmless).
+    pub fn unregister(&mut self, id: ServerId) -> Option<RegisteredServer> {
+        self.servers.remove(&id)
+    }
+
+    /// Look up a server.
+    pub fn get(&self, id: ServerId) -> Option<&RegisteredServer> {
+        self.servers.get(&id)
+    }
+
+    /// Servers advertising `problem`, in `ServerId` order (deterministic).
+    pub fn servers_for(&self, problem: &str) -> Vec<&RegisteredServer> {
+        let mut out: Vec<&RegisteredServer> = self
+            .servers
+            .values()
+            .filter(|s| s.problems.contains(problem))
+            .collect();
+        out.sort_by_key(|s| s.server_id);
+        out
+    }
+
+    /// The domain-wide spec for a problem.
+    pub fn spec(&self, problem: &str) -> Option<&ProblemSpec> {
+        self.specs.get(problem)
+    }
+
+    /// Sorted names of every problem any server has ever advertised.
+    pub fn problem_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.specs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of live servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// All live servers in id order.
+    pub fn all_servers(&self) -> Vec<&RegisteredServer> {
+        let mut out: Vec<&RegisteredServer> = self.servers.values().collect();
+        out.sort_by_key(|s| s.server_id);
+        out
+    }
+
+    /// The host id for a host name, if any server from it registered.
+    pub fn host_id(&self, host_name: &str) -> Option<HostId> {
+        self.hosts.get(host_name).copied()
+    }
+}
+
+/// Build the descriptor a standard-catalogue server would send, used by
+/// tests and the simulator.
+pub fn standard_descriptor(host: &str, address: &str, mflops: f64) -> ServerDescriptor {
+    let specs = netsolve_pdl::standard_catalogue().expect("catalogue parses");
+    let problems: Vec<String> = specs.iter().map(|p| p.name.clone()).collect();
+    ServerDescriptor {
+        server_id: 0,
+        host: host.to_string(),
+        address: address.to_string(),
+        mflops,
+        problems,
+        pdl_source: netsolve_pdl::STANDARD_PDL.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_standard_server() {
+        let mut reg = ServerRegistry::new();
+        let id = reg
+            .register(&standard_descriptor("hostA", "addr:1", 100.0))
+            .unwrap();
+        assert_eq!(reg.server_count(), 1);
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.mflops, 100.0);
+        assert!(s.problems.contains("dgesv"));
+        assert!(reg.spec("dgesv").is_some());
+        assert!(reg.problem_names().len() >= 16);
+    }
+
+    #[test]
+    fn multiple_servers_same_host_share_host_id() {
+        let mut reg = ServerRegistry::new();
+        let a = reg.register(&standard_descriptor("hostA", "a:1", 50.0)).unwrap();
+        let b = reg.register(&standard_descriptor("hostA", "a:2", 60.0)).unwrap();
+        let c = reg.register(&standard_descriptor("hostB", "b:1", 70.0)).unwrap();
+        assert_eq!(reg.get(a).unwrap().host, reg.get(b).unwrap().host);
+        assert_ne!(reg.get(a).unwrap().host, reg.get(c).unwrap().host);
+        assert_eq!(reg.host_id("hostA"), Some(reg.get(a).unwrap().host));
+        assert_eq!(reg.host_id("nope"), None);
+    }
+
+    #[test]
+    fn servers_for_filters_and_orders() {
+        let mut reg = ServerRegistry::new();
+        let mut limited = standard_descriptor("h1", "a:1", 10.0);
+        limited.problems = vec!["dgesv".into()];
+        reg.register(&limited).unwrap();
+        reg.register(&standard_descriptor("h2", "a:2", 20.0)).unwrap();
+        assert_eq!(reg.servers_for("dgesv").len(), 2);
+        assert_eq!(reg.servers_for("fft").len(), 1);
+        assert!(reg.servers_for("unknown").is_empty());
+        let ids: Vec<u64> = reg.servers_for("dgesv").iter().map(|s| s.server_id.raw()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn invalid_registrations_rejected() {
+        let mut reg = ServerRegistry::new();
+        let mut bad = standard_descriptor("h", "a:1", 0.0);
+        assert!(reg.register(&bad).is_err(), "zero mflops");
+        bad.mflops = f64::NAN;
+        assert!(reg.register(&bad).is_err(), "NaN mflops");
+
+        let mut empty = standard_descriptor("h", "a:1", 10.0);
+        empty.problems.clear();
+        assert!(reg.register(&empty).is_err(), "no problems");
+
+        let mut phantom = standard_descriptor("h", "a:1", 10.0);
+        phantom.problems.push("made_up".into());
+        assert!(reg.register(&phantom).is_err(), "problem not in PDL");
+
+        let mut garbage = standard_descriptor("h", "a:1", 10.0);
+        garbage.pdl_source = "@NOT A VALID FILE".into();
+        assert!(reg.register(&garbage).is_err(), "unparseable PDL");
+
+        assert_eq!(reg.server_count(), 0, "failed registrations must not commit");
+    }
+
+    #[test]
+    fn conflicting_spec_rejected() {
+        let mut reg = ServerRegistry::new();
+        reg.register(&standard_descriptor("h1", "a:1", 10.0)).unwrap();
+        // Second server advertises dgesv with a different complexity.
+        let mut evil = standard_descriptor("h2", "a:2", 10.0);
+        evil.problems = vec!["dgesv".into()];
+        evil.pdl_source = "\
+@PROBLEM dgesv\n@DESCRIPTION \"fake\"\n@INPUT a : matrix\n@INPUT b : vector\n\
+@OUTPUT x : vector\n@COMPLEXITY 99 1\n@END\n"
+            .into();
+        match reg.register(&evil) {
+            Err(NetSolveError::Registration(m)) => assert!(m.contains("conflict"), "{m}"),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_readvertisement_accepted() {
+        let mut reg = ServerRegistry::new();
+        reg.register(&standard_descriptor("h1", "a:1", 10.0)).unwrap();
+        reg.register(&standard_descriptor("h2", "a:2", 20.0)).unwrap();
+        assert_eq!(reg.server_count(), 2);
+    }
+
+    #[test]
+    fn unregister_removes_server_but_keeps_specs() {
+        let mut reg = ServerRegistry::new();
+        let id = reg.register(&standard_descriptor("h1", "a:1", 10.0)).unwrap();
+        assert!(reg.unregister(id).is_some());
+        assert!(reg.unregister(id).is_none());
+        assert_eq!(reg.server_count(), 0);
+        assert!(reg.spec("dgesv").is_some(), "spec survives for future servers");
+    }
+}

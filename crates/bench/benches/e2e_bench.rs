@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the full `netsl` round trip through a live
+//! in-process domain (feeds R1): marshaling + protocol + transport +
+//! scheduling + execution, end to end.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsolve_agent::{AgentCore, AgentDaemon};
+use netsolve_client::NetSolveClient;
+use netsolve_core::{DataObject, Matrix, Rng64};
+use netsolve_net::{ChannelNetwork, Transport};
+use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
+
+struct Domain {
+    _agent: AgentDaemon,
+    _server: ServerDaemon,
+    client: NetSolveClient,
+}
+
+fn domain() -> Domain {
+    let net = ChannelNetwork::new();
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let agent = AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+        .expect("agent");
+    let server = ServerDaemon::start(
+        Arc::clone(&transport),
+        "agent",
+        ServerCore::with_standard_catalogue(),
+        ServerConfig::quick("benchhost", "srv0", 500.0),
+    )
+    .expect("server");
+    let client = NetSolveClient::new(Arc::new(net), "agent");
+    Domain { _agent: agent, _server: server, client }
+}
+
+fn bench_netsl_roundtrip(c: &mut Criterion) {
+    let d = domain();
+    let mut group = c.benchmark_group("netsl_e2e");
+    group.sample_size(20);
+
+    // Minimal call: measures pure protocol + scheduling overhead.
+    let tiny = [DataObject::Vector(vec![3.0, 4.0])];
+    group.bench_function("dnrm2_len2", |b| {
+        b.iter(|| d.client.netsl("dnrm2", std::hint::black_box(&tiny)).unwrap())
+    });
+
+    // Medium dense solve: overhead amortized by real compute.
+    let mut rng = Rng64::new(5);
+    let a = Matrix::random_diag_dominant(96, &mut rng);
+    let bvec: Vec<f64> = (0..96).map(|i| i as f64).collect();
+    let args = [DataObject::Matrix(a), DataObject::Vector(bvec)];
+    group.bench_function("dgesv_96", |b| {
+        b.iter(|| d.client.netsl("dgesv", std::hint::black_box(&args)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_agent_query(c: &mut Criterion) {
+    let d = domain();
+    let mut group = c.benchmark_group("agent_query");
+    let spec = d.client.describe("dgesv").expect("spec");
+    let args = [
+        DataObject::Matrix(Matrix::identity(64)),
+        DataObject::Vector(vec![0.0; 64]),
+    ];
+    group.bench_function("query_servers_dgesv", |b| {
+        b.iter(|| d.client.query_servers(&spec, std::hint::black_box(&args)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsl_roundtrip, bench_agent_query);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the agent's ranking core (feeds R6a): how the
+//! MCT predictor and the baseline policies scale with pool size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsolve_agent::{rank, BalancerState, Policy, ServerSnapshot};
+use netsolve_core::ids::{HostId, ServerId};
+use netsolve_core::problem::{Complexity, RequestShape};
+use netsolve_net::NetworkView;
+
+fn pool(count: u64) -> Vec<ServerSnapshot> {
+    (0..count)
+        .map(|i| ServerSnapshot {
+            server_id: ServerId(i + 1),
+            host: HostId(i + 1),
+            address: format!("s{i}"),
+            mflops: 50.0 + (i % 97) as f64 * 3.0,
+            workload: (i % 11) as f64 * 15.0,
+        })
+        .collect()
+}
+
+fn shape() -> RequestShape {
+    RequestShape {
+        problem: "dgesv".into(),
+        n: 500,
+        bytes_in: 2_000_000,
+        bytes_out: 4_000,
+    }
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_mct_scaling");
+    let net = NetworkView::lan_defaults();
+    let complexity = Complexity::new(0.6667, 3.0).unwrap();
+    for &count in &[8u64, 64, 512] {
+        let servers = pool(count);
+        group.throughput(Throughput::Elements(count));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &servers, |b, servers| {
+            let mut st = BalancerState::default();
+            let shape = shape();
+            b.iter(|| {
+                rank(
+                    Policy::MinimumCompletionTime,
+                    std::hint::black_box(servers),
+                    &shape,
+                    complexity,
+                    &net,
+                    HostId(9999),
+                    &mut st,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_policies_64");
+    let net = NetworkView::lan_defaults();
+    let complexity = Complexity::new(0.6667, 3.0).unwrap();
+    let servers = pool(64);
+    for &policy in Policy::all() {
+        group.bench_function(policy.name(), |b| {
+            let mut st = BalancerState::default();
+            let shape = shape();
+            b.iter(|| {
+                rank(
+                    policy,
+                    std::hint::black_box(&servers),
+                    &shape,
+                    complexity,
+                    &net,
+                    HostId(9999),
+                    &mut st,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_scaling, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the numerical substrate. Doubles as the
+//! calibration run for the simulator's Mflop/s model (see EXPERIMENTS.md)
+//! and as the GEMM ablation DESIGN.md calls out (naive vs cache-blocked vs
+//! threaded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsolve_core::{CsrMatrix, Matrix, Rng64};
+use netsolve_solvers::{blas, fft, iterative, lu, qr};
+
+fn bench_gemm_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_ablation");
+    group.sample_size(10);
+    let mut rng = Rng64::new(1);
+    for &n in &[64usize, 192] {
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| blas::dgemm_naive(a, b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| blas::dgemm_blocked(a, b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| blas::dgemm_threaded(a, b, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_solvers");
+    group.sample_size(10);
+    let mut rng = Rng64::new(2);
+    let n = 192;
+    let a = Matrix::random_diag_dominant(n, &mut rng);
+    let spd = Matrix::random_spd(n, &mut rng);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    // dgesv does ~(2/3)n^3 flops — criterion's element throughput lets us
+    // read effective Mflop/s for simulator calibration.
+    group.throughput(Throughput::Elements((2 * n * n * n / 3) as u64));
+    group.bench_function("dgesv_192", |bch| {
+        bch.iter(|| lu::dgesv(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("dgels_192", |bch| {
+        bch.iter(|| qr::dgels(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+    group.bench_function("dposv_192", |bch| {
+        bch.iter(|| {
+            netsolve_solvers::cholesky::dposv(std::hint::black_box(&spd), std::hint::black_box(&b))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_and_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_fft");
+    group.sample_size(10);
+    let lap = CsrMatrix::laplacian_2d(48, 48);
+    let n = lap.rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+    group.bench_function("cg_laplacian_48x48", |bch| {
+        bch.iter(|| iterative::cg(&lap, &b, 1e-8, 10_000).unwrap())
+    });
+    group.bench_function("spmv_laplacian_48x48", |bch| {
+        bch.iter(|| lap.spmv(std::hint::black_box(&b)).unwrap())
+    });
+
+    let mut rng = Rng64::new(3);
+    let len = 4096;
+    let re: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let im = vec![0.0; len];
+    group.bench_function("fft_4096", |bch| {
+        bch.iter(|| fft::fft(std::hint::black_box(&re), std::hint::black_box(&im)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_executor_dispatch(c: &mut Criterion) {
+    // The cost of the mnemonic dispatch layer itself must be negligible.
+    let mut group = c.benchmark_group("executor");
+    let x = vec![1.0f64; 64];
+    let args = [netsolve_core::DataObject::Vector(x)];
+    group.bench_function("dispatch_dnrm2_64", |bch| {
+        bch.iter(|| netsolve_solvers::execute("dnrm2", std::hint::black_box(&args)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_ablation,
+    bench_dense_solvers,
+    bench_sparse_and_fft,
+    bench_executor_dispatch
+);
+criterion_main!(benches);

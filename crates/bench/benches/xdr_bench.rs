@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the hand-written XDR layer (feeds R8):
+//! object encode/decode and full frame+CRC round trips across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsolve_core::{DataObject, Matrix, Rng64};
+use netsolve_proto::{frame_bytes, parse_frame, Message};
+use netsolve_xdr as xdr;
+
+fn bench_vector_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdr_vector");
+    let mut rng = Rng64::new(1);
+    for &len in &[256usize, 16_384, 262_144] {
+        let v: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let obj = [DataObject::Vector(v)];
+        let bytes = xdr::to_bytes(&obj);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", len), &obj, |b, obj| {
+            b.iter(|| xdr::to_bytes(std::hint::black_box(obj)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", len), &bytes, |b, bytes| {
+            b.iter(|| xdr::from_bytes(std::hint::black_box(bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdr_matrix");
+    let mut rng = Rng64::new(2);
+    for &n in &[32usize, 256] {
+        let m = Matrix::random(n, n, &mut rng);
+        let obj = [DataObject::Matrix(m)];
+        let bytes = xdr::to_bytes(&obj);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &obj, |b, obj| {
+            b.iter(|| xdr::to_bytes(std::hint::black_box(obj)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| xdr::from_bytes(std::hint::black_box(bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    let mut rng = Rng64::new(3);
+    let m = Matrix::random(128, 128, &mut rng);
+    let msg = Message::RequestSubmit {
+        request_id: 1,
+        problem: "dgemm".into(),
+        inputs: vec![m.clone().into(), m.into()],
+    };
+    let framed = frame_bytes(&msg);
+    group.throughput(Throughput::Bytes(framed.len() as u64));
+    group.bench_function("frame_encode_128x128_pair", |b| {
+        b.iter(|| frame_bytes(std::hint::black_box(&msg)))
+    });
+    group.bench_function("frame_decode_128x128_pair", |b| {
+        b.iter(|| parse_frame(std::hint::black_box(&framed)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    let data = vec![0xA5u8; 1 << 20];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("crc32_1MiB", |b| {
+        b.iter(|| netsolve_xdr::crc32(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vector_roundtrip,
+    bench_matrix_roundtrip,
+    bench_frame_path,
+    bench_crc
+);
+criterion_main!(benches);

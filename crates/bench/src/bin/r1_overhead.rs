@@ -1,0 +1,95 @@
+//! R1 — Call-overhead experiment (reconstructs the paper's remote-vs-local
+//! cost figure).
+//!
+//! Solves `dgesv` locally and through a live in-process NetSolve domain
+//! whose link model emulates a 1996 department LAN, across problem sizes,
+//! and prints the per-size breakdown: marshaling, transfer (modelled),
+//! compute, and total overhead factor. The expected *shape*: remote is
+//! hopeless for tiny systems (latency + transfer dominate) and approaches
+//! the local time as `O(n^3)` compute amortizes `O(n^2)` transfer.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r1_overhead`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netsolve_agent::{AgentCore, AgentDaemon};
+use netsolve_bench::{ratio, secs, Table};
+use netsolve_client::NetSolveClient;
+use netsolve_core::{DataObject, Matrix, Rng64};
+use netsolve_net::{ChannelNetwork, LinkModel, Transport};
+use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
+use netsolve_xdr as xdr;
+
+fn main() {
+    let link = LinkModel::lan_1996();
+    let net = ChannelNetwork::with_link(link, 1996);
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let mut agent = AgentDaemon::start(
+        Arc::clone(&transport),
+        "agent",
+        AgentCore::with_defaults(),
+    )
+    .expect("agent starts");
+    let mut server = ServerDaemon::start(
+        Arc::clone(&transport),
+        "agent",
+        ServerCore::with_standard_catalogue(),
+        ServerConfig::quick("lanhost", "srv0", 200.0),
+    )
+    .expect("server starts");
+    let client = NetSolveClient::new(Arc::new(net), "agent");
+
+    let mut table = Table::new(
+        "R1: remote netsl(dgesv) vs local solve over a 10 Mbit/s LAN model",
+        &[
+            "n", "payload", "marshal", "transfer*", "compute", "remote", "local", "remote/local",
+        ],
+    );
+
+    let mut rng = Rng64::new(41);
+    for &n in &[50usize, 100, 200, 400, 600, 800] {
+        let a = Matrix::random_diag_dominant(n, &mut rng);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let inputs = [DataObject::Matrix(a.clone()), DataObject::Vector(b.clone())];
+        let payload: u64 = inputs.iter().map(|o| o.wire_bytes()).sum();
+
+        // Marshal cost, measured directly on the XDR layer.
+        let m_start = Instant::now();
+        let bytes = xdr::to_bytes(&inputs);
+        let _ = xdr::from_bytes(&bytes).expect("roundtrip");
+        let marshal = m_start.elapsed().as_secs_f64();
+
+        // Modelled transfer time for the payload both ways.
+        let transfer = link.transfer_secs(payload) + link.transfer_secs(8 * n as u64 + 8);
+
+        // Local solve.
+        let l_start = Instant::now();
+        let local_x = netsolve_solvers::lu::dgesv(&a, &b).expect("local solve");
+        let local = l_start.elapsed().as_secs_f64();
+
+        // Remote call (warm: spec already cached after first size).
+        let (out, report) = client
+            .netsl_timed("dgesv", &inputs)
+            .expect("remote solve");
+        assert_eq!(out[0].as_vector().unwrap(), local_x.as_slice());
+
+        table.row(vec![
+            n.to_string(),
+            netsolve_core::units::fmt_bytes(payload),
+            secs(marshal),
+            secs(transfer),
+            secs(report.compute_secs),
+            secs(report.total_secs),
+            secs(local),
+            ratio(report.total_secs / local.max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!("\n(*) transfer is the link model's analytic latency+bytes/bandwidth term,");
+    println!("    which the in-process transport enforces with real sleeps.");
+    println!("shape check: the remote/local ratio must fall monotonically with n.");
+
+    server.stop();
+    agent.stop();
+}

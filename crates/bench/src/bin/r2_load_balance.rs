@@ -1,0 +1,77 @@
+//! R2 — Load-balancing experiment (reconstructs the paper's policy
+//! comparison figure).
+//!
+//! 400 Poisson-arriving `dgesv` requests over 8 heterogeneous servers
+//! (20–200 Mflop/s), scheduled under each policy. Reports makespan, mean
+//! and 95th-percentile turnaround, and the per-server request
+//! distribution under MCT. The expected shape: MCT wins on every latency
+//! aggregate and allocates work roughly proportional to effective speed.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r2_load_balance`
+
+use netsolve_agent::Policy;
+use netsolve_bench::{bar, secs, Table};
+use netsolve_sim::{run_policies, Arrivals, RequestMix, Scenario, SimServer};
+
+fn main() {
+    let speeds = [200.0, 160.0, 120.0, 100.0, 80.0, 60.0, 40.0, 20.0];
+    let servers: Vec<SimServer> = speeds.iter().map(|&s| SimServer::new(s)).collect();
+    let mut sc = Scenario::default_with(servers, 400);
+    sc.arrivals = Arrivals::Poisson { rate: 3.0 };
+    sc.mix = RequestMix::dgesv(&[200, 300, 400, 500]);
+    sc.clients = 8;
+    sc.seed = 1996;
+
+    let reports = run_policies(&sc, Policy::all()).expect("simulation runs");
+
+    let mut table = Table::new(
+        "R2: scheduling policies on 8 heterogeneous servers, 400 Poisson dgesv requests",
+        &["policy", "makespan", "mean turnaround", "p95 turnaround", "mean attempts"],
+    );
+    for report in &reports {
+        let mut r = report.clone();
+        table.row(vec![
+            report.policy().name().to_string(),
+            secs(r.makespan_secs()),
+            secs(r.mean_turnaround_secs()),
+            secs(r.turnaround_percentile(95.0)),
+            format!("{:.2}", r.mean_attempts()),
+        ]);
+    }
+    table.print();
+
+    // Distribution under MCT vs round-robin.
+    for wanted in [Policy::MinimumCompletionTime, Policy::RoundRobin] {
+        let report = reports
+            .iter()
+            .find(|r| r.policy() == wanted)
+            .expect("policy present");
+        let counts = report.per_server_counts();
+        let max = counts.iter().copied().max().unwrap_or(1);
+        let mut dist = Table::new(
+            &format!("R2: request distribution under {}", wanted.name()),
+            &["server", "Mflop/s", "requests", "share"],
+        );
+        for (i, (&speed, &count)) in speeds.iter().zip(&counts).enumerate() {
+            dist.row(vec![
+                format!("s{i}"),
+                format!("{speed:.0}"),
+                count.to_string(),
+                bar(count, max, 30),
+            ]);
+        }
+        dist.print();
+    }
+
+    let mct = &reports[0];
+    let worst = reports[1..]
+        .iter()
+        .map(|r| r.mean_turnaround_secs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nshape check: MCT mean turnaround {} vs worst baseline {} ({:.2}x better)",
+        secs(mct.mean_turnaround_secs()),
+        secs(worst),
+        worst / mct.mean_turnaround_secs().max(1e-9),
+    );
+}

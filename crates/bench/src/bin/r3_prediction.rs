@@ -1,0 +1,76 @@
+//! R3 — Predictor-accuracy experiment (reconstructs the predicted-vs-
+//! actual completion-time analysis behind the "best guess" policy).
+//!
+//! Runs mixed-size workloads with fresh workload information and no
+//! service noise (the model's home turf), then with service-time noise
+//! and contention, and reports the distribution of relative prediction
+//! error per problem size. Expected shape: small error (< ~25% median)
+//! under model assumptions, growing gracefully with noise.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r3_prediction`
+
+use netsolve_bench::{pct, Table};
+use netsolve_core::stats::Sample;
+use netsolve_sim::{run, Arrivals, RequestMix, Scenario, SimServer};
+
+fn error_stats(report: &netsolve_sim::SimReport, size: u64) -> (usize, f64, f64, f64) {
+    let mut sample = Sample::new();
+    for r in report.requests() {
+        if r.n == size {
+            if let Some(e) = r.relative_prediction_error() {
+                sample.push(e);
+            }
+        }
+    }
+    let n = sample.len();
+    (n, sample.median(), sample.percentile(90.0), sample.mean())
+}
+
+fn scenario(noise: f64, rate: f64, seed: u64) -> Scenario {
+    let servers = vec![
+        SimServer::new(300.0).with_noise(noise),
+        SimServer::new(150.0).with_noise(noise),
+        SimServer::new(75.0).with_noise(noise),
+    ];
+    let mut sc = Scenario::default_with(servers, 300);
+    sc.arrivals = Arrivals::Poisson { rate };
+    sc.mix = RequestMix::dgesv(&[150, 300, 600]);
+    sc.workload.report_interval_secs = 1.0;
+    sc.seed = seed;
+    sc
+}
+
+fn main() {
+    let sizes = [150u64, 300, 600];
+
+    let mut table = Table::new(
+        "R3: relative prediction error |actual-predicted|/actual of the MCT estimator",
+        &["regime", "n", "samples", "median", "p90", "mean"],
+    );
+    for (label, noise, rate) in [
+        ("ideal (no noise, light load)", 0.0, 0.3),
+        ("noisy service (sigma=0.2)", 0.2, 0.3),
+        ("contended (rate 3/s)", 0.0, 3.0),
+        ("noisy + contended", 0.2, 3.0),
+    ] {
+        let report = run(&scenario(noise, rate, 11)).expect("sim runs");
+        for &n in &sizes {
+            let (count, median, p90, mean) = error_stats(&report, n);
+            table.row(vec![
+                label.to_string(),
+                n.to_string(),
+                count.to_string(),
+                pct(median),
+                pct(p90),
+                pct(mean),
+            ]);
+        }
+    }
+    table.print();
+
+    let ideal = run(&scenario(0.0, 0.3, 11)).expect("sim runs");
+    println!(
+        "\nshape check: ideal-regime overall median error = {} (must be well under 25%)",
+        pct(ideal.median_relative_prediction_error())
+    );
+}

@@ -1,0 +1,74 @@
+//! R5 — Fault-tolerance experiment (reconstructs the paper's
+//! failure-handling demonstration).
+//!
+//! Sweeps the per-attempt failure probability of half the pool and
+//! compares client-side failover (agent-ranked candidate list, failure
+//! reports, fault cooldown) against naive single-attempt dispatch.
+//! Expected shape: with failover the success rate stays ~100% at the cost
+//! of extra attempts; without it, losses track the failure rate.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r5_fault_tolerance`
+
+use netsolve_bench::{pct, secs, Table};
+use netsolve_sim::{run, Arrivals, RequestMix, Scenario, SimServer};
+
+fn scenario(fail_prob: f64, max_attempts: usize) -> Scenario {
+    // Half the pool is flaky, half reliable.
+    let servers = vec![
+        SimServer::new(200.0).with_fail_prob(fail_prob),
+        SimServer::new(150.0).with_fail_prob(fail_prob),
+        SimServer::new(120.0),
+        SimServer::new(100.0),
+    ];
+    let mut sc = Scenario::default_with(servers, 300);
+    sc.arrivals = Arrivals::Poisson { rate: 2.0 };
+    sc.mix = RequestMix::dgesv(&[200, 300]);
+    sc.max_attempts = max_attempts;
+    sc.seed = 5;
+    sc
+}
+
+fn main() {
+    let mut table = Table::new(
+        "R5: success rate and cost vs failure probability (2 of 4 servers flaky)",
+        &[
+            "fail prob",
+            "failover",
+            "success rate",
+            "mean attempts",
+            "mean turnaround",
+        ],
+    );
+    for &p in &[0.0, 0.1, 0.2, 0.3, 0.4] {
+        for (label, attempts) in [("on (3 tries)", 3usize), ("off (1 try)", 1)] {
+            let report = run(&scenario(p, attempts)).expect("sim runs");
+            table.row(vec![
+                format!("{p:.1}"),
+                label.to_string(),
+                pct(report.success_rate()),
+                format!("{:.2}", report.mean_attempts()),
+                secs(report.mean_turnaround_secs()),
+            ]);
+        }
+    }
+    table.print();
+
+    // Crash-and-carry-on: the fastest server dies mid-run.
+    let mut crash_sc = scenario(0.0, 3);
+    crash_sc.servers[0] = SimServer::new(200.0).with_crash_at(20.0);
+    let report = run(&crash_sc).expect("sim runs");
+    println!(
+        "\ncrash scenario (fastest server dies at t=20s): success rate {} over {} requests, \
+         mean attempts {:.2}",
+        pct(report.success_rate()),
+        report.total(),
+        report.mean_attempts()
+    );
+    let with_failover = run(&scenario(0.3, 3)).expect("sim runs");
+    let without = run(&scenario(0.3, 1)).expect("sim runs");
+    println!(
+        "shape check at p=0.3: failover success {} vs single-attempt {}",
+        pct(with_failover.success_rate()),
+        pct(without.success_rate())
+    );
+}

@@ -1,0 +1,81 @@
+//! R7 — Network-sensitivity experiment (reconstructs the bandwidth
+//! crossover implicit in the T_net + T_comp prediction formula).
+//!
+//! Two servers: a 1000 Mflop/s machine behind a degrading link, and a
+//! 100 Mflop/s machine on a fast local link. As the far link's bandwidth
+//! falls, MCT must shift placement from the fast-far to the slow-near
+//! machine; the crossover point is where the extra transfer time eats the
+//! 10x compute advantage. Expected shape: monotone placement shift with a
+//! clear crossover, and MCT tracking the per-bandwidth best choice.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r7_network_crossover`
+
+use netsolve_bench::{pct, secs, Table};
+use netsolve_core::units::mb;
+use netsolve_sim::{run, Arrivals, RequestMix, Scenario, SimServer};
+
+fn scenario(fast_bw_bps: f64) -> Scenario {
+    let servers = vec![SimServer::new(1000.0), SimServer::new(100.0)];
+    let mut sc = Scenario::default_with(servers, 150)
+        .server_link_override(0, 2e-3, fast_bw_bps) // fast CPU, variable link
+        .server_link_override(1, 1e-4, mb(50.0)); // slow CPU, fast link
+    sc.arrivals = Arrivals::Poisson { rate: 0.4 }; // light load: pure placement
+    sc.mix = RequestMix::dgesv(&[400]);
+    sc.seed = 7;
+    sc
+}
+
+fn main() {
+    let mut table = Table::new(
+        "R7: placement and turnaround vs bandwidth to the fast-far server \
+         (dgesv n=400, far CPU 10x faster)",
+        &[
+            "far-link bw",
+            "to fast-far",
+            "to slow-near",
+            "far share",
+            "mean turnaround",
+        ],
+    );
+    let mut crossover: Option<(f64, f64)> = None;
+    let mut prev_share = 1.0f64;
+    for &bw_mb in &[100.0, 30.0, 10.0, 3.0, 1.0, 0.3, 0.1] {
+        let report = run(&scenario(mb(bw_mb))).expect("sim runs");
+        let counts = report.per_server_counts();
+        let share = counts[0] as f64 / report.total() as f64;
+        if prev_share >= 0.5 && share < 0.5 {
+            crossover = Some((bw_mb, share));
+        }
+        prev_share = share;
+        table.row(vec![
+            format!("{bw_mb:.1} MB/s"),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            pct(share),
+            secs(report.mean_turnaround_secs()),
+        ]);
+    }
+    table.print();
+
+    // Analytic crossover for reference: transfer penalty of the far link
+    // equals the compute saving.
+    // compute saving = c(n)/100 - c(n)/1000 ; payload = 8n^2 + 16n bytes.
+    let n = 400.0f64;
+    let flops = 0.6667 * n * n * n;
+    let saving = flops / (100.0 * 1e6) - flops / (1000.0 * 1e6);
+    let payload = 8.0 * n * n + 16.0 * n;
+    let near_transfer = payload / mb(50.0);
+    let analytic_bw = payload / (saving + near_transfer);
+    println!(
+        "\nanalytic crossover ≈ {:.2} MB/s (payload {:.1} KB, compute saving {})",
+        analytic_bw / 1e6,
+        payload / 1e3,
+        secs(saving)
+    );
+    match crossover {
+        Some((bw, _)) => println!(
+            "measured crossover falls in the decade around {bw:.1} MB/s — shape holds."
+        ),
+        None => println!("WARNING: no crossover observed in the sweep — shape violated!"),
+    }
+}

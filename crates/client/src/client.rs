@@ -1,0 +1,441 @@
+//! The NetSolve client library: `netsl`-style calls routed through an
+//! agent, with automatic failover down the ranked candidate list.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netsolve_core::config::RetryPolicy;
+use netsolve_core::data::DataObject;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::problem::{ProblemSpec, RequestShape};
+use netsolve_net::{call, Connection, Transport};
+use netsolve_proto::{Candidate, Message, QueryShape};
+use parking_lot::Mutex;
+
+/// Everything measured about one completed call, for experiments and
+/// diagnostics (the paper's predictor-accuracy analysis needs
+/// predicted-vs-actual).
+#[derive(Debug, Clone)]
+pub struct CallReport {
+    /// The server that finally satisfied the request.
+    pub server_id: u64,
+    /// Its address.
+    pub server_address: String,
+    /// The agent's predicted completion seconds for that server.
+    pub predicted_secs: f64,
+    /// Observed end-to-end seconds (marshal + transfer + compute).
+    pub total_secs: f64,
+    /// Server-reported compute seconds.
+    pub compute_secs: f64,
+    /// How many servers were tried (1 = first choice worked).
+    pub attempts: u32,
+}
+
+/// A NetSolve client bound to one agent.
+pub struct NetSolveClient {
+    transport: Arc<dyn Transport>,
+    agent_address: String,
+    client_host: u64,
+    retry: RetryPolicy,
+    agent_conn: Mutex<Option<Box<dyn Connection>>>,
+    specs: Mutex<HashMap<String, ProblemSpec>>,
+    next_request: AtomicU64,
+}
+
+impl NetSolveClient {
+    /// Connect a client to the agent at `agent_address`.
+    pub fn new(transport: Arc<dyn Transport>, agent_address: &str) -> Self {
+        NetSolveClient {
+            transport,
+            agent_address: agent_address.to_string(),
+            client_host: 0,
+            retry: RetryPolicy::default(),
+            agent_conn: Mutex::new(None),
+            specs: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+        }
+    }
+
+    /// Set the client's host identity (used by the agent for per-pair
+    /// network predictions).
+    pub fn with_client_host(mut self, host: u64) -> Self {
+        self.client_host = host;
+        self
+    }
+
+    /// Override the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    fn agent_timeout(&self) -> Duration {
+        Duration::from_secs_f64(self.retry.attempt_timeout_secs)
+    }
+
+    /// Send a message to the agent and await the reply, transparently
+    /// reconnecting once if the cached connection died.
+    fn agent_call(&self, msg: &Message) -> Result<Message> {
+        let mut guard = self.agent_conn.lock();
+        for attempt in 0..2 {
+            if guard.is_none() {
+                *guard = Some(self.transport.connect(&self.agent_address)?);
+            }
+            let conn = guard.as_mut().expect("connection present");
+            match call(conn.as_mut(), msg, self.agent_timeout()) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    *guard = None;
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns");
+    }
+
+    /// Names of every problem the domain offers.
+    pub fn list_problems(&self) -> Result<Vec<String>> {
+        match self.agent_call(&Message::ListProblems)? {
+            Message::ProblemCatalogue { names } => Ok(names),
+            Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The agent's live server roster (operator tooling).
+    pub fn list_servers(&self) -> Result<Vec<netsolve_proto::ServerInfo>> {
+        match self.agent_call(&Message::ListServers)? {
+            Message::ServerInfoList { servers } => Ok(servers),
+            Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch (and cache) a problem's specification from the agent.
+    pub fn describe(&self, problem: &str) -> Result<ProblemSpec> {
+        if let Some(spec) = self.specs.lock().get(problem) {
+            return Ok(spec.clone());
+        }
+        let reply = self.agent_call(&Message::DescribeProblem { problem: problem.to_string() })?;
+        match reply {
+            Message::ProblemDescription { pdl } => {
+                let spec = netsolve_pdl::parse_one(&pdl)?;
+                self.specs.lock().insert(problem.to_string(), spec.clone());
+                Ok(spec)
+            }
+            Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the agent for the ranked candidate list for a call.
+    pub fn query_servers(&self, spec: &ProblemSpec, inputs: &[DataObject]) -> Result<Vec<Candidate>> {
+        let shape = RequestShape::from_call(spec, inputs);
+        let reply = self.agent_call(&Message::ServerQuery(QueryShape {
+            client_host: self.client_host,
+            problem: shape.problem.clone(),
+            n: shape.n,
+            bytes_in: shape.bytes_in,
+            bytes_out: shape.bytes_out,
+        }))?;
+        match reply {
+            Message::ServerList { candidates } => Ok(candidates),
+            Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Report a failed server back to the agent (best effort).
+    fn report_failure(&self, candidate: &Candidate, problem: &str, err: &NetSolveError) {
+        if !self.retry.report_failures {
+            return;
+        }
+        let _ = self.agent_call(&Message::FailureReport {
+            server_id: candidate.server_id,
+            problem: problem.to_string(),
+            code: err.code(),
+            detail: err.detail().to_string(),
+        });
+    }
+
+    /// Blocking call: solve `problem` on the best available server.
+    /// This is NetSolve's `netsl()`.
+    pub fn netsl(&self, problem: &str, inputs: &[DataObject]) -> Result<Vec<DataObject>> {
+        self.netsl_timed(problem, inputs).map(|(outputs, _)| outputs)
+    }
+
+    /// Blocking call returning the measured [`CallReport`] alongside the
+    /// outputs.
+    pub fn netsl_timed(
+        &self,
+        problem: &str,
+        inputs: &[DataObject],
+    ) -> Result<(Vec<DataObject>, CallReport)> {
+        let spec = self.describe(problem)?;
+        spec.check_inputs(inputs)?;
+        let shape = RequestShape::from_call(&spec, inputs);
+        let candidates = self.query_servers(&spec, inputs)?;
+        if candidates.is_empty() {
+            return Err(NetSolveError::NoServerAvailable(problem.to_string()));
+        }
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+
+        let mut last_err = NetSolveError::NoServerAvailable(problem.to_string());
+        let tried = candidates.iter().take(self.retry.max_attempts.max(1));
+        let mut attempts = 0u32;
+        for candidate in tried {
+            attempts += 1;
+            let start = Instant::now();
+            match self.try_one(candidate, request_id, problem, inputs, &spec) {
+                Ok((outputs, compute_secs)) => {
+                    let total_secs = start.elapsed().as_secs_f64();
+                    // Best-effort completion report: clears the agent's
+                    // pending-assignment and fault state for this server.
+                    let _ = self.agent_call(&Message::CompletionReport {
+                        server_id: candidate.server_id,
+                        client_host: self.client_host,
+                        problem: problem.to_string(),
+                        total_secs,
+                        compute_secs,
+                        bytes: shape.total_bytes(),
+                    });
+                    return Ok((
+                        outputs,
+                        CallReport {
+                            server_id: candidate.server_id,
+                            server_address: candidate.address.clone(),
+                            predicted_secs: candidate.predicted_secs,
+                            total_secs,
+                            compute_secs,
+                            attempts,
+                        },
+                    ));
+                }
+                Err(e) if e.is_retryable() => {
+                    self.report_failure(candidate, problem, &e);
+                    last_err = e;
+                }
+                Err(e) => return Err(e), // the request itself is bad; retrying elsewhere is futile
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_one(
+        &self,
+        candidate: &Candidate,
+        request_id: u64,
+        problem: &str,
+        inputs: &[DataObject],
+        spec: &ProblemSpec,
+    ) -> Result<(Vec<DataObject>, f64)> {
+        let mut conn = self.transport.connect(&candidate.address)?;
+        let reply = call(
+            conn.as_mut(),
+            &Message::RequestSubmit {
+                request_id,
+                problem: problem.to_string(),
+                inputs: inputs.to_vec(),
+            },
+            Duration::from_secs_f64(self.retry.attempt_timeout_secs),
+        )?;
+        match reply {
+            Message::RequestReply { request_id: echoed, outputs, compute_secs } => {
+                if echoed != request_id {
+                    return Err(NetSolveError::Protocol(format!(
+                        "reply for request {echoed}, expected {request_id}"
+                    )));
+                }
+                spec.check_outputs(&outputs)?;
+                Ok((outputs, compute_secs))
+            }
+            Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(msg: &Message) -> NetSolveError {
+    NetSolveError::Protocol(format!("unexpected reply {}", msg.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_agent::{AgentCore, AgentDaemon};
+    use netsolve_core::matrix::{vec_max_abs_diff, Matrix};
+    use netsolve_core::rng::Rng64;
+    use netsolve_net::ChannelNetwork;
+    use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
+
+    struct Domain {
+        net: ChannelNetwork,
+        agent: AgentDaemon,
+        servers: Vec<ServerDaemon>,
+    }
+
+    fn bring_up(server_specs: &[(&str, f64)]) -> Domain {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let agent =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+        let servers = server_specs
+            .iter()
+            .enumerate()
+            .map(|(i, (host, mflops))| {
+                ServerDaemon::start(
+                    Arc::clone(&transport),
+                    "agent",
+                    ServerCore::with_standard_catalogue(),
+                    ServerConfig::quick(host, &format!("srv{i}"), *mflops),
+                )
+                .unwrap()
+            })
+            .collect();
+        Domain { net, agent, servers }
+    }
+
+    impl Domain {
+        fn client(&self) -> NetSolveClient {
+            NetSolveClient::new(Arc::new(self.net.clone()), "agent")
+        }
+        fn shutdown(mut self) {
+            for s in &mut self.servers {
+                s.stop();
+            }
+            self.agent.stop();
+        }
+    }
+
+    #[test]
+    fn netsl_solves_linear_system_end_to_end() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client();
+
+        let mut rng = Rng64::new(3);
+        let a = Matrix::random_diag_dominant(16, &mut rng);
+        let x_true: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+
+        let outputs = client.netsl("dgesv", &[a.into(), b.into()]).unwrap();
+        assert_eq!(outputs.len(), 1);
+        assert!(vec_max_abs_diff(outputs[0].as_vector().unwrap(), &x_true) < 1e-9);
+        domain.shutdown();
+    }
+
+    #[test]
+    fn netsl_timed_reports_prediction_and_actual() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client();
+        let (outputs, report) = client
+            .netsl_timed("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
+            .unwrap();
+        assert_eq!(outputs[0].as_double().unwrap(), 11.0);
+        assert_eq!(report.attempts, 1);
+        assert!(report.total_secs > 0.0);
+        assert!(report.predicted_secs > 0.0);
+        assert_eq!(report.server_address, "srv0");
+        domain.shutdown();
+    }
+
+    #[test]
+    fn catalogue_and_describe() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client();
+        let names = client.list_problems().unwrap();
+        assert!(names.iter().any(|n| n == "fft"));
+        let spec = client.describe("dgesv").unwrap();
+        assert_eq!(spec.inputs.len(), 2);
+        // second describe hits the cache (no way to observe directly, but
+        // it must still be correct)
+        assert_eq!(client.describe("dgesv").unwrap(), spec);
+        domain.shutdown();
+    }
+
+    #[test]
+    fn unknown_problem_fails_cleanly() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client();
+        assert!(matches!(
+            client.netsl("not_a_problem", &[]),
+            Err(NetSolveError::ProblemNotFound(_))
+        ));
+        domain.shutdown();
+    }
+
+    #[test]
+    fn bad_arguments_fail_before_any_network_request() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client();
+        assert!(matches!(
+            client.netsl("dgesv", &[DataObject::Int(3)]),
+            Err(NetSolveError::BadArguments(_))
+        ));
+        domain.shutdown();
+    }
+
+    #[test]
+    fn failover_to_second_server_when_first_is_down() {
+        let domain = bring_up(&[("fast", 1000.0), ("slow", 10.0)]);
+        let client = domain.client();
+        // The fast server ranks first; kill its address before the call.
+        domain.net.set_down("srv0");
+        let (outputs, report) = client
+            .netsl_timed("ddot", &[vec![1.0, 1.0].into(), vec![2.0, 2.0].into()])
+            .unwrap();
+        assert_eq!(outputs[0].as_double().unwrap(), 4.0);
+        assert_eq!(report.attempts, 2, "first candidate failed, second succeeded");
+        assert_eq!(report.server_address, "srv1");
+        domain.shutdown();
+    }
+
+    #[test]
+    fn repeated_failures_mark_server_down_at_agent() {
+        let domain = bring_up(&[("fast", 1000.0), ("slow", 10.0)]);
+        let client = domain.client();
+        domain.net.set_down("srv0");
+        // Two failing calls: agent's default fault policy marks srv0 down.
+        for _ in 0..2 {
+            let _ = client.netsl("ddot", &[vec![1.0].into(), vec![1.0].into()]);
+        }
+        // Now the agent should rank only srv1 — calls succeed on attempt 1.
+        let (_, report) = client
+            .netsl_timed("ddot", &[vec![1.0].into(), vec![1.0].into()])
+            .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.server_address, "srv1");
+        domain.shutdown();
+    }
+
+    #[test]
+    fn all_servers_down_returns_retryable_error() {
+        let domain = bring_up(&[("a", 100.0)]);
+        let client = domain.client();
+        domain.net.set_down("srv0");
+        let err = client
+            .netsl("ddot", &[vec![1.0].into(), vec![1.0].into()])
+            .unwrap_err();
+        assert!(err.is_retryable(), "got {err}");
+        domain.shutdown();
+    }
+
+    #[test]
+    fn numerical_error_not_retried() {
+        // A singular system fails identically everywhere; the client must
+        // not waste attempts (Numerical is non-retryable... but note the
+        // wire maps it to ExecutionFailed? No: code roundtrips exactly).
+        let domain = bring_up(&[("a", 100.0), ("b", 100.0)]);
+        let client = domain.client();
+        let singular = Matrix::zeros(3, 3);
+        let err = client
+            .netsl("dgesv", &[singular.into(), vec![1.0, 2.0, 3.0].into()])
+            .unwrap_err();
+        assert!(matches!(err, NetSolveError::Numerical(_)));
+        domain.shutdown();
+    }
+}

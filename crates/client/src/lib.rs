@@ -1,0 +1,43 @@
+//! # netsolve-client
+//!
+//! The NetSolve client library — the Rust analogue of the original C and
+//! Fortran `netsl()` interfaces:
+//!
+//! * [`client::NetSolveClient::netsl`] — blocking call: ask the agent for
+//!   ranked servers, submit to the best, fail over down the list, report
+//!   failures back;
+//! * [`client::NetSolveClient::netsl_timed`] — the same, returning the
+//!   [`client::CallReport`] (predicted vs measured time, attempts) the
+//!   experiments consume;
+//! * [`nonblocking`] — `netsl_nb` / probe / wait and the `netsl_farm`
+//!   task-farming helper.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netsolve_agent::{AgentCore, AgentDaemon};
+//! use netsolve_client::NetSolveClient;
+//! use netsolve_net::{ChannelNetwork, Transport};
+//! use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
+//!
+//! // Bring up a one-server domain on the in-process transport.
+//! let net = ChannelNetwork::new();
+//! let transport: Arc<dyn Transport> = Arc::new(net.clone());
+//! let _agent = AgentDaemon::start(Arc::clone(&transport), "agent",
+//!                                 AgentCore::with_defaults()).unwrap();
+//! let _server = ServerDaemon::start(Arc::clone(&transport), "agent",
+//!                                   ServerCore::with_standard_catalogue(),
+//!                                   ServerConfig::quick("host", "srv", 100.0)).unwrap();
+//!
+//! // The classic call.
+//! let client = NetSolveClient::new(Arc::new(net), "agent");
+//! let out = client.netsl("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()]).unwrap();
+//! assert_eq!(out[0].as_double().unwrap(), 11.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod nonblocking;
+
+pub use client::{CallReport, NetSolveClient};
+pub use nonblocking::{CallOutcome, RequestHandle};

@@ -1,0 +1,198 @@
+//! Time abstraction shared by the live system and the simulator.
+//!
+//! The live agent/server/client stack measures real wall-clock time; the
+//! discrete-event simulator advances a virtual clock. Both implement
+//! [`Clock`], so code like the workload manager's time-to-live logic is
+//! written once and tested deterministically.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A point in time, in seconds since an arbitrary epoch.
+///
+/// Stored as `f64` seconds: the simulator needs sub-millisecond arithmetic
+/// on analytic quantities (bytes/bandwidth), and 52 bits of mantissa give
+/// microsecond resolution over centuries.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// The epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime(ms / 1e3)
+    }
+
+    /// Seconds since epoch.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds since epoch.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Elapsed seconds since `earlier` (negative if `earlier` is later).
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// This time advanced by `secs` seconds.
+    pub fn plus(self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl std::ops::Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// Source of "now", implemented by both wall-clock and virtual time.
+pub trait Clock: Send + Sync {
+    /// Current time.
+    fn now(&self) -> SimTime;
+}
+
+/// Wall-clock time relative to the clock's creation.
+#[derive(Debug)]
+pub struct RealClock {
+    start: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is the moment of creation.
+    pub fn new() -> Self {
+        RealClock { start: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_secs_f64())
+    }
+}
+
+/// A manually-advanced clock for simulation and deterministic tests.
+///
+/// Cloning shares the underlying time cell, so every component holding a
+/// clone observes the same virtual instant.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<Mutex<f64>>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock to an absolute time. Panics if this would move time
+    /// backwards — event-driven code relies on monotonicity.
+    pub fn set(&self, t: SimTime) {
+        let mut now = self.now.lock();
+        assert!(
+            t.0 >= *now,
+            "virtual clock moved backwards: {} -> {}",
+            *now,
+            t.0
+        );
+        *now = t.0;
+    }
+
+    /// Advance the clock by `secs` seconds.
+    pub fn advance(&self, secs: f64) {
+        assert!(secs >= 0.0, "cannot advance by negative time");
+        *self.now.lock() += secs;
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime(*self.now.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_secs(2.0);
+        let b = a + 0.5;
+        assert!((b.as_secs() - 2.5).abs() < 1e-12);
+        assert!((b - a - 0.5).abs() < 1e-12);
+        assert!((b.since(a) - 0.5).abs() < 1e-12);
+        assert!((SimTime::from_millis(1500.0).as_secs() - 1.5).abs() < 1e-12);
+        assert!((a.plus(1.0).as_millis() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_clock_monotonic() {
+        let c = RealClock::new();
+        let t1 = c.now();
+        let t2 = c.now();
+        assert!(t2.as_secs() >= t1.as_secs());
+    }
+
+    #[test]
+    fn virtual_clock_advances_and_shares() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now().as_secs(), 0.0);
+        c.advance(1.5);
+        assert!((c2.now().as_secs() - 1.5).abs() < 1e-12);
+        c2.set(SimTime::from_secs(3.0));
+        assert!((c.now().as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn virtual_clock_rejects_backwards() {
+        let c = VirtualClock::new();
+        c.advance(2.0);
+        c.set(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn clock_trait_object_usable() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(RealClock::new()), Box::new(VirtualClock::new())];
+        for c in &clocks {
+            let _ = c.now();
+        }
+    }
+}

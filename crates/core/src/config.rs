@@ -1,0 +1,137 @@
+//! System-wide tunables, mirroring the knobs the original NetSolve exposed
+//! for workload management and fault tolerance.
+
+/// How servers report workload and how long the agent trusts those reports.
+///
+/// NetSolve servers broadcast their workload periodically, but only when the
+/// change since the last broadcast exceeds a threshold (to keep agent
+/// traffic low); the agent then *ages* each report with a time-to-live so a
+/// silent (possibly overloaded or dead) server does not keep a stale rosy
+/// number forever. Experiment R4 sweeps these knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadPolicy {
+    /// Seconds between a server's workload self-measurements.
+    pub report_interval_secs: f64,
+    /// Minimum workload change (percentage points) that triggers a report.
+    pub report_threshold: f64,
+    /// Seconds after which an unrefreshed report is considered stale.
+    pub ttl_secs: f64,
+    /// Workload assumed for a server whose report has gone stale; pessimistic
+    /// so the balancer deprioritizes silent servers.
+    pub stale_workload: f64,
+}
+
+impl Default for WorkloadPolicy {
+    fn default() -> Self {
+        // NetSolve's documented defaults were on the order of minutes; we
+        // default to tens of seconds so live demos react visibly.
+        WorkloadPolicy {
+            report_interval_secs: 30.0,
+            report_threshold: 10.0,
+            ttl_secs: 120.0,
+            stale_workload: 100.0,
+        }
+    }
+}
+
+/// Client-side fault-tolerance knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum servers to try for one request (1 = no failover).
+    pub max_attempts: usize,
+    /// Per-attempt timeout in seconds.
+    pub attempt_timeout_secs: f64,
+    /// Whether to report failures back to the agent (lets the agent mark
+    /// the server down for everyone).
+    pub report_failures: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            attempt_timeout_secs: 30.0,
+            report_failures: true,
+        }
+    }
+}
+
+/// Agent-side fault-tracking knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Consecutive failures before a server is marked down.
+    pub failures_to_mark_down: u32,
+    /// Seconds a down server stays excluded before being probed again.
+    pub down_cooldown_secs: f64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            failures_to_mark_down: 2,
+            down_cooldown_secs: 60.0,
+        }
+    }
+}
+
+/// Everything configurable about one agent.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Workload reporting/aging policy.
+    pub workload: WorkloadPolicy,
+    /// Fault tracking policy.
+    pub fault: FaultPolicy,
+    /// How many ranked servers to return per query (NetSolve returned a
+    /// short ordered candidate list for client-side failover).
+    pub candidates_returned: CandidateCount,
+    /// Whether the agent counts its own unconfirmed assignments against a
+    /// server's workload (the herd-effect defence). Disabling reproduces
+    /// the naive report-only broker for the R4 ablation.
+    pub pending_tracking: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            workload: WorkloadPolicy::default(),
+            fault: FaultPolicy::default(),
+            candidates_returned: CandidateCount::default(),
+            pending_tracking: true,
+        }
+    }
+}
+
+/// Number of ranked candidates returned to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateCount(pub usize);
+
+impl Default for CandidateCount {
+    fn default() -> Self {
+        CandidateCount(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let w = WorkloadPolicy::default();
+        assert!(w.report_interval_secs > 0.0);
+        assert!(w.ttl_secs >= w.report_interval_secs);
+        assert!(w.stale_workload >= 0.0);
+
+        let r = RetryPolicy::default();
+        assert!(r.max_attempts >= 1);
+        assert!(r.attempt_timeout_secs > 0.0);
+        assert!(r.report_failures);
+
+        let f = FaultPolicy::default();
+        assert!(f.failures_to_mark_down >= 1);
+
+        let a = AgentConfig::default();
+        assert!(a.candidates_returned.0 >= 1);
+        assert!(a.pending_tracking, "pending tracking on by default");
+    }
+}

@@ -1,0 +1,330 @@
+//! The data objects a NetSolve call carries: scalars, vectors, dense and
+//! sparse matrices, and strings.
+//!
+//! Every input/output of every problem is one of these. The agent's
+//! completion-time predictor only needs [`DataObject::wire_bytes`] (how much
+//! will cross the network) and the dominant dimension `n` used by the
+//! complexity formula, so both are defined here alongside the values
+//! themselves.
+
+use crate::error::{NetSolveError, Result};
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// Category of a data object, used in problem signatures ("this problem
+/// takes a matrix and a vector, and returns a vector").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// 64-bit signed integer scalar.
+    IntScalar,
+    /// 64-bit float scalar.
+    DoubleScalar,
+    /// Dense `f64` vector.
+    Vector,
+    /// Dense `f64` matrix (column-major).
+    Matrix,
+    /// Sparse `f64` matrix (CSR).
+    SparseMatrix,
+    /// UTF-8 string (option flags, file names...).
+    Text,
+}
+
+impl ObjectKind {
+    /// Stable wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            ObjectKind::IntScalar => 0,
+            ObjectKind::DoubleScalar => 1,
+            ObjectKind::Vector => 2,
+            ObjectKind::Matrix => 3,
+            ObjectKind::SparseMatrix => 4,
+            ObjectKind::Text => 5,
+        }
+    }
+
+    /// Inverse of [`ObjectKind::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => ObjectKind::IntScalar,
+            1 => ObjectKind::DoubleScalar,
+            2 => ObjectKind::Vector,
+            3 => ObjectKind::Matrix,
+            4 => ObjectKind::SparseMatrix,
+            5 => ObjectKind::Text,
+            other => {
+                return Err(NetSolveError::Protocol(format!(
+                    "unknown object kind tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// Lower-case name used by the problem description language.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectKind::IntScalar => "int",
+            ObjectKind::DoubleScalar => "double",
+            ObjectKind::Vector => "vector",
+            ObjectKind::Matrix => "matrix",
+            ObjectKind::SparseMatrix => "sparse",
+            ObjectKind::Text => "string",
+        }
+    }
+
+    /// Parse a PDL type name.
+    pub fn from_name(name: &str) -> Result<Self> {
+        Ok(match name {
+            "int" => ObjectKind::IntScalar,
+            "double" => ObjectKind::DoubleScalar,
+            "vector" => ObjectKind::Vector,
+            "matrix" => ObjectKind::Matrix,
+            "sparse" => ObjectKind::SparseMatrix,
+            "string" => ObjectKind::Text,
+            other => {
+                return Err(NetSolveError::Description(format!(
+                    "unknown object type '{other}'"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One concrete argument or result of a NetSolve call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataObject {
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Double(f64),
+    /// Dense vector.
+    Vector(Vec<f64>),
+    /// Dense matrix.
+    Matrix(Matrix),
+    /// Sparse CSR matrix.
+    Sparse(CsrMatrix),
+    /// Text value.
+    Text(String),
+}
+
+impl DataObject {
+    /// This object's kind.
+    pub fn kind(&self) -> ObjectKind {
+        match self {
+            DataObject::Int(_) => ObjectKind::IntScalar,
+            DataObject::Double(_) => ObjectKind::DoubleScalar,
+            DataObject::Vector(_) => ObjectKind::Vector,
+            DataObject::Matrix(_) => ObjectKind::Matrix,
+            DataObject::Sparse(_) => ObjectKind::SparseMatrix,
+            DataObject::Text(_) => ObjectKind::Text,
+        }
+    }
+
+    /// Approximate bytes this object occupies on the wire (payload only;
+    /// framing is a few dozen bytes and irrelevant to the predictor).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            DataObject::Int(_) => 8,
+            DataObject::Double(_) => 8,
+            DataObject::Vector(v) => 8 + 8 * v.len() as u64,
+            DataObject::Matrix(m) => 16 + 8 * m.len() as u64,
+            DataObject::Sparse(s) => {
+                let (rp, ci, v) = s.parts();
+                16 + 8 * (rp.len() + ci.len() + v.len()) as u64
+            }
+            DataObject::Text(t) => 4 + t.len() as u64,
+        }
+    }
+
+    /// The dominant problem dimension used by complexity formulas
+    /// (`a * n^b`): rows for matrices, length for vectors, the value itself
+    /// for integer scalars (e.g. FFT size passed as a scalar).
+    pub fn dominant_dim(&self) -> u64 {
+        match self {
+            DataObject::Int(i) => (*i).max(0) as u64,
+            DataObject::Double(_) => 1,
+            DataObject::Vector(v) => v.len() as u64,
+            DataObject::Matrix(m) => m.rows() as u64,
+            DataObject::Sparse(s) => s.rows() as u64,
+            DataObject::Text(_) => 1,
+        }
+    }
+
+    /// Extract an integer scalar or fail with `BadArguments`.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            DataObject::Int(i) => Ok(*i),
+            other => Err(bad_kind("int", other)),
+        }
+    }
+
+    /// Extract a double scalar or fail with `BadArguments`.
+    pub fn as_double(&self) -> Result<f64> {
+        match self {
+            DataObject::Double(d) => Ok(*d),
+            DataObject::Int(i) => Ok(*i as f64),
+            other => Err(bad_kind("double", other)),
+        }
+    }
+
+    /// Extract a vector or fail with `BadArguments`.
+    pub fn as_vector(&self) -> Result<&[f64]> {
+        match self {
+            DataObject::Vector(v) => Ok(v),
+            other => Err(bad_kind("vector", other)),
+        }
+    }
+
+    /// Extract a dense matrix or fail with `BadArguments`.
+    pub fn as_matrix(&self) -> Result<&Matrix> {
+        match self {
+            DataObject::Matrix(m) => Ok(m),
+            other => Err(bad_kind("matrix", other)),
+        }
+    }
+
+    /// Extract a sparse matrix or fail with `BadArguments`.
+    pub fn as_sparse(&self) -> Result<&CsrMatrix> {
+        match self {
+            DataObject::Sparse(s) => Ok(s),
+            other => Err(bad_kind("sparse", other)),
+        }
+    }
+
+    /// Extract a string or fail with `BadArguments`.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            DataObject::Text(t) => Ok(t),
+            other => Err(bad_kind("string", other)),
+        }
+    }
+}
+
+fn bad_kind(expected: &str, got: &DataObject) -> NetSolveError {
+    NetSolveError::BadArguments(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl From<i64> for DataObject {
+    fn from(v: i64) -> Self {
+        DataObject::Int(v)
+    }
+}
+impl From<f64> for DataObject {
+    fn from(v: f64) -> Self {
+        DataObject::Double(v)
+    }
+}
+impl From<Vec<f64>> for DataObject {
+    fn from(v: Vec<f64>) -> Self {
+        DataObject::Vector(v)
+    }
+}
+impl From<Matrix> for DataObject {
+    fn from(v: Matrix) -> Self {
+        DataObject::Matrix(v)
+    }
+}
+impl From<CsrMatrix> for DataObject {
+    fn from(v: CsrMatrix) -> Self {
+        DataObject::Sparse(v)
+    }
+}
+impl From<&str> for DataObject {
+    fn from(v: &str) -> Self {
+        DataObject::Text(v.to_string())
+    }
+}
+impl From<String> for DataObject {
+    fn from(v: String) -> Self {
+        DataObject::Text(v)
+    }
+}
+
+/// Total wire bytes of a slice of objects (the predictor's `bytes_in` /
+/// `bytes_out`).
+pub fn total_wire_bytes(objects: &[DataObject]) -> u64 {
+    objects.iter().map(|o| o.wire_bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for kind in [
+            ObjectKind::IntScalar,
+            ObjectKind::DoubleScalar,
+            ObjectKind::Vector,
+            ObjectKind::Matrix,
+            ObjectKind::SparseMatrix,
+            ObjectKind::Text,
+        ] {
+            assert_eq!(ObjectKind::from_tag(kind.tag()).unwrap(), kind);
+            assert_eq!(ObjectKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(ObjectKind::from_tag(99).is_err());
+        assert!(ObjectKind::from_name("quaternion").is_err());
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        assert_eq!(DataObject::Int(5).wire_bytes(), 8);
+        assert_eq!(DataObject::Vector(vec![0.0; 100]).wire_bytes(), 808);
+        let m = Matrix::zeros(10, 20);
+        assert_eq!(DataObject::Matrix(m).wire_bytes(), 16 + 1600);
+        assert_eq!(DataObject::Text("abc".into()).wire_bytes(), 7);
+    }
+
+    #[test]
+    fn dominant_dim_semantics() {
+        assert_eq!(DataObject::Int(1024).dominant_dim(), 1024);
+        assert_eq!(DataObject::Int(-5).dominant_dim(), 0);
+        assert_eq!(DataObject::Vector(vec![0.0; 7]).dominant_dim(), 7);
+        assert_eq!(DataObject::Matrix(Matrix::zeros(9, 4)).dominant_dim(), 9);
+        assert_eq!(DataObject::Double(3.5).dominant_dim(), 1);
+    }
+
+    #[test]
+    fn accessors_enforce_kinds() {
+        let obj = DataObject::Vector(vec![1.0]);
+        assert!(obj.as_vector().is_ok());
+        assert!(obj.as_matrix().is_err());
+        assert!(obj.as_int().is_err());
+        assert!(obj.as_text().is_err());
+        // int promotes to double
+        assert_eq!(DataObject::Int(3).as_double().unwrap(), 3.0);
+        assert!(DataObject::Double(1.0).as_int().is_err());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(DataObject::from(3i64).kind(), ObjectKind::IntScalar);
+        assert_eq!(DataObject::from(3.0f64).kind(), ObjectKind::DoubleScalar);
+        assert_eq!(DataObject::from(vec![1.0]).kind(), ObjectKind::Vector);
+        assert_eq!(DataObject::from("x").kind(), ObjectKind::Text);
+        assert_eq!(
+            DataObject::from(Matrix::zeros(1, 1)).kind(),
+            ObjectKind::Matrix
+        );
+        let mut rng = Rng64::new(1);
+        let s = CsrMatrix::random_diag_dominant(4, 0.5, &mut rng);
+        assert_eq!(DataObject::from(s).kind(), ObjectKind::SparseMatrix);
+    }
+
+    #[test]
+    fn total_wire_bytes_sums() {
+        let objs = vec![
+            DataObject::Int(1),
+            DataObject::Vector(vec![0.0; 10]),
+            DataObject::Text("hi".into()),
+        ];
+        assert_eq!(total_wire_bytes(&objs), 8 + 88 + 6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Error and status codes for the NetSolve system.
+//!
+//! The original NetSolve C library reported status through integer codes
+//! (`NetSolveOK`, `NetSolveProblemNotFound`, ...). We mirror that catalogue as
+//! a rich Rust enum so every layer (client, agent, server, transport) speaks
+//! the same error vocabulary, and keep a stable numeric code for wire
+//! transmission.
+
+use std::fmt;
+
+/// Every failure the NetSolve system can report.
+///
+/// The numeric codes (see [`NetSolveError::code`]) are part of the wire
+/// protocol: a server replies to a failed request with the code, and the
+/// client reconstructs the enum with [`NetSolveError::from_code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetSolveError {
+    /// The requested problem name is not known to the agent or server.
+    ProblemNotFound(String),
+    /// No server currently advertises the requested problem.
+    NoServerAvailable(String),
+    /// A server was selected but could not be reached.
+    ServerUnreachable(String),
+    /// The server accepted the request but failed while computing.
+    ExecutionFailed(String),
+    /// Input objects do not match the problem's declared signature.
+    BadArguments(String),
+    /// Malformed bytes on the wire (framing, marshaling, version).
+    Protocol(String),
+    /// Underlying transport error (socket, channel).
+    Transport(String),
+    /// The agent rejected or could not parse a registration.
+    Registration(String),
+    /// A numerical routine failed (singular matrix, no convergence, ...).
+    Numerical(String),
+    /// Problem description language parse/validation failure.
+    Description(String),
+    /// An operation did not finish within its deadline.
+    Timeout(String),
+    /// A non-blocking request handle was queried after being consumed.
+    InvalidHandle(String),
+    /// Resource limits exceeded (queue full, payload too large).
+    Resource(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl NetSolveError {
+    /// Stable numeric code used on the wire.
+    pub fn code(&self) -> u32 {
+        match self {
+            NetSolveError::ProblemNotFound(_) => 1,
+            NetSolveError::NoServerAvailable(_) => 2,
+            NetSolveError::ServerUnreachable(_) => 3,
+            NetSolveError::ExecutionFailed(_) => 4,
+            NetSolveError::BadArguments(_) => 5,
+            NetSolveError::Protocol(_) => 6,
+            NetSolveError::Transport(_) => 7,
+            NetSolveError::Registration(_) => 8,
+            NetSolveError::Numerical(_) => 9,
+            NetSolveError::Description(_) => 10,
+            NetSolveError::Timeout(_) => 11,
+            NetSolveError::InvalidHandle(_) => 12,
+            NetSolveError::Resource(_) => 13,
+            NetSolveError::Internal(_) => 14,
+        }
+    }
+
+    /// Reconstruct an error from its wire code and detail message.
+    ///
+    /// Unknown codes map to [`NetSolveError::Internal`] so that a newer peer
+    /// never crashes an older one.
+    pub fn from_code(code: u32, detail: String) -> Self {
+        match code {
+            1 => NetSolveError::ProblemNotFound(detail),
+            2 => NetSolveError::NoServerAvailable(detail),
+            3 => NetSolveError::ServerUnreachable(detail),
+            4 => NetSolveError::ExecutionFailed(detail),
+            5 => NetSolveError::BadArguments(detail),
+            6 => NetSolveError::Protocol(detail),
+            7 => NetSolveError::Transport(detail),
+            8 => NetSolveError::Registration(detail),
+            9 => NetSolveError::Numerical(detail),
+            10 => NetSolveError::Description(detail),
+            11 => NetSolveError::Timeout(detail),
+            12 => NetSolveError::InvalidHandle(detail),
+            13 => NetSolveError::Resource(detail),
+            _ => NetSolveError::Internal(detail),
+        }
+    }
+
+    /// Human-oriented detail string carried by every variant.
+    pub fn detail(&self) -> &str {
+        match self {
+            NetSolveError::ProblemNotFound(s)
+            | NetSolveError::NoServerAvailable(s)
+            | NetSolveError::ServerUnreachable(s)
+            | NetSolveError::ExecutionFailed(s)
+            | NetSolveError::BadArguments(s)
+            | NetSolveError::Protocol(s)
+            | NetSolveError::Transport(s)
+            | NetSolveError::Registration(s)
+            | NetSolveError::Numerical(s)
+            | NetSolveError::Description(s)
+            | NetSolveError::Timeout(s)
+            | NetSolveError::InvalidHandle(s)
+            | NetSolveError::Resource(s)
+            | NetSolveError::Internal(s) => s,
+        }
+    }
+
+    /// Whether the client's fault-tolerance loop should retry the request on
+    /// a different server. Errors caused by the request itself (bad
+    /// arguments, unknown problem) are not retryable; infrastructure errors
+    /// are.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetSolveError::ServerUnreachable(_)
+                | NetSolveError::ExecutionFailed(_)
+                | NetSolveError::Transport(_)
+                | NetSolveError::Timeout(_)
+                | NetSolveError::Resource(_)
+        )
+    }
+
+    /// Short machine-friendly name of the variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetSolveError::ProblemNotFound(_) => "problem-not-found",
+            NetSolveError::NoServerAvailable(_) => "no-server-available",
+            NetSolveError::ServerUnreachable(_) => "server-unreachable",
+            NetSolveError::ExecutionFailed(_) => "execution-failed",
+            NetSolveError::BadArguments(_) => "bad-arguments",
+            NetSolveError::Protocol(_) => "protocol",
+            NetSolveError::Transport(_) => "transport",
+            NetSolveError::Registration(_) => "registration",
+            NetSolveError::Numerical(_) => "numerical",
+            NetSolveError::Description(_) => "description",
+            NetSolveError::Timeout(_) => "timeout",
+            NetSolveError::InvalidHandle(_) => "invalid-handle",
+            NetSolveError::Resource(_) => "resource",
+            NetSolveError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for NetSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+impl std::error::Error for NetSolveError {}
+
+impl From<std::io::Error> for NetSolveError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            // A socket read deadline expiring surfaces as WouldBlock on
+            // Unix and TimedOut on Windows; both are our Timeout.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                NetSolveError::Timeout(e.to_string())
+            }
+            _ => NetSolveError::Transport(e.to_string()),
+        }
+    }
+}
+
+/// Convenience alias used across every crate in the workspace.
+pub type Result<T> = std::result::Result<T, NetSolveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<NetSolveError> {
+        vec![
+            NetSolveError::ProblemNotFound("p".into()),
+            NetSolveError::NoServerAvailable("p".into()),
+            NetSolveError::ServerUnreachable("h".into()),
+            NetSolveError::ExecutionFailed("x".into()),
+            NetSolveError::BadArguments("a".into()),
+            NetSolveError::Protocol("m".into()),
+            NetSolveError::Transport("t".into()),
+            NetSolveError::Registration("r".into()),
+            NetSolveError::Numerical("n".into()),
+            NetSolveError::Description("d".into()),
+            NetSolveError::Timeout("t".into()),
+            NetSolveError::InvalidHandle("h".into()),
+            NetSolveError::Resource("r".into()),
+            NetSolveError::Internal("i".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<u32> = all_variants().iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all_variants().len());
+    }
+
+    #[test]
+    fn code_roundtrip_preserves_variant() {
+        for e in all_variants() {
+            let back = NetSolveError::from_code(e.code(), e.detail().to_string());
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_internal() {
+        let e = NetSolveError::from_code(9999, "future".into());
+        assert_eq!(e, NetSolveError::Internal("future".into()));
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(NetSolveError::ServerUnreachable("h".into()).is_retryable());
+        assert!(NetSolveError::Timeout("t".into()).is_retryable());
+        assert!(!NetSolveError::BadArguments("a".into()).is_retryable());
+        assert!(!NetSolveError::ProblemNotFound("p".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_contains_kind_and_detail() {
+        let e = NetSolveError::Numerical("singular matrix".into());
+        let s = e.to_string();
+        assert!(s.contains("numerical"));
+        assert!(s.contains("singular matrix"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Identifiers for hosts, servers, clients and requests.
+//!
+//! All identifiers are small `u64` newtypes so they are cheap to copy, hash
+//! and put on the wire. Fresh identifiers are drawn from process-wide atomic
+//! counters; deterministic code (the simulator) constructs them explicitly
+//! from indices instead.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr, $counter:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u64);
+
+        static $counter: AtomicU64 = AtomicU64::new(1);
+
+        impl $name {
+            /// Allocate a fresh process-unique identifier.
+            pub fn fresh() -> Self {
+                $name($counter.fetch_add(1, Ordering::Relaxed))
+            }
+
+            /// Raw numeric value (wire representation).
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a physical host in the NetSolve network (client machines,
+    /// server machines and agent machines are all hosts).
+    HostId,
+    "host-",
+    HOST_COUNTER
+);
+
+id_type!(
+    /// Identifies one computational-server process registered with an agent.
+    ServerId,
+    "server-",
+    SERVER_COUNTER
+);
+
+id_type!(
+    /// Identifies one client-side request (a single `netsl` call), including
+    /// across its retries on different servers.
+    RequestId,
+    "request-",
+    REQUEST_COUNTER
+);
+
+id_type!(
+    /// Identifies a client process, used by the agent to attribute network
+    /// measurements and failure reports.
+    ClientId,
+    "client-",
+    CLIENT_COUNTER
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let ids: HashSet<ServerId> = (0..1000).map(|_| ServerId::fresh()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn fresh_ids_unique_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..500).map(|_| RequestId::fresh()).collect::<Vec<_>>()))
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+    }
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(HostId(7).to_string(), "host-7");
+        assert_eq!(ServerId(3).to_string(), "server-3");
+        assert_eq!(RequestId(9).to_string(), "request-9");
+        assert_eq!(ClientId(2).to_string(), "client-2");
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let id = HostId::from(42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ServerId(1) < ServerId(2));
+    }
+}

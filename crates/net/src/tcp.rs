@@ -1,0 +1,197 @@
+//! Real TCP transport over `std::net`, for running an actual distributed
+//! NetSolve domain (agent, servers and clients in separate processes).
+
+use std::io::BufWriter;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_proto::{read_message, write_message, Message};
+
+use crate::transport::{Connection, Listener, Transport};
+
+/// TCP transport factory. Stateless; addresses are `host:port` strings.
+#[derive(Debug, Clone, Default)]
+pub struct TcpTransport;
+
+impl TcpTransport {
+    /// Construct the (stateless) TCP transport.
+    pub fn new() -> Self {
+        TcpTransport
+    }
+}
+
+impl Transport for TcpTransport {
+    fn listen(&self, hint: &str) -> Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind(hint)
+            .map_err(|e| NetSolveError::Transport(format!("bind {hint}: {e}")))?;
+        let address = listener
+            .local_addr()
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?
+            .to_string();
+        Ok(Box::new(TcpListenerWrapper { listener, address }))
+    }
+
+    fn connect(&self, address: &str) -> Result<Box<dyn Connection>> {
+        let stream = TcpStream::connect(address)
+            .map_err(|e| NetSolveError::ServerUnreachable(format!("{address}: {e}")))?;
+        TcpConnection::new(stream)
+    }
+}
+
+struct TcpListenerWrapper {
+    listener: TcpListener,
+    address: String,
+}
+
+impl Listener for TcpListenerWrapper {
+    fn accept(&self) -> Result<Box<dyn Connection>> {
+        let (stream, _) = self
+            .listener
+            .accept()
+            .map_err(|e| NetSolveError::Transport(format!("accept: {e}")))?;
+        TcpConnection::new(stream)
+    }
+
+    fn address(&self) -> String {
+        self.address.clone()
+    }
+}
+
+struct TcpConnection {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    peer: String,
+}
+
+impl TcpConnection {
+    fn new(stream: TcpStream) -> Result<Box<dyn Connection>> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        let writer_stream = stream
+            .try_clone()
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?;
+        Ok(Box::new(TcpConnection {
+            reader: stream,
+            writer: BufWriter::new(writer_stream),
+            peer,
+        }))
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, msg: &Message) -> Result<()> {
+        write_message(&mut self.writer, msg)
+    }
+
+    fn recv(&mut self) -> Result<Message> {
+        self.reader
+            .set_read_timeout(None)
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?;
+        read_message(&mut self.reader)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Message> {
+        self.reader
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?;
+        read_message(&mut self.reader).map_err(|e| match e {
+            NetSolveError::Timeout(_) => {
+                NetSolveError::Timeout(format!("no reply from {} within {timeout:?}", self.peer))
+            }
+            other => other,
+        })
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::call;
+
+    #[test]
+    fn tcp_roundtrip_on_loopback() {
+        let transport = TcpTransport::new();
+        let listener = transport.listen("127.0.0.1:0").unwrap();
+        let address = listener.address();
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            loop {
+                match conn.recv() {
+                    Ok(Message::Ping) => conn.send(&Message::Pong).unwrap(),
+                    Ok(other) => panic!("unexpected {other:?}"),
+                    Err(_) => break, // client hung up
+                }
+            }
+        });
+        let mut conn = transport.connect(&address).unwrap();
+        for _ in 0..3 {
+            let reply = call(conn.as_mut(), &Message::Ping, Duration::from_secs(5)).unwrap();
+            assert_eq!(reply, Message::Pong);
+        }
+        drop(conn);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_large_payload_roundtrip() {
+        let transport = TcpTransport::new();
+        let listener = transport.listen("127.0.0.1:0").unwrap();
+        let address = listener.address();
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let msg = conn.recv().unwrap();
+            conn.send(&msg).unwrap(); // echo
+        });
+        let mut conn = transport.connect(&address).unwrap();
+        let payload = Message::RequestSubmit {
+            request_id: 5,
+            problem: "dnrm2".into(),
+            inputs: vec![vec![1.25f64; 100_000].into()],
+        };
+        conn.send(&payload).unwrap();
+        let echoed = conn.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(echoed, payload);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_unreachable() {
+        let transport = TcpTransport::new();
+        // Bind and immediately drop to find a port that is now closed.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        match transport.connect(&format!("127.0.0.1:{port}")) {
+            Err(NetSolveError::ServerUnreachable(_)) => {}
+            Err(other) => panic!("expected unreachable, got {other}"),
+            Ok(_) => panic!("expected unreachable, got a connection"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_on_silent_peer() {
+        let transport = TcpTransport::new();
+        let listener = transport.listen("127.0.0.1:0").unwrap();
+        let address = listener.address();
+        let _keepalive = std::thread::spawn(move || {
+            let _conn = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let mut conn = transport.connect(&address).unwrap();
+        match conn.recv_timeout(Duration::from_millis(50)) {
+            Err(NetSolveError::Timeout(_)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

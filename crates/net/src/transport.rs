@@ -1,0 +1,66 @@
+//! Transport abstraction: how NetSolve components exchange protocol
+//! messages.
+//!
+//! Two implementations share this trait surface:
+//!
+//! * [`crate::tcp::TcpTransport`] — real sockets, for running an actual
+//!   distributed demo;
+//! * [`crate::channel::ChannelNetwork`] — in-process channels with a
+//!   configurable link model (latency, bandwidth, failure injection), the
+//!   reproducible substitute for the paper's multi-machine testbed.
+
+use std::time::Duration;
+
+use netsolve_core::error::Result;
+use netsolve_proto::Message;
+
+/// A bidirectional, message-oriented connection between two components.
+pub trait Connection: Send {
+    /// Send one message (blocking until handed to the transport).
+    fn send(&mut self, msg: &Message) -> Result<()>;
+
+    /// Receive the next message, blocking indefinitely.
+    fn recv(&mut self) -> Result<Message>;
+
+    /// Receive with a deadline; `Err(Timeout)` if nothing arrives in time.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Message>;
+
+    /// Address of the remote peer, for logs and failure reports.
+    fn peer(&self) -> String;
+}
+
+/// A listening endpoint producing [`Connection`]s.
+pub trait Listener: Send {
+    /// Block until a peer connects.
+    fn accept(&self) -> Result<Box<dyn Connection>>;
+
+    /// The address peers should dial to reach this listener.
+    fn address(&self) -> String;
+}
+
+/// Factory for listeners and outbound connections.
+pub trait Transport: Send + Sync {
+    /// Open a listening endpoint. `hint` is transport-specific: a
+    /// `host:port` for TCP (port 0 picks a free one), a registry name for
+    /// the channel transport.
+    fn listen(&self, hint: &str) -> Result<Box<dyn Listener>>;
+
+    /// Dial a listener by address.
+    fn connect(&self, address: &str) -> Result<Box<dyn Connection>>;
+
+    /// Wake a blocked [`Listener::accept`] at `address` during shutdown.
+    ///
+    /// The default implementation simply dials the address and drops the
+    /// connection. Transports that can refuse dials while the listener is
+    /// still blocked (the channel transport's down-marking) must override
+    /// this so daemons can always shut down.
+    fn unblock(&self, address: &str) {
+        let _ = self.connect(address);
+    }
+}
+
+/// Blocking request/response helper used by every client-side call path.
+pub fn call(conn: &mut dyn Connection, msg: &Message, timeout: Duration) -> Result<Message> {
+    conn.send(msg)?;
+    conn.recv_timeout(timeout)
+}

@@ -1,0 +1,266 @@
+//! Lexer for the NetSolve problem description language.
+//!
+//! The PDL is the small interface-description language NetSolve servers use
+//! to advertise problems. A description looks like:
+//!
+//! ```text
+//! @PROBLEM dgesv
+//! @DESCRIPTION "Solve a dense linear system A x = b by LU factorization"
+//! @INPUT a : matrix "coefficient matrix"
+//! @INPUT b : vector "right-hand side"
+//! @OUTPUT x : vector "solution vector"
+//! @COMPLEXITY 0.6667 3      # flops ~ (2/3) n^3
+//! @MAJOR a
+//! @END
+//! ```
+//!
+//! Tokens carry line numbers so parse errors point at the offending line.
+
+use netsolve_core::error::{NetSolveError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `@WORD` directive, stored upper-case without the `@`.
+    Directive(String),
+    /// Bare identifier (`dgesv`, `matrix`, ...).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string (quotes stripped, `\"` and `\\` unescaped).
+    Str(String),
+    /// `:` separator.
+    Colon,
+    /// End of line — the PDL is line-oriented, so this is significant.
+    Newline,
+}
+
+/// Token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenize PDL source. Comments run from `#` to end of line. Blank lines
+/// produce no tokens (consecutive newlines are collapsed).
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let mut out: Vec<Spanned> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut chars = line.char_indices().peekable();
+        let start_len = out.len();
+        while let Some(&(pos, ch)) = chars.peek() {
+            match ch {
+                // Comment runs to end of line; '#' inside a quoted string is
+                // handled by the string arm below, not here.
+                '#' => break,
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                ':' => {
+                    chars.next();
+                    out.push(Spanned { token: Token::Colon, line: line_no });
+                }
+                '@' => {
+                    chars.next();
+                    let word: String = take_while(&mut chars, |c| {
+                        c.is_ascii_alphanumeric() || c == '_'
+                    });
+                    if word.is_empty() {
+                        return Err(err(line_no, "bare '@' without directive name"));
+                    }
+                    out.push(Spanned {
+                        token: Token::Directive(word.to_ascii_uppercase()),
+                        line: line_no,
+                    });
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    let mut closed = false;
+                    while let Some((_, c)) = chars.next() {
+                        match c {
+                            '"' => {
+                                closed = true;
+                                break;
+                            }
+                            '\\' => match chars.next() {
+                                Some((_, 'n')) => s.push('\n'),
+                                Some((_, '"')) => s.push('"'),
+                                Some((_, '\\')) => s.push('\\'),
+                                Some((_, other)) => {
+                                    return Err(err(
+                                        line_no,
+                                        &format!("unknown escape '\\{other}'"),
+                                    ))
+                                }
+                                None => break,
+                            },
+                            other => s.push(other),
+                        }
+                    }
+                    if !closed {
+                        return Err(err(line_no, "unterminated string literal"));
+                    }
+                    out.push(Spanned { token: Token::Str(s), line: line_no });
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                    let text: String = take_while(&mut chars, |c| {
+                        c.is_ascii_digit()
+                            || c == '.'
+                            || c == '-'
+                            || c == '+'
+                            || c == 'e'
+                            || c == 'E'
+                    });
+                    let value: f64 = text.parse().map_err(|_| {
+                        err(line_no, &format!("bad numeric literal '{text}'"))
+                    })?;
+                    out.push(Spanned { token: Token::Number(value), line: line_no });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let word: String = take_while(&mut chars, |c| {
+                        c.is_ascii_alphanumeric() || c == '_'
+                    });
+                    out.push(Spanned { token: Token::Ident(word), line: line_no });
+                }
+                other => {
+                    let _ = pos;
+                    return Err(err(line_no, &format!("unexpected character '{other}'")));
+                }
+            }
+        }
+        if out.len() > start_len {
+            out.push(Spanned { token: Token::Newline, line: line_no });
+        }
+    }
+    Ok(out)
+}
+
+fn take_while(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    pred: impl Fn(char) -> bool,
+) -> String {
+    let mut s = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if pred(c) {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn err(line: usize, msg: &str) -> NetSolveError {
+    NetSolveError::Description(format!("line {line}: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_directive_line() {
+        assert_eq!(
+            tokens("@PROBLEM dgesv"),
+            vec![
+                Token::Directive("PROBLEM".into()),
+                Token::Ident("dgesv".into()),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_uppercased() {
+        assert_eq!(
+            tokens("@problem x")[0],
+            Token::Directive("PROBLEM".into())
+        );
+    }
+
+    #[test]
+    fn lexes_typed_argument() {
+        assert_eq!(
+            tokens(r#"@INPUT a : matrix "coefficient matrix""#),
+            vec![
+                Token::Directive("INPUT".into()),
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Ident("matrix".into()),
+                Token::Str("coefficient matrix".into()),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_scientific() {
+        assert_eq!(
+            tokens("@COMPLEXITY 0.6667 3"),
+            vec![
+                Token::Directive("COMPLEXITY".into()),
+                Token::Number(0.6667),
+                Token::Number(3.0),
+                Token::Newline
+            ]
+        );
+        assert_eq!(tokens("@COMPLEXITY 1e-3 2.5")[1], Token::Number(1e-3));
+        assert_eq!(tokens("@X -4")[1], Token::Number(-4.0));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "\n# full comment line\n@END # trailing comment\n\n";
+        assert_eq!(
+            tokens(src),
+            vec![Token::Directive("END".into()), Token::Newline]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        assert_eq!(
+            tokens(r##"@D "item #3 of 7" # but this is a comment"##),
+            vec![
+                Token::Directive("D".into()),
+                Token::Str("item #3 of 7".into()),
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            tokens(r#"@D "a \"quoted\" \\ name""#)[1],
+            Token::Str(r#"a "quoted" \ name"#.into())
+        );
+    }
+
+    #[test]
+    fn line_numbers_attached() {
+        let spanned = lex("@PROBLEM p\n\n@END").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = lex("@PROBLEM ok\n@BAD \"unterminated").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        assert!(lex("@ ").is_err());
+        assert!(lex("&&&").is_err());
+        assert!(lex("@X 1.2.3.4").is_err());
+        assert!(lex(r#"@X "bad \q escape""#).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! # netsolve-pdl
+//!
+//! The NetSolve problem description language (PDL).
+//!
+//! NetSolve servers advertise their repertoire through small description
+//! files: each problem declares a mnemonic, a human description, typed
+//! inputs and outputs, and an `a·n^b` complexity model for the agent's
+//! completion-time predictor. This crate provides the full language
+//! pipeline —
+//!
+//! * [`lexer`] — tokenizer with line tracking, comments and string escapes;
+//! * [`parser`] — recursive-descent parser producing validated
+//!   [`netsolve_core::ProblemSpec`]s, plus [`parser::render`] which turns a
+//!   spec back into canonical PDL;
+//! * [`catalogue`] — the standard problem set (dense LAPACK-style solvers,
+//!   ITPACK-style sparse iterative methods, FFT, quadrature, utility
+//!   kernels) *shipped as PDL source* so the language path is exercised for
+//!   real;
+//! * [`registry`] — the name → spec index used by servers and agents.
+
+#![warn(missing_docs)]
+
+pub mod catalogue;
+pub mod lexer;
+pub mod parser;
+pub mod registry;
+
+pub use catalogue::{standard_catalogue, standard_names, STANDARD_PDL};
+pub use parser::{parse, parse_one, render};
+pub use registry::ProblemRegistry;
+
+#[cfg(test)]
+mod proptests {
+    use netsolve_core::data::ObjectKind;
+    use netsolve_core::problem::{Complexity, ObjectSpec, ProblemSpec};
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = ObjectKind> {
+        prop_oneof![
+            Just(ObjectKind::IntScalar),
+            Just(ObjectKind::DoubleScalar),
+            Just(ObjectKind::Vector),
+            Just(ObjectKind::Matrix),
+            Just(ObjectKind::SparseMatrix),
+            Just(ObjectKind::Text),
+        ]
+    }
+
+    prop_compose! {
+        fn arb_objspec(prefix: &'static str)(
+            idx in 0usize..1000,
+            kind in arb_kind(),
+            desc in "[ !#-~]{0,40}", // printable ASCII minus '"'
+        ) -> ObjectSpec {
+            ObjectSpec::new(&format!("{prefix}{idx}"), kind, &desc)
+        }
+    }
+
+    prop_compose! {
+        fn arb_spec()(
+            name in "[a-z][a-z0-9_]{0,15}",
+            desc in "[ !#-~]{1,60}",
+            raw_inputs in prop::collection::vec(arb_objspec("in"), 1..5),
+            raw_outputs in prop::collection::vec(arb_objspec("out"), 0..4),
+            a in 0.001f64..1000.0,
+            b in 0.0f64..4.0,
+            major_seed in any::<prop::sample::Index>(),
+        ) -> ProblemSpec {
+            // Dedup argument names (duplicates would fail validation).
+            let mut inputs = raw_inputs;
+            inputs.sort_by(|x, y| x.name.cmp(&y.name));
+            inputs.dedup_by(|x, y| x.name == y.name);
+            let mut outputs = raw_outputs;
+            outputs.sort_by(|x, y| x.name.cmp(&y.name));
+            outputs.dedup_by(|x, y| x.name == y.name);
+            let major_input = major_seed.index(inputs.len());
+            ProblemSpec {
+                name,
+                description: desc,
+                inputs,
+                outputs,
+                complexity: Complexity::new(a, b).unwrap(),
+                major_input,
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn render_parse_roundtrip(spec in arb_spec()) {
+            prop_assume!(spec.validate().is_ok());
+            let rendered = crate::render(&spec);
+            let back = crate::parse_one(&rendered).unwrap();
+            prop_assert_eq!(back, spec);
+        }
+
+        #[test]
+        fn lexer_never_panics(src in "\\PC{0,300}") {
+            let _ = crate::lexer::lex(&src);
+        }
+
+        #[test]
+        fn parser_never_panics(src in "\\PC{0,300}") {
+            let _ = crate::parse(&src);
+        }
+
+        #[test]
+        fn parser_never_panics_on_directive_soup(
+            words in prop::collection::vec("(@[A-Z]{1,10}|[a-z]{1,8}|\"[a-z ]{0,10}\"|[0-9]{1,3}|:)", 0..40)
+        ) {
+            let src = words.join(" ");
+            let _ = crate::parse(&src);
+        }
+    }
+}

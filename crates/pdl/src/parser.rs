@@ -1,0 +1,422 @@
+//! Recursive-descent parser turning PDL tokens into validated
+//! [`ProblemSpec`]s.
+//!
+//! A source file may contain any number of `@PROBLEM ... @END` blocks.
+//! Within a block the directives may appear in any order except that
+//! `@PROBLEM` opens and `@END` closes; required directives are
+//! `@DESCRIPTION`, at least one `@INPUT`, and `@COMPLEXITY`. `@MAJOR`
+//! defaults to the first input; `@OUTPUT`s may be absent for
+//! side-effect-only problems (none exist in the standard catalogue, but the
+//! language allows it).
+
+use netsolve_core::data::ObjectKind;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::problem::{Complexity, ObjectSpec, ProblemSpec};
+
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parse PDL source into problem specs, validating each.
+pub fn parse(source: &str) -> Result<Vec<ProblemSpec>> {
+    let tokens = lex(source)?;
+    Parser { tokens: &tokens, pos: 0 }.parse_file()
+}
+
+/// Parse source expected to contain exactly one problem.
+pub fn parse_one(source: &str) -> Result<ProblemSpec> {
+    let mut all = parse(source)?;
+    match all.len() {
+        1 => Ok(all.pop().unwrap()),
+        n => Err(NetSolveError::Description(format!(
+            "expected exactly one problem, found {n}"
+        ))),
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Spanned> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek().map(|s| &s.token), Some(Token::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|s| s.line).unwrap_or(0)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Spanned { token: Token::Ident(s), .. }) => Ok(s.clone()),
+            Some(Spanned { token, line }) => Err(err(
+                *line,
+                &format!("expected {what}, found {token:?}"),
+            )),
+            None => Err(err(0, &format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64> {
+        match self.next() {
+            Some(Spanned { token: Token::Number(v), .. }) => Ok(*v),
+            Some(Spanned { token, line }) => Err(err(
+                *line,
+                &format!("expected {what}, found {token:?}"),
+            )),
+            None => Err(err(0, &format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_colon(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Spanned { token: Token::Colon, .. }) => Ok(()),
+            Some(Spanned { token, line }) => {
+                Err(err(*line, &format!("expected ':', found {token:?}")))
+            }
+            None => Err(err(0, "expected ':', found end of input")),
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Spanned { token: Token::Newline, .. }) | None => Ok(()),
+            Some(Spanned { token, line }) => Err(err(
+                *line,
+                &format!("unexpected trailing {token:?} on directive line"),
+            )),
+        }
+    }
+
+    /// Optional trailing description string before the newline.
+    fn optional_string(&mut self) -> Option<String> {
+        if let Some(Spanned { token: Token::Str(s), .. }) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn parse_file(&mut self) -> Result<Vec<ProblemSpec>> {
+        let mut problems = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.peek().is_none() {
+                break;
+            }
+            problems.push(self.parse_problem()?);
+        }
+        // Reject duplicate names within one file.
+        let mut names: Vec<&str> = problems.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(NetSolveError::Description(format!(
+                "duplicate problem '{}' in file",
+                w[0]
+            )));
+        }
+        Ok(problems)
+    }
+
+    fn parse_problem(&mut self) -> Result<ProblemSpec> {
+        let open_line = self.line();
+        match self.next() {
+            Some(Spanned { token: Token::Directive(d), .. }) if d == "PROBLEM" => {}
+            Some(Spanned { token, line }) => {
+                return Err(err(
+                    *line,
+                    &format!("expected @PROBLEM, found {token:?}"),
+                ))
+            }
+            None => return Err(err(open_line, "expected @PROBLEM")),
+        }
+        let name = self.expect_ident("problem name")?;
+        self.expect_newline()?;
+
+        let mut description: Option<String> = None;
+        let mut inputs: Vec<ObjectSpec> = Vec::new();
+        let mut outputs: Vec<ObjectSpec> = Vec::new();
+        let mut complexity: Option<Complexity> = None;
+        let mut major: Option<String> = None;
+        let mut closed = false;
+
+        while let Some(spanned) = self.next() {
+            let line = spanned.line;
+            match &spanned.token {
+                Token::Newline => continue,
+                Token::Directive(d) => match d.as_str() {
+                    "END" => {
+                        self.expect_newline()?;
+                        closed = true;
+                        break;
+                    }
+                    "DESCRIPTION" => {
+                        let text = match self.next() {
+                            Some(Spanned { token: Token::Str(s), .. }) => s.clone(),
+                            _ => return Err(err(line, "@DESCRIPTION needs a quoted string")),
+                        };
+                        if description.replace(text).is_some() {
+                            return Err(err(line, "duplicate @DESCRIPTION"));
+                        }
+                        self.expect_newline()?;
+                    }
+                    "INPUT" | "OUTPUT" => {
+                        let arg_name = self.expect_ident("argument name")?;
+                        self.expect_colon()?;
+                        let type_name = self.expect_ident("type name")?;
+                        let kind = ObjectKind::from_name(&type_name)
+                            .map_err(|e| err(line, e.detail()))?;
+                        let desc = self.optional_string().unwrap_or_default();
+                        self.expect_newline()?;
+                        let spec = ObjectSpec { name: arg_name, kind, description: desc };
+                        if d == "INPUT" {
+                            inputs.push(spec);
+                        } else {
+                            outputs.push(spec);
+                        }
+                    }
+                    "COMPLEXITY" => {
+                        let a = self.expect_number("complexity coefficient a")?;
+                        let b = self.expect_number("complexity exponent b")?;
+                        let c = Complexity::new(a, b).map_err(|e| err(line, e.detail()))?;
+                        if complexity.replace(c).is_some() {
+                            return Err(err(line, "duplicate @COMPLEXITY"));
+                        }
+                        self.expect_newline()?;
+                    }
+                    "MAJOR" => {
+                        let m = self.expect_ident("major argument name")?;
+                        if major.replace(m).is_some() {
+                            return Err(err(line, "duplicate @MAJOR"));
+                        }
+                        self.expect_newline()?;
+                    }
+                    other => {
+                        return Err(err(line, &format!("unknown directive @{other}")))
+                    }
+                },
+                token => {
+                    return Err(err(line, &format!("expected a directive, found {token:?}")))
+                }
+            }
+        }
+
+        if !closed {
+            return Err(err(open_line, &format!("problem '{name}' missing @END")));
+        }
+        let description = description
+            .ok_or_else(|| err(open_line, &format!("problem '{name}' missing @DESCRIPTION")))?;
+        let complexity = complexity
+            .ok_or_else(|| err(open_line, &format!("problem '{name}' missing @COMPLEXITY")))?;
+        if inputs.is_empty() {
+            return Err(err(open_line, &format!("problem '{name}' has no @INPUT")));
+        }
+        let major_input = match major {
+            None => 0,
+            Some(m) => inputs
+                .iter()
+                .position(|i| i.name == m)
+                .ok_or_else(|| {
+                    err(
+                        open_line,
+                        &format!("problem '{name}': @MAJOR '{m}' is not an input"),
+                    )
+                })?,
+        };
+
+        let spec = ProblemSpec {
+            name,
+            description,
+            inputs,
+            outputs,
+            complexity,
+            major_input,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn err(line: usize, msg: &str) -> NetSolveError {
+    NetSolveError::Description(format!("line {line}: {msg}"))
+}
+
+/// Render a [`ProblemSpec`] back to canonical PDL source. `parse(render(p))`
+/// returns `p` — tested as a property in the crate tests.
+pub fn render(spec: &ProblemSpec) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("@PROBLEM {}\n", spec.name));
+    s.push_str(&format!(
+        "@DESCRIPTION \"{}\"\n",
+        escape(&spec.description)
+    ));
+    for i in &spec.inputs {
+        s.push_str(&format!(
+            "@INPUT {} : {} \"{}\"\n",
+            i.name,
+            i.kind.name(),
+            escape(&i.description)
+        ));
+    }
+    for o in &spec.outputs {
+        s.push_str(&format!(
+            "@OUTPUT {} : {} \"{}\"\n",
+            o.name,
+            o.kind.name(),
+            escape(&o.description)
+        ));
+    }
+    s.push_str(&format!(
+        "@COMPLEXITY {} {}\n",
+        spec.complexity.a, spec.complexity.b
+    ));
+    s.push_str(&format!("@MAJOR {}\n", spec.inputs[spec.major_input].name));
+    s.push_str("@END\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DGESV: &str = r#"
+@PROBLEM dgesv
+@DESCRIPTION "Solve a dense linear system A x = b by LU factorization"
+@INPUT a : matrix "coefficient matrix"
+@INPUT b : vector "right-hand side"
+@OUTPUT x : vector "solution vector"
+@COMPLEXITY 0.6667 3
+@MAJOR a
+@END
+"#;
+
+    #[test]
+    fn parses_complete_problem() {
+        let spec = parse_one(DGESV).unwrap();
+        assert_eq!(spec.name, "dgesv");
+        assert_eq!(spec.inputs.len(), 2);
+        assert_eq!(spec.outputs.len(), 1);
+        assert_eq!(spec.inputs[0].kind, ObjectKind::Matrix);
+        assert_eq!(spec.major_input, 0);
+        assert!((spec.complexity.a - 0.6667).abs() < 1e-12);
+        assert_eq!(spec.complexity.b, 3.0);
+        assert_eq!(spec.inputs[1].description, "right-hand side");
+    }
+
+    #[test]
+    fn major_defaults_to_first_input() {
+        let src = r#"
+@PROBLEM p
+@DESCRIPTION "d"
+@INPUT v : vector
+@COMPLEXITY 1 1
+@END
+"#;
+        let spec = parse_one(src).unwrap();
+        assert_eq!(spec.major_input, 0);
+        assert!(spec.outputs.is_empty());
+        assert_eq!(spec.inputs[0].description, "");
+    }
+
+    #[test]
+    fn multiple_problems_in_one_file() {
+        let src = format!("{DGESV}\n@PROBLEM other\n@DESCRIPTION \"x\"\n@INPUT n : int\n@COMPLEXITY 5 1\n@END\n");
+        let specs = parse(&src).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "other");
+    }
+
+    #[test]
+    fn duplicate_problem_names_rejected() {
+        let src = format!("{DGESV}{DGESV}");
+        let e = parse(&src).unwrap_err();
+        assert!(e.to_string().contains("duplicate problem"));
+    }
+
+    #[test]
+    fn missing_required_directives_rejected() {
+        assert!(parse("@PROBLEM p\n@DESCRIPTION \"d\"\n@INPUT v : vector\n@END").is_err(), "no complexity");
+        assert!(parse("@PROBLEM p\n@INPUT v : vector\n@COMPLEXITY 1 1\n@END").is_err(), "no description");
+        assert!(parse("@PROBLEM p\n@DESCRIPTION \"d\"\n@COMPLEXITY 1 1\n@END").is_err(), "no inputs");
+        assert!(parse("@PROBLEM p\n@DESCRIPTION \"d\"\n@INPUT v : vector\n@COMPLEXITY 1 1\n").is_err(), "no end");
+    }
+
+    #[test]
+    fn duplicate_directives_rejected() {
+        let src = "@PROBLEM p\n@DESCRIPTION \"a\"\n@DESCRIPTION \"b\"\n@INPUT v : vector\n@COMPLEXITY 1 1\n@END";
+        assert!(parse(src).is_err());
+        let src = "@PROBLEM p\n@DESCRIPTION \"a\"\n@INPUT v : vector\n@COMPLEXITY 1 1\n@COMPLEXITY 2 2\n@END";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn bad_major_rejected() {
+        let src = "@PROBLEM p\n@DESCRIPTION \"d\"\n@INPUT v : vector\n@COMPLEXITY 1 1\n@MAJOR zz\n@END";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("not an input"));
+    }
+
+    #[test]
+    fn unknown_type_and_directive_rejected() {
+        let src = "@PROBLEM p\n@DESCRIPTION \"d\"\n@INPUT v : tensor\n@COMPLEXITY 1 1\n@END";
+        assert!(parse(src).is_err());
+        let src = "@PROBLEM p\n@WEIRD x\n@END";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let src = "@PROBLEM p\n@DESCRIPTION \"d\"\n@INPUT v : tensor\n@COMPLEXITY 1 1\n@END";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn parse_one_rejects_multi() {
+        let src = format!("{DGESV}\n@PROBLEM q\n@DESCRIPTION \"x\"\n@INPUT n : int\n@COMPLEXITY 1 1\n@END\n");
+        assert!(parse_one(&src).is_err());
+        assert!(parse_one("").is_err());
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let spec = parse_one(DGESV).unwrap();
+        let rendered = render(&spec);
+        let back = parse_one(&rendered).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn render_escapes_special_chars() {
+        let mut spec = parse_one(DGESV).unwrap();
+        spec.description = "has \"quotes\" and \\slashes\\".into();
+        let back = parse_one(&render(&spec)).unwrap();
+        assert_eq!(back.description, spec.description);
+    }
+
+    #[test]
+    fn trailing_junk_on_line_rejected() {
+        let src = "@PROBLEM p q\n@DESCRIPTION \"d\"\n@INPUT v : vector\n@COMPLEXITY 1 1\n@END";
+        assert!(parse(src).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Frame layer: length-delimited, checksummed envelopes around message
+//! payloads, written to / read from any `io::Write` / `io::Read`.
+//!
+//! Wire layout (all big-endian):
+//!
+//! ```text
+//! +---------+---------+-----------+----------------+-----------+
+//! | magic   | version | length    | payload        | crc32     |
+//! | 4 bytes | 4 bytes | 4 bytes   | length bytes   | 4 bytes   |
+//! +---------+---------+-----------+----------------+-----------+
+//! ```
+//!
+//! The CRC covers the payload only; magic and version mismatches are
+//! reported as protocol errors before any allocation happens, and the
+//! length field is capped so a corrupt peer cannot force a huge buffer.
+
+use std::io::{Read, Write};
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_xdr::crc32;
+
+use crate::message::Message;
+
+/// Frame magic: `"NSRV"`.
+pub const MAGIC: u32 = 0x4E53_5256;
+/// Protocol version spoken by this implementation.
+pub const VERSION: u32 = 1;
+/// Maximum payload size accepted (512 MiB), matching the largest
+/// experiment matrices with headroom.
+pub const MAX_FRAME_PAYLOAD: usize = 512 * 1024 * 1024;
+
+/// Serialize a message into one self-contained frame buffer.
+pub fn frame_bytes(msg: &Message) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    out
+}
+
+/// Write one framed message.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
+    let bytes = frame_bytes(msg);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message, validating magic, version, length cap and CRC.
+pub fn read_message(r: &mut impl Read) -> Result<Message> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetSolveError::Transport("peer closed connection".into())
+        } else {
+            NetSolveError::from(e)
+        }
+    })?;
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(NetSolveError::Protocol(format!(
+            "bad frame magic {magic:#010x}"
+        )));
+    }
+    let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(NetSolveError::Protocol(format!(
+            "unsupported protocol version {version} (expected {VERSION})"
+        )));
+    }
+    let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(NetSolveError::Protocol(format!(
+            "frame payload {len} exceeds cap {MAX_FRAME_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let expect = u32::from_be_bytes(crc_bytes);
+    let got = crc32(&payload);
+    if got != expect {
+        return Err(NetSolveError::Protocol(format!(
+            "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
+        )));
+    }
+    Message::decode(&payload)
+}
+
+/// Parse one frame from an in-memory buffer, returning the message and how
+/// many bytes were consumed. Used by the in-process transport, which hands
+/// over whole frames.
+pub fn parse_frame(buf: &[u8]) -> Result<(Message, usize)> {
+    let mut cursor = std::io::Cursor::new(buf);
+    let msg = read_message(&mut cursor)?;
+    Ok((msg, cursor.position() as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_buffer() {
+        let msgs = vec![
+            Message::Ping,
+            Message::WorkloadReport { server_id: 3, workload: 55.0 },
+            Message::Error { code: 7, detail: "x".into() },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            let got = read_message(&mut cursor).unwrap();
+            assert_eq!(&got, m);
+        }
+        // Stream exhausted → transport error, not a hang or panic.
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = frame_bytes(&Message::Ping);
+        bytes[0] = b'X';
+        assert!(matches!(
+            parse_frame(&bytes),
+            Err(NetSolveError::Protocol(m)) if m.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = frame_bytes(&Message::Ping);
+        bytes[7] = 99;
+        assert!(matches!(
+            parse_frame(&bytes),
+            Err(NetSolveError::Protocol(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_caught_by_crc() {
+        let msg = Message::ProblemCatalogue { names: vec!["dgesv".into()] };
+        let mut bytes = frame_bytes(&msg);
+        let payload_start = 12;
+        bytes[payload_start + 5] ^= 0x40;
+        assert!(matches!(
+            parse_frame(&bytes),
+            Err(NetSolveError::Protocol(m)) if m.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = frame_bytes(&Message::Ping);
+        bytes[8..12].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            parse_frame(&bytes),
+            Err(NetSolveError::Protocol(m)) if m.contains("cap")
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_transport_error() {
+        let bytes = frame_bytes(&Message::ProblemCatalogue {
+            names: vec!["a".into(), "b".into()],
+        });
+        for cut in [1, 6, 13, bytes.len() - 1] {
+            assert!(parse_frame(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn parse_frame_reports_consumed_bytes() {
+        let m1 = frame_bytes(&Message::Ping);
+        let m2 = frame_bytes(&Message::Pong);
+        let mut joined = m1.clone();
+        joined.extend_from_slice(&m2);
+        let (msg, used) = parse_frame(&joined).unwrap();
+        assert_eq!(msg, Message::Ping);
+        assert_eq!(used, m1.len());
+        let (msg2, used2) = parse_frame(&joined[used..]).unwrap();
+        assert_eq!(msg2, Message::Pong);
+        assert_eq!(used2, m2.len());
+    }
+}

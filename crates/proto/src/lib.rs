@@ -1,0 +1,126 @@
+//! # netsolve-proto
+//!
+//! The NetSolve wire protocol: typed [`message::Message`]s marshaled with
+//! the hand-written XDR codec from `netsolve-xdr`, wrapped in
+//! length-delimited, CRC-checked [`frame`]s.
+//!
+//! One enum covers all three conversations in a NetSolve domain
+//! (server↔agent registration and workload reports, client↔agent server
+//! queries and failure reports, client↔server request submission), so a
+//! transport only ever moves `Message` values.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{frame_bytes, parse_frame, read_message, write_message, MAX_FRAME_PAYLOAD};
+pub use message::{Candidate, Message, QueryShape, ServerDescriptor, ServerInfo};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_message() -> impl Strategy<Value = Message> {
+        prop_oneof![
+            Just(Message::Ping),
+            Just(Message::Pong),
+            Just(Message::ListProblems),
+            (any::<u64>(), 0.0..200.0f64)
+                .prop_map(|(id, w)| Message::WorkloadReport { server_id: id, workload: w }),
+            (any::<u32>(), "[ -~]{0,60}")
+                .prop_map(|(code, detail)| Message::Error { code, detail }),
+            ("[a-z]{1,12}", any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                |(problem, n, bi, bo, client_host)| Message::ServerQuery(QueryShape {
+                    client_host,
+                    problem,
+                    n,
+                    bytes_in: bi,
+                    bytes_out: bo,
+                })
+            ),
+            prop::collection::vec(
+                (any::<u64>(), "[ -~]{0,20}", 0.0..1e6f64),
+                0..10
+            )
+            .prop_map(|tuples| Message::ServerList {
+                candidates: tuples
+                    .into_iter()
+                    .map(|(server_id, address, predicted_secs)| Candidate {
+                        server_id,
+                        address,
+                        predicted_secs,
+                    })
+                    .collect(),
+            }),
+            prop::collection::vec("[a-z_]{1,12}", 0..20)
+                .prop_map(|names| Message::ProblemCatalogue { names }),
+            (
+                any::<u64>(),
+                "[ -~]{0,30}",
+                "[ -~]{0,30}",
+                0.0..1e4f64,
+                prop::collection::vec("[a-z]{1,10}", 0..8),
+                "[ -~\\n]{0,200}"
+            )
+                .prop_map(|(id, host, address, mflops, problems, pdl)| {
+                    Message::RegisterServer(ServerDescriptor {
+                        server_id: id,
+                        host,
+                        address,
+                        mflops,
+                        problems,
+                        pdl_source: pdl,
+                    })
+                }),
+            (any::<u64>(), "[a-z]{1,10}", prop::collection::vec(
+                prop::collection::vec(-1e9..1e9f64, 0..32).prop_map(netsolve_core::DataObject::Vector),
+                0..4
+            ))
+                .prop_map(|(request_id, problem, inputs)| Message::RequestSubmit {
+                    request_id,
+                    problem,
+                    inputs,
+                }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn message_roundtrip(msg in arb_message()) {
+            let bytes = msg.encode();
+            prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn frame_roundtrip(msg in arb_message()) {
+            let bytes = frame_bytes(&msg);
+            let (back, used) = parse_frame(&bytes).unwrap();
+            prop_assert_eq!(back, msg);
+            prop_assert_eq!(used, bytes.len());
+        }
+
+        #[test]
+        fn frame_bit_flips_never_decode_silently(msg in arb_message(),
+                                                 byte in any::<prop::sample::Index>(),
+                                                 bit in 0u8..8) {
+            // Any single-bit corruption must either fail to parse or decode
+            // to the identical message (flips in ignored padding cannot
+            // occur because the codec validates padding).
+            let bytes = frame_bytes(&msg);
+            let mut bad = bytes.clone();
+            let idx = byte.index(bad.len());
+            bad[idx] ^= 1 << bit;
+            match parse_frame(&bad) {
+                Ok((decoded, _)) => prop_assert_eq!(decoded, msg),
+                Err(_) => {}
+            }
+        }
+
+        #[test]
+        fn garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = parse_frame(&data);
+        }
+    }
+}

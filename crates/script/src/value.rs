@@ -1,0 +1,348 @@
+//! Runtime values of the script language and their arithmetic.
+
+use netsolve_core::data::DataObject;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+/// A script value. As in MATLAB, numeric data is conceptually a matrix;
+/// we keep scalars and vectors as distinct cases for efficiency and for
+/// clean mapping onto NetSolve data objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Scalar number.
+    Scalar(f64),
+    /// Column/row vector (orientation-free, like a NetSolve vector).
+    Vector(Vec<f64>),
+    /// Dense matrix.
+    Matrix(Matrix),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Human-oriented rendering for `disp` and the REPL.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Scalar(x) => format!("{x}"),
+            Value::Vector(v) => {
+                if v.len() <= 12 {
+                    let items: Vec<String> = v.iter().map(|x| format!("{x:.6}")).collect();
+                    format!("[{}]", items.join(" "))
+                } else {
+                    format!("[vector of {} elements]", v.len())
+                }
+            }
+            Value::Matrix(m) => format!("{m}"),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Scalar(_) => "scalar",
+            Value::Vector(_) => "vector",
+            Value::Matrix(_) => "matrix",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// Scalar extraction.
+    pub fn as_scalar(&self) -> Result<f64> {
+        match self {
+            Value::Scalar(x) => Ok(*x),
+            Value::Vector(v) if v.len() == 1 => Ok(v[0]),
+            other => Err(type_err("scalar", other)),
+        }
+    }
+
+    /// Convert to the NetSolve data object a remote call expects.
+    pub fn to_object(&self) -> DataObject {
+        match self {
+            Value::Scalar(x) => {
+                // Integral scalars map to Int so int-typed parameters
+                // (iteration caps, degrees) work naturally from scripts.
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    DataObject::Int(*x as i64)
+                } else {
+                    DataObject::Double(*x)
+                }
+            }
+            Value::Vector(v) => DataObject::Vector(v.clone()),
+            Value::Matrix(m) => DataObject::Matrix(m.clone()),
+            Value::Str(s) => DataObject::Text(s.clone()),
+        }
+    }
+
+    /// Convert a scalar meant as floating point explicitly.
+    pub fn to_double_object(&self) -> Result<DataObject> {
+        Ok(DataObject::Double(self.as_scalar()?))
+    }
+
+    /// Back-conversion from a NetSolve output object.
+    pub fn from_object(obj: DataObject) -> Value {
+        match obj {
+            DataObject::Int(i) => Value::Scalar(i as f64),
+            DataObject::Double(d) => Value::Scalar(d),
+            DataObject::Vector(v) => Value::Vector(v),
+            DataObject::Matrix(m) => Value::Matrix(m),
+            DataObject::Sparse(s) => Value::Matrix(s.to_dense()),
+            DataObject::Text(t) => Value::Str(t),
+        }
+    }
+
+    /// Transpose (postfix `'`).
+    pub fn transpose(&self) -> Result<Value> {
+        match self {
+            Value::Scalar(x) => Ok(Value::Scalar(*x)),
+            Value::Vector(v) => Ok(Value::Vector(v.clone())), // orientation-free
+            Value::Matrix(m) => Ok(Value::Matrix(m.transpose())),
+            Value::Str(_) => Err(NetSolveError::BadArguments("cannot transpose a string".into())),
+        }
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Scalar(x) => Ok(Value::Scalar(-x)),
+            Value::Vector(v) => Ok(Value::Vector(v.iter().map(|x| -x).collect())),
+            Value::Matrix(m) => {
+                let mut out = m.clone();
+                for x in out.as_mut_slice() {
+                    *x = -*x;
+                }
+                Ok(Value::Matrix(out))
+            }
+            Value::Str(_) => Err(NetSolveError::BadArguments("cannot negate a string".into())),
+        }
+    }
+}
+
+fn type_err(expected: &str, got: &Value) -> NetSolveError {
+    NetSolveError::BadArguments(format!("expected {expected}, got {}", got.kind()))
+}
+
+fn zip_vec(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Result<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(NetSolveError::BadArguments(format!(
+            "vector length mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect())
+}
+
+fn zip_mat(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(NetSolveError::BadArguments(format!(
+            "matrix shape mismatch: {}x{} vs {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let data: Vec<f64> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| f(*x, *y))
+        .collect();
+    Matrix::from_col_major(a.rows(), a.cols(), data)
+}
+
+fn map_value(v: &Value, f: impl Fn(f64) -> f64 + Copy) -> Result<Value> {
+    Ok(match v {
+        Value::Scalar(x) => Value::Scalar(f(*x)),
+        Value::Vector(xs) => Value::Vector(xs.iter().map(|x| f(*x)).collect()),
+        Value::Matrix(m) => {
+            let mut out = m.clone();
+            for x in out.as_mut_slice() {
+                *x = f(*x);
+            }
+            Value::Matrix(out)
+        }
+        Value::Str(_) => return Err(NetSolveError::BadArguments("numeric op on string".into())),
+    })
+}
+
+/// Elementwise addition with scalar broadcasting; string + string
+/// concatenates.
+pub fn add(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => Ok(Value::Str(format!("{x}{y}"))),
+        (Value::Scalar(s), other) => map_value(other, |x| x + s),
+        (other, Value::Scalar(s)) => map_value(other, |x| x + s),
+        (Value::Vector(x), Value::Vector(y)) => Ok(Value::Vector(zip_vec(x, y, |p, q| p + q)?)),
+        (Value::Matrix(x), Value::Matrix(y)) => Ok(Value::Matrix(zip_mat(x, y, |p, q| p + q)?)),
+        (x, y) => Err(NetSolveError::BadArguments(format!(
+            "cannot add {} and {}",
+            x.kind(),
+            y.kind()
+        ))),
+    }
+}
+
+/// Elementwise subtraction with scalar broadcasting.
+pub fn sub(a: &Value, b: &Value) -> Result<Value> {
+    add(a, &b.neg()?)
+}
+
+/// Multiplication: scalar scaling, matrix–matrix, matrix–vector, and
+/// vector·vector dot product.
+pub fn mul(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Scalar(s), other) => map_value(other, |x| x * s),
+        (other, Value::Scalar(s)) => map_value(other, |x| x * s),
+        (Value::Matrix(x), Value::Matrix(y)) => {
+            Ok(Value::Matrix(netsolve_solvers::blas::dgemm(x, y)?))
+        }
+        (Value::Matrix(m), Value::Vector(v)) => Ok(Value::Vector(m.matvec(v)?)),
+        (Value::Vector(x), Value::Vector(y)) => {
+            Ok(Value::Scalar(netsolve_solvers::blas::ddot(x, y)?))
+        }
+        (x, y) => Err(NetSolveError::BadArguments(format!(
+            "cannot multiply {} by {}",
+            x.kind(),
+            y.kind()
+        ))),
+    }
+}
+
+/// Division: by scalar only (elementwise), or scalar/scalar.
+pub fn div(a: &Value, b: &Value) -> Result<Value> {
+    let d = b.as_scalar()?;
+    if d == 0.0 {
+        return Err(NetSolveError::Numerical("division by zero".into()));
+    }
+    map_value(a, |x| x / d)
+}
+
+/// Power: scalar ^ scalar, or square-matrix ^ non-negative integer.
+pub fn pow(a: &Value, b: &Value) -> Result<Value> {
+    let e = b.as_scalar()?;
+    match a {
+        Value::Scalar(x) => Ok(Value::Scalar(x.powf(e))),
+        Value::Matrix(m) if m.is_square() && e >= 0.0 && e.fract() == 0.0 => {
+            let mut acc = Matrix::identity(m.rows());
+            for _ in 0..e as u64 {
+                acc = netsolve_solvers::blas::dgemm(&acc, m)?;
+            }
+            Ok(Value::Matrix(acc))
+        }
+        other => Err(NetSolveError::BadArguments(format!(
+            "cannot raise {} to power {e}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> Value {
+        Value::Matrix(Matrix::from_rows(2, 2, &[a, b, c, d]).unwrap())
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        assert_eq!(add(&Value::Scalar(2.0), &Value::Scalar(3.0)).unwrap(), Value::Scalar(5.0));
+        assert_eq!(sub(&Value::Scalar(2.0), &Value::Scalar(3.0)).unwrap(), Value::Scalar(-1.0));
+        assert_eq!(mul(&Value::Scalar(2.0), &Value::Scalar(3.0)).unwrap(), Value::Scalar(6.0));
+        assert_eq!(div(&Value::Scalar(6.0), &Value::Scalar(3.0)).unwrap(), Value::Scalar(2.0));
+        assert_eq!(pow(&Value::Scalar(2.0), &Value::Scalar(10.0)).unwrap(), Value::Scalar(1024.0));
+        assert!(div(&Value::Scalar(1.0), &Value::Scalar(0.0)).is_err());
+    }
+
+    #[test]
+    fn broadcasting() {
+        let v = Value::Vector(vec![1.0, 2.0]);
+        assert_eq!(add(&v, &Value::Scalar(10.0)).unwrap(), Value::Vector(vec![11.0, 12.0]));
+        assert_eq!(mul(&Value::Scalar(2.0), &v).unwrap(), Value::Vector(vec![2.0, 4.0]));
+        let m = m2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(sub(&m, &Value::Scalar(1.0)).unwrap(), m2(0.0, 1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn matrix_products() {
+        let m = m2(1.0, 2.0, 3.0, 4.0);
+        let i = m2(1.0, 0.0, 0.0, 1.0);
+        assert_eq!(mul(&m, &i).unwrap(), m);
+        assert_eq!(
+            mul(&m, &Value::Vector(vec![1.0, 1.0])).unwrap(),
+            Value::Vector(vec![3.0, 7.0])
+        );
+        assert_eq!(
+            mul(&Value::Vector(vec![1.0, 2.0]), &Value::Vector(vec![3.0, 4.0])).unwrap(),
+            Value::Scalar(11.0)
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        assert!(add(&Value::Vector(vec![1.0]), &Value::Vector(vec![1.0, 2.0])).is_err());
+        assert!(mul(&m2(1.0, 0.0, 0.0, 1.0), &Value::Vector(vec![1.0])).is_err());
+        assert!(add(&Value::Str("a".into()), &Value::Scalar(1.0)).is_err());
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            add(&Value::Str("ab".into()), &Value::Str("cd".into())).unwrap(),
+            Value::Str("abcd".into())
+        );
+    }
+
+    #[test]
+    fn transpose_and_neg() {
+        let m = m2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.transpose().unwrap(), m2(1.0, 3.0, 2.0, 4.0));
+        assert_eq!(m.neg().unwrap(), m2(-1.0, -2.0, -3.0, -4.0));
+        assert!(Value::Str("x".into()).transpose().is_err());
+    }
+
+    #[test]
+    fn matrix_power() {
+        let m = m2(1.0, 1.0, 0.0, 1.0);
+        assert_eq!(pow(&m, &Value::Scalar(3.0)).unwrap(), m2(1.0, 3.0, 0.0, 1.0));
+        assert_eq!(pow(&m, &Value::Scalar(0.0)).unwrap(), m2(1.0, 0.0, 0.0, 1.0));
+        assert!(pow(&m, &Value::Scalar(0.5)).is_err());
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let cases = vec![
+            Value::Scalar(3.0),
+            Value::Scalar(3.5),
+            Value::Vector(vec![1.0, 2.0]),
+            m2(1.0, 2.0, 3.0, 4.0),
+            Value::Str("dgesv".into()),
+        ];
+        for v in cases {
+            let obj = v.to_object();
+            let back = Value::from_object(obj);
+            // integral scalars go Int and come back Scalar — equal value
+            assert_eq!(back, v);
+        }
+        // explicit double conversion
+        assert_eq!(
+            Value::Scalar(3.0).to_double_object().unwrap(),
+            DataObject::Double(3.0)
+        );
+    }
+
+    #[test]
+    fn render_is_total() {
+        for v in [
+            Value::Scalar(1.0),
+            Value::Vector(vec![0.0; 3]),
+            Value::Vector(vec![0.0; 100]),
+            m2(0.0, 0.0, 0.0, 0.0),
+            Value::Str("hi".into()),
+        ] {
+            assert!(!v.render().is_empty());
+        }
+    }
+}

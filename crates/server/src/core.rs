@@ -1,0 +1,246 @@
+//! The server brain: validate a request against the problem catalogue,
+//! run the solver, time it, and shape the reply.
+
+use std::time::Instant;
+
+use netsolve_core::data::DataObject;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_pdl::ProblemRegistry;
+use netsolve_proto::Message;
+use netsolve_solvers::execute;
+
+/// How the server satisfies requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionMode {
+    /// Actually run the numerical routine.
+    Real,
+    /// Sleep for `complexity(n) / mflops` and return zero-filled outputs of
+    /// the declared shapes. Used to emulate a machine of a chosen speed in
+    /// live end-to-end experiments without requiring that hardware — the
+    /// simulation substitute DESIGN.md documents.
+    Synthetic {
+        /// Emulated machine speed, Mflop/s.
+        mflops: f64,
+    },
+}
+
+/// Transport-free server logic.
+pub struct ServerCore {
+    problems: ProblemRegistry,
+    mode: ExecutionMode,
+}
+
+/// A computed reply plus how long the computation took.
+#[derive(Debug)]
+pub struct Execution {
+    /// Output objects in catalogue order.
+    pub outputs: Vec<DataObject>,
+    /// Wall-clock compute seconds.
+    pub compute_secs: f64,
+}
+
+impl ServerCore {
+    /// Server offering the given problem catalogue.
+    pub fn new(problems: ProblemRegistry, mode: ExecutionMode) -> Self {
+        ServerCore { problems, mode }
+    }
+
+    /// Server offering the full standard catalogue with real execution.
+    pub fn with_standard_catalogue() -> Self {
+        Self::new(ProblemRegistry::with_standard_catalogue(), ExecutionMode::Real)
+    }
+
+    /// The catalogue this server advertises.
+    pub fn problems(&self) -> &ProblemRegistry {
+        &self.problems
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Validate and execute one request.
+    pub fn run(&self, problem: &str, inputs: &[DataObject]) -> Result<Execution> {
+        let spec = self.problems.require(problem)?;
+        spec.check_inputs(inputs)?;
+        let start = Instant::now();
+        let outputs = match self.mode {
+            ExecutionMode::Real => {
+                let outputs = execute(problem, inputs)?;
+                spec.check_outputs(&outputs).map_err(|e| {
+                    NetSolveError::Internal(format!(
+                        "executor output mismatch for '{problem}': {e}"
+                    ))
+                })?;
+                outputs
+            }
+            ExecutionMode::Synthetic { mflops } => {
+                let n = spec.dominant_dim(inputs);
+                let secs = spec.complexity.seconds_at(n, mflops);
+                // Cap synthetic sleeps so a mis-sized experiment cannot
+                // wedge a test run for hours.
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.min(30.0)));
+                synthetic_outputs(spec, n)
+            }
+        };
+        Ok(Execution { outputs, compute_secs: start.elapsed().as_secs_f64() })
+    }
+
+    /// Protocol-level dispatch: answer one client message.
+    pub fn handle_message(&self, msg: &Message) -> Message {
+        match msg {
+            Message::RequestSubmit { request_id, problem, inputs } => {
+                match self.run(problem, inputs) {
+                    Ok(exec) => Message::RequestReply {
+                        request_id: *request_id,
+                        outputs: exec.outputs,
+                        compute_secs: exec.compute_secs,
+                    },
+                    Err(e) => Message::from_error(&e),
+                }
+            }
+            Message::Ping => Message::Pong,
+            Message::ListProblems => Message::ProblemCatalogue {
+                names: self.problems.names(),
+            },
+            Message::DescribeProblem { problem } => match self.problems.get(problem) {
+                Some(spec) => Message::ProblemDescription { pdl: netsolve_pdl::render(spec) },
+                None => Message::from_error(&NetSolveError::ProblemNotFound(problem.clone())),
+            },
+            other => Message::from_error(&NetSolveError::Protocol(format!(
+                "server cannot handle {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+/// Zero-filled outputs of the declared kinds/sizes for synthetic execution.
+fn synthetic_outputs(spec: &netsolve_core::ProblemSpec, n: u64) -> Vec<DataObject> {
+    use netsolve_core::ObjectKind;
+    spec.outputs
+        .iter()
+        .map(|o| match o.kind {
+            ObjectKind::IntScalar => DataObject::Int(0),
+            ObjectKind::DoubleScalar => DataObject::Double(0.0),
+            ObjectKind::Vector => DataObject::Vector(vec![0.0; n as usize]),
+            ObjectKind::Matrix => {
+                DataObject::Matrix(netsolve_core::Matrix::zeros(n as usize, n as usize))
+            }
+            ObjectKind::SparseMatrix => {
+                DataObject::Sparse(netsolve_core::CsrMatrix::identity(n as usize))
+            }
+            ObjectKind::Text => DataObject::Text(String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::matrix::{vec_max_abs_diff, Matrix};
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn runs_real_dgesv() {
+        let core = ServerCore::with_standard_catalogue();
+        let mut rng = Rng64::new(7);
+        let a = Matrix::random_diag_dominant(12, &mut rng);
+        let x_true: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let exec = core.run("dgesv", &[a.into(), b.into()]).unwrap();
+        assert_eq!(exec.outputs.len(), 1);
+        assert!(vec_max_abs_diff(exec.outputs[0].as_vector().unwrap(), &x_true) < 1e-9);
+        assert!(exec.compute_secs >= 0.0);
+    }
+
+    #[test]
+    fn rejects_unknown_problem_and_bad_inputs() {
+        let core = ServerCore::with_standard_catalogue();
+        assert!(matches!(
+            core.run("made_up", &[]),
+            Err(NetSolveError::ProblemNotFound(_))
+        ));
+        assert!(matches!(
+            core.run("dgesv", &[DataObject::Int(1)]),
+            Err(NetSolveError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn numerical_failures_propagate() {
+        let core = ServerCore::with_standard_catalogue();
+        let singular = Matrix::zeros(3, 3);
+        let r = core.run("dgesv", &[singular.into(), vec![1.0, 2.0, 3.0].into()]);
+        assert!(matches!(r, Err(NetSolveError::Numerical(_))));
+    }
+
+    #[test]
+    fn synthetic_mode_sleeps_proportionally_and_shapes_outputs() {
+        // 100 Mflop/s emulated machine, dgesv n = 200: (2/3)(8e6)/(1e8) ≈ 53 ms.
+        let core = ServerCore::new(
+            ProblemRegistry::with_standard_catalogue(),
+            ExecutionMode::Synthetic { mflops: 100.0 },
+        );
+        let a = Matrix::identity(200);
+        let b = vec![0.0; 200];
+        let start = Instant::now();
+        let exec = core.run("dgesv", &[a.into(), b.into()]).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed > 0.03, "too fast: {elapsed}");
+        assert_eq!(exec.outputs.len(), 1);
+        assert_eq!(exec.outputs[0].as_vector().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn message_dispatch() {
+        let core = ServerCore::with_standard_catalogue();
+        let reply = core.handle_message(&Message::RequestSubmit {
+            request_id: 77,
+            problem: "ddot".into(),
+            inputs: vec![vec![1.0, 2.0].into(), vec![3.0, 4.0].into()],
+        });
+        match reply {
+            Message::RequestReply { request_id, outputs, .. } => {
+                assert_eq!(request_id, 77);
+                assert_eq!(outputs[0].as_double().unwrap(), 11.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert_eq!(core.handle_message(&Message::Ping), Message::Pong);
+
+        let reply = core.handle_message(&Message::ListProblems);
+        assert!(matches!(reply, Message::ProblemCatalogue { names } if names.len() >= 16));
+
+        let reply = core.handle_message(&Message::DescribeProblem { problem: "fft".into() });
+        assert!(matches!(reply, Message::ProblemDescription { .. }));
+
+        let reply = core.handle_message(&Message::DescribeProblem { problem: "zz".into() });
+        assert!(matches!(reply, Message::Error { .. }));
+
+        let reply = core.handle_message(&Message::ListProblems);
+        assert!(!matches!(reply, Message::Error { .. }));
+
+        // misdirected message
+        let reply = core.handle_message(&Message::Pong);
+        assert!(matches!(reply, Message::Error { .. }));
+    }
+
+    #[test]
+    fn failed_request_reports_error_code() {
+        let core = ServerCore::with_standard_catalogue();
+        let reply = core.handle_message(&Message::RequestSubmit {
+            request_id: 1,
+            problem: "nope".into(),
+            inputs: vec![],
+        });
+        match reply {
+            Message::Error { code, .. } => {
+                assert_eq!(code, NetSolveError::ProblemNotFound(String::new()).code());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # netsolve-server
+//!
+//! The NetSolve computational server: advertises a problem catalogue
+//! (parsed from PDL), executes requests against the `netsolve-solvers`
+//! substrate, and reports workload to its agent on the lazy
+//! threshold/interval policy.
+//!
+//! * [`core`] — transport-free request validation and execution, including
+//!   the synthetic execution mode that emulates a machine of a chosen
+//!   speed (the substitute for the paper's heterogeneous testbed);
+//! * [`daemon`] — the live daemon: registration, request service loop,
+//!   workload reporter.
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod daemon;
+
+pub use crate::core::{Execution, ExecutionMode, ServerCore};
+pub use daemon::{ServerConfig, ServerDaemon};

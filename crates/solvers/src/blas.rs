@@ -1,0 +1,393 @@
+//! BLAS-lite: the vector and matrix kernels everything else builds on.
+//!
+//! Level 1 (vector-vector), level 2 (matrix-vector) and level 3
+//! (matrix-matrix) routines in the LAPACK naming tradition. GEMM comes in
+//! three flavours — naive triple loop, cache-blocked, and multithreaded
+//! blocked — benchmarked against each other in `solver_bench` (the ablation
+//! DESIGN.md calls out), with the blocked-threaded version used by the
+//! `dgemm` problem executor.
+
+use crossbeam::thread;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+// ---------------------------------------------------------------- level 1
+
+/// Dot product `x · y`. Errors on length mismatch.
+pub fn ddot(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_len(x, y)?;
+    Ok(x.iter().zip(y).map(|(a, b)| a * b).sum())
+}
+
+/// `y += alpha * x`. Errors on length mismatch.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<()> {
+    check_len(x, y)?;
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// Scale `x *= alpha`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm with scaling to avoid overflow on extreme values.
+pub fn dnrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Sum of absolute values.
+pub fn dasum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Index of the element with the largest absolute value; `None` on empty.
+pub fn idamax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("NaN in idamax"))
+        .map(|(i, _)| i)
+}
+
+fn check_len(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        Err(NetSolveError::BadArguments(format!(
+            "vector length mismatch: {} vs {}",
+            x.len(),
+            y.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- level 2
+
+/// General matrix-vector product `y = alpha * A x + beta * y`.
+pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) -> Result<()> {
+    if x.len() != a.cols() || y.len() != a.rows() {
+        return Err(NetSolveError::BadArguments(format!(
+            "dgemv: A is {}x{}, x has {}, y has {}",
+            a.rows(),
+            a.cols(),
+            x.len(),
+            y.len()
+        )));
+    }
+    dscal(beta, y);
+    for c in 0..a.cols() {
+        let col = a.col(c);
+        let axc = alpha * x[c];
+        for (yi, &aic) in y.iter_mut().zip(col) {
+            *yi += aic * axc;
+        }
+    }
+    Ok(())
+}
+
+/// Rank-1 update `A += alpha * x y^T`.
+pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) -> Result<()> {
+    if x.len() != a.rows() || y.len() != a.cols() {
+        return Err(NetSolveError::BadArguments(format!(
+            "dger: A is {}x{}, x has {}, y has {}",
+            a.rows(),
+            a.cols(),
+            x.len(),
+            y.len()
+        )));
+    }
+    for c in 0..a.cols() {
+        let ayc = alpha * y[c];
+        let col = a.col_mut(c);
+        for (aic, &xi) in col.iter_mut().zip(x) {
+            *aic += xi * ayc;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- level 3
+
+fn check_gemm(a: &Matrix, b: &Matrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(NetSolveError::BadArguments(format!(
+            "gemm: inner dimensions differ ({}x{} * {}x{})",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Naive triple-loop GEMM (the baseline of the GEMM ablation).
+pub fn dgemm_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_gemm(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        for l in 0..k {
+            let blj = b[(l, j)];
+            if blj == 0.0 {
+                continue;
+            }
+            let acol = a.col(l);
+            let ccol = c.col_mut(j);
+            for i in 0..m {
+                ccol[i] += acol[i] * blj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Block size for the cache-blocked GEMM. 64 keeps three f64 panels of
+/// 64x64 (96 KiB) comfortably inside L2.
+const GEMM_BLOCK: usize = 64;
+
+/// Cache-blocked GEMM.
+pub fn dgemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_gemm(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    gemm_into(a, b, c.as_mut_slice(), m, k, n, 0, n);
+    Ok(c)
+}
+
+/// Compute columns `[j_lo, j_hi)` of `C = A B` into the column-major buffer
+/// `c` (length `m * n`).
+fn gemm_into(
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    _n: usize,
+    j_lo: usize,
+    j_hi: usize,
+) {
+    for jb in (j_lo..j_hi).step_by(GEMM_BLOCK) {
+        let j_end = (jb + GEMM_BLOCK).min(j_hi);
+        for lb in (0..k).step_by(GEMM_BLOCK) {
+            let l_end = (lb + GEMM_BLOCK).min(k);
+            for ib in (0..m).step_by(GEMM_BLOCK) {
+                let i_end = (ib + GEMM_BLOCK).min(m);
+                for j in jb..j_end {
+                    let ccol = &mut c[j * m..(j + 1) * m];
+                    for l in lb..l_end {
+                        let blj = b[(l, j)];
+                        if blj == 0.0 {
+                            continue;
+                        }
+                        let acol = a.col(l);
+                        for i in ib..i_end {
+                            ccol[i] += acol[i] * blj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multithreaded blocked GEMM: column panels of `C` are distributed over
+/// `threads` workers with crossbeam's scoped threads (no `'static` bound,
+/// no unsafe). `threads == 0` means "number of logical CPUs".
+pub fn dgemm_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix> {
+    check_gemm(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n < GEMM_BLOCK {
+        return dgemm_blocked(a, b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    {
+        let data = c.as_mut_slice();
+        // Split C into contiguous column panels, one chunk per worker.
+        let cols_per = n.div_ceil(threads);
+        let chunks: Vec<&mut [f64]> = data.chunks_mut(cols_per * m).collect();
+        thread::scope(|s| {
+            for (t, chunk) in chunks.into_iter().enumerate() {
+                let j_lo = t * cols_per;
+                let j_hi = (j_lo + chunk.len() / m).min(n);
+                // Each worker owns its disjoint column panel of C.
+                s.spawn(move |_| gemm_panel(a, b, chunk, m, k, j_lo, j_hi));
+            }
+        })
+        .expect("gemm worker panicked");
+    }
+    Ok(c)
+}
+
+/// Blocked GEMM for columns `[j_lo, j_hi)` of C, writing into a panel-local
+/// column-major buffer.
+fn gemm_panel(a: &Matrix, b: &Matrix, panel: &mut [f64], m: usize, k: usize, j_lo: usize, j_hi: usize) {
+    for jb in (j_lo..j_hi).step_by(GEMM_BLOCK) {
+        let j_end = (jb + GEMM_BLOCK).min(j_hi);
+        for lb in (0..k).step_by(GEMM_BLOCK) {
+            let l_end = (lb + GEMM_BLOCK).min(k);
+            for j in jb..j_end {
+                let ccol = &mut panel[(j - j_lo) * m..(j - j_lo + 1) * m];
+                for l in lb..l_end {
+                    let blj = b[(l, j)];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * blj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Default GEMM used by the `dgemm` problem executor: threaded for large
+/// matrices, blocked otherwise.
+pub fn dgemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows().max(b.cols()) >= 256 {
+        dgemm_threaded(a, b, 0)
+    } else {
+        dgemm_blocked(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn level1_basics() {
+        assert_eq!(ddot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+        assert!(ddot(&[1.0], &[1.0, 2.0]).is_err());
+
+        let mut y = vec![1.0, 1.0];
+        daxpy(2.0, &[3.0, 4.0], &mut y).unwrap();
+        assert_eq!(y, vec![7.0, 9.0]);
+        assert!(daxpy(1.0, &[1.0], &mut y).is_err());
+
+        let mut x = vec![1.0, -2.0];
+        dscal(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+
+        assert!((dnrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(dasum(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(idamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(idamax(&[]), None);
+    }
+
+    #[test]
+    fn dnrm2_avoids_overflow() {
+        let huge = vec![1e300, 1e300];
+        let norm = dnrm2(&huge);
+        assert!(norm.is_finite());
+        assert!((norm - 1e300 * 2f64.sqrt()).abs() / norm < 1e-12);
+        assert_eq!(dnrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dgemv_matches_matvec() {
+        let mut rng = Rng64::new(4);
+        let a = Matrix::random(5, 7, &mut rng);
+        let x: Vec<f64> = (0..7).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut y = vec![2.0; 5];
+        let expect: Vec<f64> = a
+            .matvec(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(ax, yi)| 1.5 * ax + 0.5 * yi)
+            .collect();
+        dgemv(1.5, &a, &x, 0.5, &mut y).unwrap();
+        for (got, want) in y.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        assert!(dgemv(1.0, &a, &x[..3], 0.0, &mut y).is_err());
+    }
+
+    #[test]
+    fn dger_rank1() {
+        let mut a = Matrix::zeros(2, 3);
+        dger(2.0, &[1.0, 2.0], &[3.0, 4.0, 5.0], &mut a).unwrap();
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 2)], 20.0);
+        assert!(dger(1.0, &[1.0], &[1.0, 2.0, 3.0], &mut a).is_err());
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let mut rng = Rng64::new(6);
+        let a = Matrix::random(9, 9, &mut rng);
+        let i = Matrix::identity(9);
+        assert!(dgemm_naive(&a, &i).unwrap().approx_eq(&a, 1e-14));
+        assert!(dgemm_blocked(&i, &a).unwrap().approx_eq(&a, 1e-14));
+        assert!(dgemm_threaded(&a, &i, 3).unwrap().approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn gemm_flavours_agree() {
+        let mut rng = Rng64::new(7);
+        for (m, k, n) in [(3, 4, 5), (65, 70, 67), (128, 40, 130), (1, 1, 1)] {
+            let a = Matrix::random(m, k, &mut rng);
+            let b = Matrix::random(k, n, &mut rng);
+            let naive = dgemm_naive(&a, &b).unwrap();
+            let blocked = dgemm_blocked(&a, &b).unwrap();
+            let threaded = dgemm_threaded(&a, &b, 4).unwrap();
+            assert!(naive.approx_eq(&blocked, 1e-11), "blocked differs at {m}x{k}x{n}");
+            assert!(naive.approx_eq(&threaded, 1e-11), "threaded differs at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(dgemm_naive(&a, &b).is_err());
+        assert!(dgemm_blocked(&a, &b).is_err());
+        assert!(dgemm_threaded(&a, &b, 2).is_err());
+        assert!(dgemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_rectangular_known_product() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = dgemm(&a, &b).unwrap();
+        let expect = Matrix::from_rows(2, 2, &[58.0, 64.0, 139.0, 154.0]).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn threaded_gemm_more_threads_than_cols() {
+        let mut rng = Rng64::new(8);
+        let a = Matrix::random(70, 70, &mut rng);
+        let b = Matrix::random(70, 2, &mut rng);
+        let c = dgemm_threaded(&a, &b, 16).unwrap();
+        assert!(c.approx_eq(&dgemm_naive(&a, &b).unwrap(), 1e-11));
+    }
+}

@@ -1,0 +1,192 @@
+//! Cholesky factorization and SPD solve (`dposv`).
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+/// Factor a symmetric positive-definite matrix. Errors on non-square,
+/// non-symmetric, or non-positive-definite input.
+pub fn cholesky_factor(a: &Matrix) -> Result<CholeskyFactor> {
+    if !a.is_square() {
+        return Err(NetSolveError::BadArguments(format!(
+            "cholesky: matrix is {}x{}, must be square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    // Symmetry check with a tolerance scaled to the matrix magnitude.
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-10 * scale {
+                return Err(NetSolveError::BadArguments(format!(
+                    "cholesky: matrix not symmetric at ({i},{j})"
+                )));
+            }
+        }
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 {
+            return Err(NetSolveError::Numerical(format!(
+                "matrix not positive definite (pivot {diag:.3e} at step {j})"
+            )));
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(CholeskyFactor { l })
+}
+
+impl CholeskyFactor {
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(NetSolveError::BadArguments(format!(
+                "solve: rhs has {} entries, matrix order is {n}",
+                b.len()
+            )));
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// log-determinant of `A` (numerically stable for large well-
+    /// conditioned matrices: `2 Σ log L_ii`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.order())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// One-shot SPD solve (`dposv`).
+pub fn dposv(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    cholesky_factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::dgemm_naive;
+    use netsolve_core::matrix::vec_max_abs_diff;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let mut rng = Rng64::new(31);
+        let a = Matrix::random_spd(10, &mut rng);
+        let f = cholesky_factor(&a).unwrap();
+        let lt = f.l().transpose();
+        let recon = dgemm_naive(f.l(), &lt).unwrap();
+        assert!(recon.approx_eq(&a, 1e-9 * a.frobenius_norm()));
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let mut rng = Rng64::new(33);
+        for n in [1, 3, 15, 50] {
+            let a = Matrix::random_spd(n, &mut rng);
+            let x_true: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).recip()).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = dposv(&a, &b).unwrap();
+            assert!(vec_max_abs_diff(&x, &x_true) < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_lu_on_spd() {
+        let mut rng = Rng64::new(35);
+        let a = Matrix::random_spd(12, &mut rng);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).cos()).collect();
+        let x_chol = dposv(&a, &b).unwrap();
+        let x_lu = crate::lu::dgesv(&a, &b).unwrap();
+        assert!(vec_max_abs_diff(&x_chol, &x_lu) < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_symmetric() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 1.0]).unwrap();
+        match cholesky_factor(&a) {
+            Err(NetSolveError::BadArguments(_)) => {}
+            other => panic!("expected BadArguments, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        // Symmetric but with a negative eigenvalue.
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]).unwrap();
+        match cholesky_factor(&a) {
+            Err(NetSolveError::Numerical(_)) => {}
+            other => panic!("expected Numerical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(cholesky_factor(&Matrix::zeros(2, 3)).is_err());
+        let f = cholesky_factor(&Matrix::identity(3)).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let f = cholesky_factor(&Matrix::identity(6)).unwrap();
+        assert!(f.log_det().abs() < 1e-14);
+        // diag(4,4) -> det 16, log_det = ln 16
+        let d = Matrix::from_rows(2, 2, &[4.0, 0.0, 0.0, 4.0]).unwrap();
+        let f = cholesky_factor(&d).unwrap();
+        assert!((f.log_det() - 16f64.ln()).abs() < 1e-12);
+    }
+}

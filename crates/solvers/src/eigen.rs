@@ -1,0 +1,147 @@
+//! Dominant-eigenpair computation by power iteration (`eig_power`).
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+use crate::blas::{ddot, dnrm2, dscal};
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone)]
+pub struct EigResult {
+    /// Dominant eigenvalue estimate (Rayleigh quotient at convergence).
+    pub lambda: f64,
+    /// Corresponding unit eigenvector.
+    pub vector: Vec<f64>,
+    /// Iterations performed.
+    pub iters: u32,
+    /// Final residual `||A v - lambda v||`.
+    pub residual: f64,
+}
+
+/// Power iteration for the dominant eigenpair of a square matrix.
+///
+/// Converges when `||A v - λ v|| <= tol * |λ|`, or errors after `maxit`
+/// iterations. The starting vector is deterministic (alternating signs) so
+/// results are reproducible; a start orthogonal to the dominant eigenvector
+/// is escaped by the usual rounding-error mechanism.
+pub fn eig_power(a: &Matrix, tol: f64, maxit: u32) -> Result<EigResult> {
+    if !a.is_square() {
+        return Err(NetSolveError::BadArguments(format!(
+            "eig_power: matrix is {}x{}, must be square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if a.rows() == 0 {
+        return Err(NetSolveError::BadArguments("empty matrix".into()));
+    }
+    if !(tol > 0.0) {
+        return Err(NetSolveError::BadArguments(format!("tolerance {tol} must be > 0")));
+    }
+    let n = a.rows();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -0.5 } / (i as f64 + 1.0))
+        .collect();
+    let norm = dnrm2(&v);
+    dscal(1.0 / norm, &mut v);
+
+    let mut lambda = 0.0;
+    for it in 1..=maxit {
+        let mut av = a.matvec(&v)?;
+        let av_norm = dnrm2(&av);
+        if av_norm == 0.0 {
+            // v is in the null space: eigenvalue 0 with eigenvector v.
+            return Ok(EigResult { lambda: 0.0, vector: v, iters: it, residual: 0.0 });
+        }
+        lambda = ddot(&v, &av)?; // Rayleigh quotient (v is unit)
+        // residual ||A v - lambda v||
+        let mut r = av.clone();
+        for (ri, vi) in r.iter_mut().zip(&v) {
+            *ri -= lambda * vi;
+        }
+        let resid = dnrm2(&r);
+        if resid <= tol * lambda.abs().max(1e-300) {
+            dscal(1.0 / av_norm, &mut av);
+            return Ok(EigResult { lambda, vector: v, iters: it, residual: resid });
+        }
+        dscal(1.0 / av_norm, &mut av);
+        v = av;
+    }
+    Err(NetSolveError::Numerical(format!(
+        "power iteration did not converge in {maxit} iterations (lambda ~ {lambda:.6e})"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn diagonal_matrix_dominant_eigenvalue() {
+        let a = Matrix::from_rows(3, 3, &[5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, -1.0]).unwrap();
+        let r = eig_power(&a, 1e-12, 500).unwrap();
+        assert!((r.lambda - 5.0).abs() < 1e-9);
+        // eigenvector ~ e1 up to sign
+        assert!(r.vector[0].abs() > 0.999);
+        assert!(r.residual < 1e-9);
+    }
+
+    #[test]
+    fn spd_matrix_satisfies_eigen_equation() {
+        let mut rng = Rng64::new(53);
+        let a = Matrix::random_spd(15, &mut rng);
+        let r = eig_power(&a, 1e-10, 5000).unwrap();
+        let av = a.matvec(&r.vector).unwrap();
+        for (avi, vi) in av.iter().zip(&r.vector) {
+            assert!((avi - r.lambda * vi).abs() < 1e-6 * r.lambda.abs());
+        }
+        assert!(r.lambda > 0.0, "SPD dominant eigenvalue is positive");
+    }
+
+    #[test]
+    fn negative_dominant_eigenvalue() {
+        let a = Matrix::from_rows(2, 2, &[-10.0, 0.0, 0.0, 1.0]).unwrap();
+        let r = eig_power(&a, 1e-10, 2000).unwrap();
+        assert!((r.lambda + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero() {
+        let a = Matrix::zeros(4, 4);
+        let r = eig_power(&a, 1e-10, 10).unwrap();
+        assert_eq!(r.lambda, 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(eig_power(&Matrix::zeros(2, 3), 1e-8, 10).is_err());
+        assert!(eig_power(&Matrix::identity(3), 0.0, 10).is_err());
+        assert!(eig_power(&Matrix::identity(3), -1.0, 10).is_err());
+        assert!(eig_power(&Matrix::zeros(0, 0), 1e-8, 10).is_err());
+    }
+
+    #[test]
+    fn non_convergence_reported() {
+        // Rotation matrix: complex eigenvalues, power iteration on the real
+        // field cannot converge.
+        let theta = 1.0f64;
+        let a = Matrix::from_rows(
+            2,
+            2,
+            &[theta.cos(), -theta.sin(), theta.sin(), theta.cos()],
+        )
+        .unwrap();
+        match eig_power(&a, 1e-12, 50) {
+            Err(NetSolveError::Numerical(_)) => {}
+            other => panic!("expected non-convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_converges_immediately() {
+        let r = eig_power(&Matrix::identity(7), 1e-12, 10).unwrap();
+        assert!((r.lambda - 1.0).abs() < 1e-12);
+        assert_eq!(r.iters, 1);
+    }
+}

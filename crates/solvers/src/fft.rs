@@ -1,0 +1,193 @@
+//! Radix-2 complex FFT (the FFTPACK stand-in).
+
+use netsolve_core::error::{NetSolveError, Result};
+
+/// Forward FFT of a complex signal given as separate real/imaginary parts.
+/// Length must be a power of two (radix-2 Cooley–Tukey).
+pub fn fft(re: &[f64], im: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+    transform(re, im, false)
+}
+
+/// Inverse FFT, normalized by `1/n` so `ifft(fft(x)) == x`.
+pub fn ifft(re: &[f64], im: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+    transform(re, im, true)
+}
+
+fn transform(re: &[f64], im: &[f64], inverse: bool) -> Result<(Vec<f64>, Vec<f64>)> {
+    let n = re.len();
+    if im.len() != n {
+        return Err(NetSolveError::BadArguments(format!(
+            "fft: real part has {} samples, imaginary {}",
+            n,
+            im.len()
+        )));
+    }
+    if n == 0 {
+        return Err(NetSolveError::BadArguments("fft of empty signal".into()));
+    }
+    if !n.is_power_of_two() {
+        return Err(NetSolveError::BadArguments(format!(
+            "fft length {n} is not a power of two"
+        )));
+    }
+    let mut xr = re.to_vec();
+    let mut xi = im.to_vec();
+
+    // Bit-reversal permutation (no-op for n == 1, where the shift by
+    // usize::BITS would overflow).
+    let bits = n.trailing_zeros();
+    if bits > 0 {
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                xr.swap(i, j);
+                xi.swap(i, j);
+            }
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr_step, wi_step) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut wr = 1.0;
+            let mut wi = 0.0;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = xr[b] * wr - xi[b] * wi;
+                let ti = xr[b] * wi + xi[b] * wr;
+                xr[b] = xr[a] - tr;
+                xi[b] = xi[a] - ti;
+                xr[a] += tr;
+                xi[a] += ti;
+                let w_new = wr * wr_step - wi * wi_step;
+                wi = wr * wi_step + wi * wr_step;
+                wr = w_new;
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in xr.iter_mut().chain(xi.iter_mut()) {
+            *v *= inv_n;
+        }
+    }
+    Ok((xr, xi))
+}
+
+/// Direct O(n²) DFT, used as the test oracle.
+pub fn dft_reference(re: &[f64], im: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+    let n = re.len();
+    if im.len() != n {
+        return Err(NetSolveError::BadArguments("length mismatch".into()));
+    }
+    let mut yr = vec![0.0; n];
+    let mut yi = vec![0.0; n];
+    for k in 0..n {
+        for t in 0..n {
+            let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            yr[k] += re[t] * c - im[t] * s;
+            yi[k] += re[t] * s + im[t] * c;
+        }
+    }
+    Ok((yr, yi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::matrix::vec_max_abs_diff;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn matches_reference_dft() {
+        let mut rng = Rng64::new(71);
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let re: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let im: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let (fr, fi) = fft(&re, &im).unwrap();
+            let (dr, di) = dft_reference(&re, &im).unwrap();
+            assert!(vec_max_abs_diff(&fr, &dr) < 1e-9 * n as f64, "n={n}");
+            assert!(vec_max_abs_diff(&fi, &di) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut rng = Rng64::new(73);
+        let n = 512;
+        let re: Vec<f64> = (0..n).map(|_| rng.uniform(-5.0, 5.0)).collect();
+        let im: Vec<f64> = (0..n).map(|_| rng.uniform(-5.0, 5.0)).collect();
+        let (fr, fi) = fft(&re, &im).unwrap();
+        let (br, bi) = ifft(&fr, &fi).unwrap();
+        assert!(vec_max_abs_diff(&br, &re) < 1e-10);
+        assert!(vec_max_abs_diff(&bi, &im) < 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut re = vec![0.0; 16];
+        re[0] = 1.0;
+        let im = vec![0.0; 16];
+        let (fr, fi) = fft(&re, &im).unwrap();
+        for k in 0..16 {
+            assert!((fr[k] - 1.0).abs() < 1e-12);
+            assert!(fi[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_has_single_bin() {
+        let n = 64;
+        let freq = 5;
+        let re: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let im = vec![0.0; n];
+        let (fr, fi) = fft(&re, &im).unwrap();
+        let mag: Vec<f64> = fr.iter().zip(&fi).map(|(r, i)| (r * r + i * i).sqrt()).collect();
+        // Energy at bins `freq` and `n - freq` only.
+        for (k, m) in mag.iter().enumerate() {
+            if k == freq || k == n - freq {
+                assert!((m - n as f64 / 2.0).abs() < 1e-9, "bin {k} magnitude {m}");
+            } else {
+                assert!(*m < 1e-9, "leak at bin {k}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = Rng64::new(77);
+        let n = 128;
+        let re: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let im = vec![0.0; n];
+        let (fr, fi) = fft(&re, &im).unwrap();
+        let time_energy: f64 = re.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            fr.iter().zip(&fi).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fft(&[1.0, 2.0, 3.0], &[0.0; 3]).is_err(), "non power of two");
+        assert!(fft(&[1.0, 2.0], &[0.0]).is_err(), "length mismatch");
+        assert!(fft(&[], &[]).is_err(), "empty");
+        assert!(ifft(&[1.0; 6], &[0.0; 6]).is_err());
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let (r, i) = fft(&[3.5], &[-1.25]).unwrap();
+        assert_eq!(r, vec![3.5]);
+        assert_eq!(i, vec![-1.25]);
+    }
+}

@@ -1,0 +1,271 @@
+//! LU factorization with partial pivoting — the engine behind the `dgesv`
+//! problem, NetSolve's flagship demo ("solve my linear system somewhere on
+//! the network").
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+/// A computed factorization `P A = L U`, stored compactly: `L` (unit
+/// diagonal) in the strict lower triangle of `lu`, `U` in the upper.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    /// Row permutation: `pivots[k]` is the row swapped into position `k`
+    /// at step `k`.
+    pivots: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    perm_sign: f64,
+}
+
+/// Threshold below which a pivot is considered numerically zero, scaled by
+/// the matrix magnitude.
+const SINGULARITY_RTOL: f64 = 1e-13;
+
+/// Factor a square matrix. Errors on non-square or (numerically) singular
+/// input.
+pub fn lu_factor(a: &Matrix) -> Result<LuFactors> {
+    if !a.is_square() {
+        return Err(NetSolveError::BadArguments(format!(
+            "lu_factor: matrix is {}x{}, must be square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut pivots = vec![0usize; n];
+    let mut perm_sign = 1.0;
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        .max(1.0);
+
+    for k in 0..n {
+        // Find the pivot row: largest |entry| in column k at or below row k.
+        let mut p = k;
+        let mut best = lu[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = lu[(r, k)].abs();
+            if v > best {
+                best = v;
+                p = r;
+            }
+        }
+        if best < SINGULARITY_RTOL * scale {
+            return Err(NetSolveError::Numerical(format!(
+                "matrix is singular to working precision (pivot {best:.3e} at step {k})"
+            )));
+        }
+        pivots[k] = p;
+        if p != k {
+            lu.swap_rows(k, p);
+            perm_sign = -perm_sign;
+        }
+        let pivot = lu[(k, k)];
+        // Eliminate below the pivot, updating the trailing submatrix
+        // column-by-column (column-major friendly).
+        for r in (k + 1)..n {
+            lu[(r, k)] /= pivot;
+        }
+        for c in (k + 1)..n {
+            let ukc = lu[(k, c)];
+            if ukc == 0.0 {
+                continue;
+            }
+            // split borrows: copy multipliers column then update
+            for r in (k + 1)..n {
+                let l_rk = lu[(r, k)];
+                lu[(r, c)] -= l_rk * ukc;
+            }
+        }
+    }
+    Ok(LuFactors { lu, pivots, perm_sign })
+}
+
+impl LuFactors {
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` for one right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(NetSolveError::BadArguments(format!(
+                "solve: rhs has {} entries, matrix order is {n}",
+                b.len()
+            )));
+        }
+        let mut x = b.to_vec();
+        // Apply the row permutation.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+        }
+        // Forward substitution with unit-diagonal L.
+        for k in 0..n {
+            let xk = x[k];
+            if xk != 0.0 {
+                for r in (k + 1)..n {
+                    x[r] -= self.lu[(r, k)] * xk;
+                }
+            }
+        }
+        // Back substitution with U.
+        for k in (0..n).rev() {
+            x[k] /= self.lu[(k, k)];
+            let xk = x[k];
+            if xk != 0.0 {
+                for r in 0..k {
+                    x[r] -= self.lu[(r, k)] * xk;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solve with a matrix of right-hand sides (columns solved
+    /// independently).
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.order() {
+            return Err(NetSolveError::BadArguments(format!(
+                "solve_matrix: rhs has {} rows, matrix order is {}",
+                b.rows(),
+                self.order()
+            )));
+        }
+        let mut x = Matrix::zeros(b.rows(), b.cols());
+        for c in 0..b.cols() {
+            let sol = self.solve(b.col(c))?;
+            x.col_mut(c).copy_from_slice(&sol);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times
+    /// the permutation sign).
+    pub fn det(&self) -> f64 {
+        let n = self.order();
+        let mut d = self.perm_sign;
+        for k in 0..n {
+            d *= self.lu[(k, k)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix (solves against the identity; for
+    /// tests and small systems).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.order()))
+    }
+}
+
+/// One-shot dense solve `A x = b` (LAPACK's `dgesv`).
+pub fn dgesv(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    lu_factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::matrix::vec_max_abs_diff;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn solves_known_system() {
+        // A = [[2,1],[1,3]], b = [3,5] -> x = [4/5, 7/5]
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = dgesv(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_small_on_random_systems() {
+        let mut rng = Rng64::new(42);
+        for n in [1, 2, 5, 20, 80] {
+            let a = Matrix::random_diag_dominant(n, &mut rng);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = dgesv(&a, &b).unwrap();
+            assert!(
+                vec_max_abs_diff(&x, &x_true) < 1e-9,
+                "n={n} error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this matrix fails immediately (a11 = 0).
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = dgesv(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]).unwrap();
+        match dgesv(&a, &[1.0, 2.0]) {
+            Err(NetSolveError::Numerical(_)) => {}
+            other => panic!("expected Numerical error, got {other:?}"),
+        }
+        let zero = Matrix::zeros(3, 3);
+        assert!(lu_factor(&zero).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lu_factor(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let f = lu_factor(&a).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+        assert!(f.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn determinant_matches_known_values() {
+        let a = Matrix::from_rows(2, 2, &[3.0, 8.0, 4.0, 6.0]).unwrap();
+        let f = lu_factor(&a).unwrap();
+        assert!((f.det() - (-14.0)).abs() < 1e-12);
+
+        let i = Matrix::identity(5);
+        assert!((lu_factor(&i).unwrap().det() - 1.0).abs() < 1e-14);
+
+        // Permutation matrix has det -1
+        let p = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((lu_factor(&p).unwrap().det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut rng = Rng64::new(17);
+        let a = Matrix::random_diag_dominant(10, &mut rng);
+        let inv = lu_factor(&a).unwrap().inverse().unwrap();
+        let prod = crate::blas::dgemm_naive(&a, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(10), 1e-9));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let mut rng = Rng64::new(23);
+        let a = Matrix::random_diag_dominant(8, &mut rng);
+        let xs = Matrix::random(8, 3, &mut rng);
+        let b = crate::blas::dgemm_naive(&a, &xs).unwrap();
+        let solved = lu_factor(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(solved.approx_eq(&xs, 1e-9));
+    }
+
+    #[test]
+    fn order_one_system() {
+        let a = Matrix::from_rows(1, 1, &[4.0]).unwrap();
+        assert_eq!(dgesv(&a, &[8.0]).unwrap(), vec![2.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Monte Carlo quadrature over the named integrands — the stochastic
+//! sibling of the adaptive-Simpson `quad` problem, with an explicit seed
+//! input so remote results are reproducible.
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::rng::Rng64;
+
+use crate::quadrature::integrand;
+
+/// Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy)]
+pub struct McResult {
+    /// Integral estimate.
+    pub integral: f64,
+    /// Standard error of the estimate (`σ / sqrt(samples)` scaled by the
+    /// interval length).
+    pub std_error: f64,
+}
+
+/// Plain Monte Carlo integration of a named integrand over `[a, b]` with
+/// `samples` uniform draws from the given `seed`.
+pub fn quad_mc(name: &str, a: f64, b: f64, samples: u64, seed: u64) -> Result<McResult> {
+    let f = integrand(name)?;
+    if samples == 0 {
+        return Err(NetSolveError::BadArguments("need at least one sample".into()));
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return Err(NetSolveError::BadArguments("limits must be finite".into()));
+    }
+    if a == b {
+        return Ok(McResult { integral: 0.0, std_error: 0.0 });
+    }
+    let (lo, hi, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+    let width = hi - lo;
+    let mut rng = Rng64::new(seed);
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..samples {
+        let v = f(rng.uniform(lo, hi));
+        sum += v;
+        sum_sq += v * v;
+    }
+    let n = samples as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    Ok(McResult {
+        integral: sign * width * mean,
+        std_error: width * (var / n).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_sine_integral() {
+        // ∫0^π sin = 2
+        let r = quad_mc("sin", 0.0, std::f64::consts::PI, 200_000, 42).unwrap();
+        assert!((r.integral - 2.0).abs() < 4.0 * r.std_error + 0.01, "{r:?}");
+        assert!(r.std_error > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = quad_mc("runge", -1.0, 1.0, 10_000, 7).unwrap();
+        let b = quad_mc("runge", -1.0, 1.0, 10_000, 7).unwrap();
+        assert_eq!(a.integral, b.integral);
+        let c = quad_mc("runge", -1.0, 1.0, 10_000, 8).unwrap();
+        assert_ne!(a.integral, c.integral);
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_count() {
+        let small = quad_mc("gauss", -3.0, 3.0, 1_000, 1).unwrap();
+        let big = quad_mc("gauss", -3.0, 3.0, 100_000, 1).unwrap();
+        assert!(big.std_error < small.std_error / 5.0);
+    }
+
+    #[test]
+    fn agrees_with_adaptive_simpson() {
+        let mc = quad_mc("runge", -1.0, 1.0, 500_000, 9).unwrap();
+        let exact = crate::quadrature::quad_named("runge", -1.0, 1.0, 1e-10)
+            .unwrap()
+            .integral;
+        assert!((mc.integral - exact).abs() < 5.0 * mc.std_error + 0.005);
+    }
+
+    #[test]
+    fn reversed_limits_flip_sign() {
+        let fwd = quad_mc("sin", 0.0, 1.0, 10_000, 3).unwrap();
+        let rev = quad_mc("sin", 1.0, 0.0, 10_000, 3).unwrap();
+        assert!((fwd.integral + rev.integral).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(quad_mc("nope", 0.0, 1.0, 10, 1).is_err());
+        assert!(quad_mc("sin", 0.0, 1.0, 0, 1).is_err());
+        assert!(quad_mc("sin", 0.0, f64::NAN, 10, 1).is_err());
+        let r = quad_mc("sin", 2.0, 2.0, 10, 1).unwrap();
+        assert_eq!(r.integral, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Least-squares polynomial fitting on top of the QR solver.
+
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_core::matrix::Matrix;
+
+use crate::qr::dgels;
+
+/// Fit a polynomial of the given degree through `(x, y)` samples by least
+/// squares. Returns coefficients constant-term first:
+/// `p(t) = c[0] + c[1] t + ... + c[degree] t^degree`.
+///
+/// Requires `x.len() == y.len()` and more samples than coefficients.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(NetSolveError::BadArguments(format!(
+            "polyfit: {} abscissae vs {} ordinates",
+            x.len(),
+            y.len()
+        )));
+    }
+    let m = x.len();
+    let n = degree + 1;
+    if m < n {
+        return Err(NetSolveError::BadArguments(format!(
+            "polyfit: degree {degree} needs at least {n} samples, got {m}"
+        )));
+    }
+    // Vandermonde matrix, built column by column (column-major friendly).
+    let mut v = Matrix::zeros(m, n);
+    for r in 0..m {
+        v[(r, 0)] = 1.0;
+    }
+    for c in 1..n {
+        for r in 0..m {
+            v[(r, c)] = v[(r, c - 1)] * x[r];
+        }
+    }
+    dgels(&v, y)
+}
+
+/// Evaluate a polynomial given constant-first coefficients (Horner).
+pub fn polyval(coeffs: &[f64], t: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsolve_core::rng::Rng64;
+
+    #[test]
+    fn recovers_exact_polynomial() {
+        // p(t) = 2 - 3t + 0.5 t²
+        let coeffs_true = [2.0, -3.0, 0.5];
+        let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let y: Vec<f64> = x.iter().map(|&t| polyval(&coeffs_true, t)).collect();
+        let c = polyfit(&x, &y, 2).unwrap();
+        for (got, want) in c.iter().zip(&coeffs_true) {
+            assert!((got - want).abs() < 1e-10, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn linear_fit_of_noisy_line() {
+        let mut rng = Rng64::new(81);
+        let x: Vec<f64> = (0..200).map(|i| i as f64 * 0.01).collect();
+        let y: Vec<f64> = x.iter().map(|&t| 1.0 + 4.0 * t + rng.normal(0.0, 0.01)).collect();
+        let c = polyfit(&x, &y, 1).unwrap();
+        assert!((c[0] - 1.0).abs() < 0.01);
+        assert!((c[1] - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degree_zero_is_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let c = polyfit(&x, &y, 0).unwrap();
+        assert!((c[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_when_samples_equal_coeffs() {
+        // 3 points, degree 2: exact interpolation.
+        let x = [0.0, 1.0, 2.0];
+        let y = [1.0, 0.0, 5.0];
+        let c = polyfit(&x, &y, 2).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((polyval(&c, *xi) - yi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_err(), "length mismatch");
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err(), "too few samples");
+        // duplicate abscissae with full degree => rank deficient Vandermonde
+        assert!(polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 2).is_err());
+    }
+
+    #[test]
+    fn polyval_horner() {
+        assert_eq!(polyval(&[], 3.0), 0.0);
+        assert_eq!(polyval(&[7.0], 3.0), 7.0);
+        assert_eq!(polyval(&[1.0, 2.0, 3.0], 2.0), 1.0 + 4.0 + 12.0);
+    }
+}

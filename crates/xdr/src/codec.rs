@@ -1,0 +1,418 @@
+//! The XDR-style primitive codec.
+//!
+//! NetSolve predates ubiquitous serialization frameworks; its peers spoke a
+//! Sun-XDR-flavoured format. We reproduce that discipline by hand:
+//!
+//! * big-endian ("network order") integers and IEEE-754 doubles;
+//! * every item padded to a 4-byte boundary;
+//! * variable-length data (strings, arrays, opaques) prefixed with a `u32`
+//!   count;
+//! * strict, bounds-checked decoding with configurable size limits so a
+//!   malicious or corrupt peer cannot force huge allocations.
+
+use netsolve_core::error::{NetSolveError, Result};
+
+/// Default cap on any single variable-length item (256 MiB) — large enough
+/// for the biggest experiment matrices, small enough to bound allocation on
+/// corrupt input.
+pub const DEFAULT_MAX_ITEM_BYTES: usize = 256 * 1024 * 1024;
+
+fn pad_len(n: usize) -> usize {
+    (4 - (n % 4)) % 4
+}
+
+/// Append-only XDR encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Encoder with pre-reserved capacity (hot path for large payloads).
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// XDR unsigned int (4 bytes, big-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// XDR int.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// XDR unsigned hyper (8 bytes).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// XDR hyper.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// XDR double (IEEE-754, big-endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// XDR bool (a full 4-byte word, per the spec).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u32(v as u32);
+    }
+
+    /// Variable-length opaque: u32 count, bytes, zero padding to 4.
+    pub fn put_opaque(&mut self, data: &[u8]) {
+        self.put_u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+        for _ in 0..pad_len(data.len()) {
+            self.buf.push(0);
+        }
+    }
+
+    /// XDR string: same wire shape as opaque, contents guaranteed UTF-8.
+    pub fn put_string(&mut self, s: &str) {
+        self.put_opaque(s.as_bytes());
+    }
+
+    /// Variable-length array of doubles: u32 count then each element.
+    pub fn put_f64_array(&mut self, xs: &[f64]) {
+        self.put_u32(xs.len() as u32);
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_bits().to_be_bytes());
+        }
+    }
+
+    /// Variable-length array of u64 (used for sparse-matrix index arrays).
+    pub fn put_u64_array(&mut self, xs: &[u64]) {
+        self.put_u32(xs.len() as u32);
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_be_bytes());
+        }
+    }
+}
+
+/// Bounds-checked XDR decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    max_item: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decoder with the default item-size limit.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0, max_item: DEFAULT_MAX_ITEM_BYTES }
+    }
+
+    /// Decoder with a custom per-item byte limit.
+    pub fn with_limit(data: &'a [u8], max_item: usize) -> Self {
+        Decoder { data, pos: 0, max_item }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Error unless every byte has been consumed — catches trailing garbage
+    /// and messages that were truncated on encode.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(NetSolveError::Protocol(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(NetSolveError::Protocol(format!(
+                "truncated message: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read an i32.
+    pub fn get_i32(&mut self) -> Result<i32> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Read a u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Read an i64.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Read a double.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a bool; any nonzero word is rejected unless it is exactly 1,
+    /// which catches desynchronized streams early.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(NetSolveError::Protocol(format!(
+                "invalid bool word {other}"
+            ))),
+        }
+    }
+
+    /// Read a variable-length opaque into an owned vector.
+    pub fn get_opaque(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        if len > self.max_item {
+            return Err(NetSolveError::Protocol(format!(
+                "opaque of {len} bytes exceeds limit {}",
+                self.max_item
+            )));
+        }
+        let bytes = self.take(len)?.to_vec();
+        let pad = self.take(pad_len(len))?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(NetSolveError::Protocol("nonzero padding".into()));
+        }
+        Ok(bytes)
+    }
+
+    /// Read an XDR string, validating UTF-8.
+    pub fn get_string(&mut self) -> Result<String> {
+        let bytes = self.get_opaque()?;
+        String::from_utf8(bytes)
+            .map_err(|e| NetSolveError::Protocol(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Read a variable-length double array.
+    pub fn get_f64_array(&mut self) -> Result<Vec<f64>> {
+        let len = self.get_u32()? as usize;
+        if len.saturating_mul(8) > self.max_item {
+            return Err(NetSolveError::Protocol(format!(
+                "f64 array of {len} elements exceeds limit"
+            )));
+        }
+        let raw = self.take(len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(8) {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(chunk);
+            out.push(f64::from_bits(u64::from_be_bytes(arr)));
+        }
+        Ok(out)
+    }
+
+    /// Read a variable-length u64 array.
+    pub fn get_u64_array(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_u32()? as usize;
+        if len.saturating_mul(8) > self.max_item {
+            return Err(NetSolveError::Protocol(format!(
+                "u64 array of {len} elements exceeds limit"
+            )));
+        }
+        let raw = self.take(len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(8) {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(chunk);
+            out.push(u64::from_be_bytes(arr));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut e = Encoder::new();
+        e.put_u32(0xDEAD_BEEF);
+        e.put_i32(-42);
+        e.put_u64(u64::MAX);
+        e.put_i64(i64::MIN);
+        e.put_f64(std::f64::consts::PI);
+        e.put_bool(true);
+        e.put_bool(false);
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_i32().unwrap(), -42);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), i64::MIN);
+        assert_eq!(d.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn big_endian_on_the_wire() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn opaque_pads_to_four() {
+        let mut e = Encoder::new();
+        e.put_opaque(b"abcde"); // 4 (len) + 5 + 3 pad = 12
+        assert_eq!(e.len(), 12);
+        let bytes = e.into_bytes();
+        assert_eq!(&bytes[9..], &[0, 0, 0]);
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_opaque().unwrap(), b"abcde");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn string_roundtrip_and_utf8_rejection() {
+        let mut e = Encoder::new();
+        e.put_string("héllo ∑");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_string().unwrap(), "héllo ∑");
+
+        // corrupt the payload into invalid UTF-8
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF;
+        bad[5] = 0xFE;
+        let mut d = Decoder::new(&bad);
+        assert!(d.get_string().is_err());
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sqrt() - 5.0).collect();
+        let us: Vec<u64> = (0..33).map(|i| i * 7919).collect();
+        let mut e = Encoder::new();
+        e.put_f64_array(&xs);
+        e.put_u64_array(&us);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_f64_array().unwrap(), xs);
+        assert_eq!(d.get_u64_array().unwrap(), us);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Encoder::new();
+        e.put_f64_array(&[1.0, 2.0, 3.0]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 4]);
+        assert!(d.get_f64_array().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u32(7);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        let mut d = Decoder::new(&bytes);
+        d.get_u32().unwrap();
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn oversized_items_rejected_without_allocation() {
+        // Claim a 4-billion-element array with only 8 bytes behind it.
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        e.put_u32(0);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_f64_array().is_err());
+
+        let mut d = Decoder::with_limit(&bytes, 16);
+        assert!(d.get_opaque().is_err());
+    }
+
+    #[test]
+    fn bad_bool_word_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_bool().is_err());
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let mut e = Encoder::new();
+        e.put_opaque(b"ab");
+        let mut bytes = e.into_bytes();
+        bytes[7] = 1; // corrupt a pad byte
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_opaque().is_err());
+    }
+
+    #[test]
+    fn nan_and_infinities_roundtrip() {
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE];
+        let mut e = Encoder::new();
+        for &x in &specials {
+            e.put_f64(x);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for &x in &specials {
+            let y = d.get_f64().unwrap();
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Capacity planning with the simulator: a researcher asks "how many
+//! servers does my department need for its workload?" and answers it with
+//! the deterministic discrete-event harness — mixed problem types, a
+//! recorded arrival trace, and a server-pool sweep.
+//!
+//! Run with: `cargo run --example capacity_planning --release`
+
+use netsolve::sim::{run, Arrivals, RequestMix, Scenario, SimServer};
+
+fn main() -> netsolve::core::Result<()> {
+    // A morning's recorded arrival pattern: a quiet start, a burst when
+    // the lab fills up, then steady work (times in seconds).
+    let mut trace: Vec<f64> = Vec::new();
+    let mut t = 0.0;
+    for i in 0..120 {
+        t += if i < 20 {
+            2.0 // quiet
+        } else if i < 80 {
+            0.2 // burst: everyone hits enter after coffee
+        } else {
+            1.0 // steady
+        };
+        trace.push(t);
+    }
+
+    // The department's blend: mostly medium linear solves, some big
+    // spectral jobs, constant small utility calls.
+    let mix = RequestMix::mixed(&[
+        ("dgesv", &[400, 600], 5.0),
+        ("fft", &[16384], 2.0),
+        ("dnrm2", &[10_000], 3.0),
+    ]);
+
+    println!("sweeping pool size for a 120-request recorded morning:\n");
+    println!("{:>8}  {:>12}  {:>16}  {:>16}", "servers", "makespan", "mean turnaround", "p95 turnaround");
+    for pool_size in [1usize, 2, 3, 4, 6, 8] {
+        let servers = vec![SimServer::new(120.0); pool_size];
+        let mut sc = Scenario::default_with(servers, trace.len());
+        sc.arrivals = Arrivals::Trace(trace.clone());
+        sc.mix = mix.clone();
+        // Campus backbone, not 1996 Ethernet: compute, not transfer,
+        // should dominate so the pool size is what matters.
+        sc.network = netsolve::sim::SimNetwork::uniform(1e-4, 50e6);
+        sc.seed = 7;
+        let mut report = run(&sc)?;
+        println!(
+            "{:>8}  {:>12}  {:>16}  {:>16}",
+            pool_size,
+            netsolve::core::units::fmt_secs(report.makespan_secs()),
+            netsolve::core::units::fmt_secs(report.mean_turnaround_secs()),
+            netsolve::core::units::fmt_secs(report.turnaround_percentile(95.0)),
+        );
+    }
+
+    println!("\nreading the knee of that table tells you where adding another");
+    println!("machine stops paying — the same judgement call the 1996 sysadmin");
+    println!("made with NetSolve's agent logs, now reproducible from a seed.");
+    Ok(())
+}

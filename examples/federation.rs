@@ -1,0 +1,111 @@
+//! Agent federation demo: two NetSolve agents, each with its own server
+//! pool, peered so a client of either agent can reach every server —
+//! the multi-agent domain topology the original NetSolve ran.
+//!
+//! Run with: `cargo run --example federation`
+
+use std::sync::Arc;
+
+use netsolve::agent::{AgentCore, AgentDaemon};
+use netsolve::client::NetSolveClient;
+use netsolve::core::DataObject;
+use netsolve::net::{ChannelNetwork, Transport};
+use netsolve::server::{ServerConfig, ServerCore, ServerDaemon};
+
+fn main() -> netsolve::core::Result<()> {
+    let net = ChannelNetwork::new();
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+
+    // Site A: an agent with one general-purpose server.
+    let mut agent_a = AgentDaemon::start_federated(
+        Arc::clone(&transport),
+        "agent-site-a",
+        AgentCore::with_defaults(),
+        vec!["agent-site-b".into()],
+    )?;
+    let mut srv_a = ServerDaemon::start(
+        Arc::clone(&transport),
+        "agent-site-a",
+        ServerCore::with_standard_catalogue(),
+        ServerConfig::quick("siteA-ws", "srv-a", 150.0),
+    )?;
+
+    // Site B: a second agent with a specialist server that ONLY advertises
+    // the quadrature problems (a restricted catalogue, like a site whose
+    // license/library only covers one package).
+    let mut agent_b = AgentDaemon::start_federated(
+        Arc::clone(&transport),
+        "agent-site-b",
+        AgentCore::with_defaults(),
+        vec!["agent-site-a".into()],
+    )?;
+    let mut quad_registry = netsolve::pdl::ProblemRegistry::new();
+    let quad_only: String = netsolve::pdl::standard_catalogue()?
+        .iter()
+        .filter(|p| p.name.starts_with("quad"))
+        .map(netsolve::pdl::render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    quad_registry.register_source(&quad_only)?;
+    let mut srv_b = ServerDaemon::start(
+        Arc::clone(&transport),
+        "agent-site-b",
+        ServerCore::new(quad_registry, netsolve::server::ExecutionMode::Real),
+        ServerConfig::quick("siteB-quadbox", "srv-b", 400.0),
+    )?;
+
+    println!("site A agent: general server (21 problems)");
+    println!("site B agent: quadrature specialist\n");
+
+    // A client at site B wants a dense solve — only site A has it.
+    let client_b = NetSolveClient::new(Arc::new(net.clone()), "agent-site-b");
+    let a = netsolve::core::Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0])?;
+    let (out, report) = client_b.netsl_timed("dgesv", &[a.into(), vec![3.0, 5.0].into()])?;
+    println!(
+        "site-B client solved dgesv via federation on {} -> x = {:?}",
+        report.server_address,
+        out[0].as_vector()?
+    );
+    assert_eq!(report.server_address, "srv-a");
+
+    // A client at site A integrates — site B's specialist is known to B
+    // only, but A's own server also advertises quad; the agent prefers
+    // its local answer. Ask for something only B can do by taking srv-a
+    // down first.
+    net.set_down("srv-a");
+    let client_a = NetSolveClient::new(Arc::new(net.clone()), "agent-site-a");
+    // two failures mark srv-a down at agent A
+    for _ in 0..2 {
+        let _ = client_a.netsl(
+            "quad",
+            &[
+                "sin".into(),
+                DataObject::Double(0.0),
+                DataObject::Double(1.0),
+                DataObject::Double(1e-9),
+            ],
+        );
+    }
+    let (out, report) = client_a.netsl_timed(
+        "quad",
+        &[
+            "sin".into(),
+            DataObject::Double(0.0),
+            DataObject::Double(std::f64::consts::PI),
+            DataObject::Double(1e-10),
+        ],
+    )?;
+    println!(
+        "site-A client (its own server down) integrated sin over [0, π] = {:.9} on {}",
+        out[0].as_double()?,
+        report.server_address
+    );
+    assert_eq!(report.server_address, "srv-b");
+
+    println!("\nfederation: every site can reach every capability.");
+    srv_a.stop();
+    srv_b.stop();
+    agent_a.stop();
+    agent_b.stop();
+    Ok(())
+}

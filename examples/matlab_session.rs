@@ -1,0 +1,83 @@
+//! The MATLAB-interface demo: NetSolve's signature user experience was an
+//! interactive session where `x = netsolve('dgesv', A, b)` transparently
+//! ran on the network. This example replays such a session through the
+//! miniature MATLAB-like interpreter, then drops into a REPL if stdin is
+//! interactive.
+//!
+//! Run with: `cargo run --example matlab_session`
+//! Pipe a script: `echo "norm([3 4])" | cargo run --example matlab_session`
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use netsolve::script::Interpreter;
+use netsolve::testbed::InProcessDomain;
+
+const SESSION: &str = "
+% --- a NetSolve session, 1996 style -------------------------------
+A = [4 1 0; 1 4 1; 0 1 4]
+b = [1 2 3]
+x = netsolve('dgesv', A, b)          % solved on the network
+resid = norm(A * x - b)
+disp('residual:')
+disp(resid)
+
+% least squares through noisy-ish samples
+t = linspace(0, 1, 20)
+y = t * 2 + 1
+coeffs = netsolve('polyfit', t, y, 1)
+disp('fitted line (constant, slope):')
+disp(coeffs)
+
+% remote quadrature
+area = netsolve('quad', 'runge', -1, 1, 1e-10)
+disp('integral of Runge function on [-1,1]:')
+disp(area)
+";
+
+fn main() -> netsolve::core::Result<()> {
+    let domain = InProcessDomain::start(&[("matlab-box", 200.0), ("backend", 400.0)])?;
+    let mut interp = Interpreter::with_client(domain.client());
+
+    println!(">> replaying scripted session:\n{SESSION}");
+    interp.run(SESSION)?;
+    println!("--- session output ---");
+    for line in &interp.output {
+        println!("{line}");
+    }
+    interp.output.clear();
+
+    let stdin = std::io::stdin();
+    if stdin.is_terminal() {
+        println!("\nentering REPL (empty line quits). Try: netsolve('dnrm2', [3 4])");
+        loop {
+            print!("netsolve> ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 || line.trim().is_empty() {
+                break;
+            }
+            match interp.run(&line) {
+                Ok(_) => {
+                    for out in interp.output.drain(..) {
+                        println!("{out}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    } else {
+        // Piped input: execute it as a script.
+        let mut script = String::new();
+        for line in stdin.lock().lines() {
+            script.push_str(&line.unwrap_or_default());
+            script.push('\n');
+        }
+        if !script.trim().is_empty() {
+            interp.run(&script)?;
+            for out in interp.output.drain(..) {
+                println!("{out}");
+            }
+        }
+    }
+    Ok(())
+}

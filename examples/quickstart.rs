@@ -1,0 +1,58 @@
+//! Quickstart: bring up a NetSolve domain in-process, solve a dense linear
+//! system remotely, and inspect what the agent predicted vs what happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use netsolve::core::{Matrix, Rng64};
+use netsolve::testbed::InProcessDomain;
+
+fn main() -> netsolve::core::Result<()> {
+    // One agent + two heterogeneous computational servers, all in this
+    // process, talking the real wire protocol over the channel transport.
+    let domain = InProcessDomain::start(&[("fast-host", 800.0), ("slow-host", 60.0)])?;
+    let client = domain.client();
+
+    println!("domain offers {} problems:", client.list_problems()?.len());
+    for name in client.list_problems()? {
+        let spec = client.describe(&name)?;
+        println!("  {name:<10} — {}", spec.description);
+    }
+
+    // Build a well-conditioned 300x300 system with a known solution.
+    let n = 300;
+    let mut rng = Rng64::new(7);
+    let a = Matrix::random_diag_dominant(n, &mut rng);
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b = a.matvec(&x_true)?;
+
+    // netsl: the agent picks the best server, the client ships the data.
+    let (outputs, report) = client.netsl_timed("dgesv", &[a.clone().into(), b.into()])?;
+    let x = outputs[0].as_vector()?;
+
+    let err = netsolve::core::matrix::vec_max_abs_diff(x, &x_true);
+    println!("\nsolved {n}x{n} dgesv remotely:");
+    println!("  served by   : {}", report.server_address);
+    println!("  predicted   : {}", netsolve::core::units::fmt_secs(report.predicted_secs));
+    println!("  measured    : {}", netsolve::core::units::fmt_secs(report.total_secs));
+    println!("  compute     : {}", netsolve::core::units::fmt_secs(report.compute_secs));
+    println!("  max |x - x*|: {err:.3e}");
+    assert!(err < 1e-8, "solution accuracy");
+
+    // Non-blocking flavour: overlap local work with the remote solve.
+    let handle = client.netsl_nb(
+        "quad",
+        vec![
+            "gauss".into(),
+            netsolve::core::DataObject::Double(-3.0),
+            netsolve::core::DataObject::Double(3.0),
+            netsolve::core::DataObject::Double(1e-10),
+        ],
+    );
+    let local_work: f64 = (0..1_000_000).map(|i| (i as f64).sqrt()).sum();
+    let integral = handle.wait()?[0].as_double()?;
+    println!("\noverlapped work while integrating exp(-x^2) over [-3,3]:");
+    println!("  remote integral = {integral:.9} (erf-based truth 1.772414712)");
+    println!("  local busywork  = {local_work:.3e}");
+
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! `ns-server` — run a NetSolve computational server over TCP.
+//!
+//! ```text
+//! ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]
+//!           [--host NAME] [--synthetic] [--pdl FILE]...
+//! ```
+//!
+//! Registers with the agent, then serves requests until killed.
+//! `--synthetic` makes the server *emulate* a machine of the advertised
+//! speed (sleep `complexity(n)/mflops`) instead of computing — useful for
+//! standing up heterogeneous testbeds on one box. `--pdl FILE` adds extra
+//! problem descriptions (they must name problems the executor implements,
+//! or requests for them will fail at execution time).
+
+use std::sync::Arc;
+
+use netsolve::net::{TcpTransport, Transport};
+use netsolve::pdl::ProblemRegistry;
+use netsolve::server::{ExecutionMode, ServerConfig, ServerCore, ServerDaemon};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]\n\
+         \x20                 [--host NAME] [--synthetic] [--pdl FILE]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut agent: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut mflops = 100.0f64;
+    let mut host = hostname_or("rust-server");
+    let mut synthetic = false;
+    let mut pdl_files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--agent" => agent = Some(args.next().unwrap_or_else(|| usage())),
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--mflops" => {
+                mflops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--host" => host = args.next().unwrap_or_else(|| usage()),
+            "--synthetic" => synthetic = true,
+            "--pdl" => pdl_files.push(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(agent) = agent else { usage() };
+
+    let mut registry = ProblemRegistry::with_standard_catalogue();
+    for file in &pdl_files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ns-server: cannot read {file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match registry.register_source(&source) {
+            Ok(n) => println!("loaded {n} problems from {file}"),
+            Err(e) => {
+                eprintln!("ns-server: {file}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mode = if synthetic {
+        ExecutionMode::Synthetic { mflops }
+    } else {
+        ExecutionMode::Real
+    };
+    let core = ServerCore::new(registry, mode);
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let daemon = match ServerDaemon::start(
+        transport,
+        &agent,
+        core,
+        ServerConfig::quick(&host, &listen, mflops),
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ns-server: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ns-server '{host}' ({mflops} Mflop/s{}) listening on tcp://{} — registered as id {}",
+        if synthetic { ", synthetic" } else { "" },
+        daemon.address(),
+        daemon.server_id()
+    );
+    println!("(ctrl-c to stop)");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn hostname_or(default: &str) -> String {
+    std::env::var("HOSTNAME").unwrap_or_else(|_| default.to_string())
+}

@@ -1,0 +1,152 @@
+//! # netsolve
+//!
+//! A comprehensive Rust reproduction of **NetSolve: A Network Server for
+//! Solving Computational Science Problems** (Casanova & Dongarra,
+//! Supercomputing '96): a client–agent–server system giving applications
+//! network access to scientific solvers, with predictive load balancing
+//! and client-side fault tolerance.
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `netsolve-core` | data objects, problem model, errors, clocks |
+//! | [`xdr`] | `netsolve-xdr` | hand-written XDR-style wire marshaling |
+//! | [`pdl`] | `netsolve-pdl` | the problem description language + catalogue |
+//! | [`solvers`] | `netsolve-solvers` | the numerical substrate (LAPACK-style) |
+//! | [`proto`] | `netsolve-proto` | protocol messages and framing |
+//! | [`net`] | `netsolve-net` | TCP + link-model transports |
+//! | [`agent`] | `netsolve-agent` | the resource broker (the paper's core) |
+//! | [`server`] | `netsolve-server` | the computational server |
+//! | [`client`] | `netsolve-client` | `netsl` blocking / non-blocking calls |
+//! | [`sim`] | `netsolve-sim` | the discrete-event evaluation harness |
+//! | [`script`] | `netsolve-script` | the MATLAB-like interactive front end |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netsolve::testbed::InProcessDomain;
+//! use netsolve::core::{DataObject, Matrix};
+//!
+//! // Bring up an agent plus two servers in this process.
+//! let domain = InProcessDomain::start(&[("fast-host", 500.0), ("slow-host", 50.0)]).unwrap();
+//! let client = domain.client();
+//!
+//! // Solve A x = b somewhere on the "network".
+//! let a = Matrix::identity(4);
+//! let b = vec![1.0, 2.0, 3.0, 4.0];
+//! let x = client.netsl("dgesv", &[a.into(), b.clone().into()]).unwrap();
+//! assert_eq!(x[0].as_vector().unwrap(), b.as_slice());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use netsolve_agent as agent;
+pub use netsolve_client as client;
+pub use netsolve_core as core;
+pub use netsolve_net as net;
+pub use netsolve_pdl as pdl;
+pub use netsolve_proto as proto;
+pub use netsolve_script as script;
+pub use netsolve_server as server;
+pub use netsolve_sim as sim;
+pub use netsolve_solvers as solvers;
+pub use netsolve_xdr as xdr;
+
+pub mod testbed {
+    //! Convenience harness: a complete in-process NetSolve domain (one
+    //! agent, N servers, shared channel network) for examples, tests and
+    //! the live experiments.
+
+    use std::sync::Arc;
+
+    use netsolve_agent::{AgentCore, AgentDaemon, Policy};
+    use netsolve_client::NetSolveClient;
+    use netsolve_core::error::Result;
+    use netsolve_net::{ChannelNetwork, LinkModel, NetworkView, Transport};
+    use netsolve_server::{ExecutionMode, ServerConfig, ServerCore, ServerDaemon};
+
+    /// A running in-process domain: agent + servers on a shared
+    /// channel-transport network.
+    pub struct InProcessDomain {
+        network: ChannelNetwork,
+        agent: Option<AgentDaemon>,
+        servers: Vec<ServerDaemon>,
+    }
+
+    impl InProcessDomain {
+        /// Start an agent (MCT policy) and one real-execution server per
+        /// `(host_name, mflops)` entry. Server `i` listens at `"srv{i}"`.
+        pub fn start(servers: &[(&str, f64)]) -> Result<Self> {
+            Self::start_with(servers, LinkModel::ideal(), Policy::MinimumCompletionTime, ExecutionMode::Real)
+        }
+
+        /// Start with full control over link model, scheduling policy and
+        /// execution mode.
+        pub fn start_with(
+            servers: &[(&str, f64)],
+            link: LinkModel,
+            policy: Policy,
+            mode: ExecutionMode,
+        ) -> Result<Self> {
+            let network = ChannelNetwork::with_link(link, 0xD0_0D);
+            let transport: Arc<dyn Transport> = Arc::new(network.clone());
+            let core = AgentCore::new(Default::default(), policy, NetworkView::lan_defaults());
+            let agent = AgentDaemon::start(Arc::clone(&transport), "agent", core)?;
+            let mut daemons = Vec::with_capacity(servers.len());
+            for (i, (host, mflops)) in servers.iter().enumerate() {
+                let server_core = match mode {
+                    ExecutionMode::Real => ServerCore::with_standard_catalogue(),
+                    ExecutionMode::Synthetic { .. } => ServerCore::new(
+                        netsolve_pdl::ProblemRegistry::with_standard_catalogue(),
+                        ExecutionMode::Synthetic { mflops: *mflops },
+                    ),
+                };
+                daemons.push(ServerDaemon::start(
+                    Arc::clone(&transport),
+                    "agent",
+                    server_core,
+                    ServerConfig::quick(host, &format!("srv{i}"), *mflops),
+                )?);
+            }
+            Ok(InProcessDomain { network, agent: Some(agent), servers: daemons })
+        }
+
+        /// A new client bound to this domain's agent.
+        pub fn client(&self) -> Arc<NetSolveClient> {
+            Arc::new(NetSolveClient::new(Arc::new(self.network.clone()), "agent"))
+        }
+
+        /// The underlying channel network (for link tweaks / failure
+        /// injection in experiments).
+        pub fn network(&self) -> &ChannelNetwork {
+            &self.network
+        }
+
+        /// Handle to the agent daemon.
+        pub fn agent(&self) -> &AgentDaemon {
+            self.agent.as_ref().expect("agent running")
+        }
+
+        /// The running server daemons.
+        pub fn servers(&self) -> &[ServerDaemon] {
+            &self.servers
+        }
+
+        /// Stop everything (also happens on drop).
+        pub fn shutdown(&mut self) {
+            for s in &mut self.servers {
+                s.stop();
+            }
+            if let Some(mut agent) = self.agent.take() {
+                agent.stop();
+            }
+        }
+    }
+
+    impl Drop for InProcessDomain {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Golden wire-format tests: the exact byte layout of the protocol is a
+//! compatibility contract (a v1 client must interoperate with a v1 agent
+//! built from any commit), so key encodings are pinned here byte-for-byte.
+//! If one of these fails, either bump `netsolve::proto::frame::VERSION` or
+//! revert the encoding change.
+
+use netsolve::core::DataObject;
+use netsolve::proto::{frame_bytes, Message, QueryShape};
+use netsolve::xdr::{crc32, Encoder};
+
+#[test]
+fn ping_frame_is_pinned() {
+    let bytes = frame_bytes(&Message::Ping);
+    // magic "NSRV", version 1, length 4, payload = tag 13, crc
+    let mut expect = Vec::new();
+    expect.extend_from_slice(&0x4E53_5256u32.to_be_bytes());
+    expect.extend_from_slice(&1u32.to_be_bytes());
+    expect.extend_from_slice(&4u32.to_be_bytes());
+    expect.extend_from_slice(&13u32.to_be_bytes());
+    expect.extend_from_slice(&crc32(&13u32.to_be_bytes()).to_be_bytes());
+    assert_eq!(bytes, expect);
+}
+
+#[test]
+fn server_query_payload_is_pinned() {
+    let msg = Message::ServerQuery(QueryShape {
+        client_host: 7,
+        problem: "dgesv".into(),
+        n: 512,
+        bytes_in: 1000,
+        bytes_out: 64,
+    });
+    let payload = msg.encode();
+    let mut expect = Encoder::new();
+    expect.put_u32(4); // tag
+    expect.put_u64(7);
+    expect.put_string("dgesv"); // length 5 + 3 pad
+    expect.put_u64(512);
+    expect.put_u64(1000);
+    expect.put_u64(64);
+    assert_eq!(payload, expect.into_bytes());
+}
+
+#[test]
+fn xdr_primitives_are_big_endian_and_padded() {
+    let mut e = Encoder::new();
+    e.put_u32(0x0102_0304);
+    e.put_f64(1.0);
+    e.put_string("ab");
+    let bytes = e.into_bytes();
+    assert_eq!(&bytes[0..4], &[1, 2, 3, 4]);
+    // IEEE-754 1.0 big-endian
+    assert_eq!(&bytes[4..12], &[0x3F, 0xF0, 0, 0, 0, 0, 0, 0]);
+    // string: length 2, 'a', 'b', two zero pad bytes
+    assert_eq!(&bytes[12..20], &[0, 0, 0, 2, b'a', b'b', 0, 0]);
+}
+
+#[test]
+fn data_object_tags_are_pinned() {
+    // tag values are wire contract: int=0 double=1 vector=2 matrix=3
+    // sparse=4 text=5
+    for (obj, tag) in [
+        (DataObject::Int(0), 0u32),
+        (DataObject::Double(0.0), 1),
+        (DataObject::Vector(vec![]), 2),
+        (DataObject::Matrix(netsolve::core::Matrix::zeros(0, 0)), 3),
+        (
+            DataObject::Sparse(netsolve::core::CsrMatrix::identity(0)),
+            4,
+        ),
+        (DataObject::Text(String::new()), 5),
+    ] {
+        let bytes = netsolve::xdr::to_bytes(std::slice::from_ref(&obj));
+        // layout: count (u32), tag (u32), ...
+        let got = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(got, tag, "tag drifted for {obj:?}");
+    }
+}
+
+#[test]
+fn message_tags_are_pinned() {
+    use netsolve::proto::ServerDescriptor;
+    let cases: Vec<(Message, u32)> = vec![
+        (
+            Message::RegisterServer(ServerDescriptor {
+                server_id: 0,
+                host: String::new(),
+                address: String::new(),
+                mflops: 1.0,
+                problems: vec![],
+                pdl_source: String::new(),
+            }),
+            1,
+        ),
+        (Message::RegisterAck { accepted: true, detail: String::new() }, 2),
+        (Message::WorkloadReport { server_id: 0, workload: 0.0 }, 3),
+        (Message::ListProblems, 6),
+        (Message::Ping, 13),
+        (Message::Pong, 14),
+        (Message::Error { code: 0, detail: String::new() }, 15),
+        (Message::ListServers, 19),
+    ];
+    for (msg, tag) in cases {
+        assert_eq!(msg.tag(), tag, "{} tag drifted", msg.name());
+        let payload = msg.encode();
+        let got = u32::from_be_bytes(payload[0..4].try_into().unwrap());
+        assert_eq!(got, tag);
+    }
+}
+
+#[test]
+fn error_codes_are_pinned() {
+    use netsolve::core::NetSolveError;
+    let cases = [
+        (NetSolveError::ProblemNotFound(String::new()), 1),
+        (NetSolveError::NoServerAvailable(String::new()), 2),
+        (NetSolveError::ServerUnreachable(String::new()), 3),
+        (NetSolveError::ExecutionFailed(String::new()), 4),
+        (NetSolveError::BadArguments(String::new()), 5),
+        (NetSolveError::Numerical(String::new()), 9),
+        (NetSolveError::Timeout(String::new()), 11),
+    ];
+    for (e, code) in cases {
+        assert_eq!(e.code(), code, "{} code drifted", e.kind());
+    }
+}
+
+#[test]
+fn crc32_check_value_is_standard() {
+    // Interop anchor: the classic CRC-32 check value.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
