@@ -167,6 +167,38 @@ impl AgentCore {
         self.faults.is_down(server, now)
     }
 
+    /// Registered servers the heartbeat prober should dial at `now`:
+    /// every server except those still inside their down-cooldown (those
+    /// get exactly the half-open probe once the cooldown elapses).
+    /// Returns `(server, address)` pairs so the prober can work without
+    /// holding the core lock across network I/O.
+    pub fn probe_targets(&self, now: SimTime) -> Vec<(ServerId, String)> {
+        self.registry
+            .all_servers()
+            .into_iter()
+            .filter(|s| {
+                !self.faults.is_down(s.server_id, now)
+                    || self.faults.should_probe(s.server_id, now)
+            })
+            .map(|s| (s.server_id, s.address.clone()))
+            .collect()
+    }
+
+    /// Record a successful liveness probe: clears fault state and
+    /// re-admits the server into rankings. Unlike
+    /// [`AgentCore::success_report`] this does not touch pending
+    /// assignments — probes are not client requests.
+    pub fn probe_succeeded(&mut self, server: ServerId) {
+        self.faults.record_success(server);
+    }
+
+    /// Mark a server down because it missed the heartbeat miss threshold.
+    /// Bypasses the client-report failure threshold: the prober has
+    /// already accumulated the configured number of consecutive misses.
+    pub fn probe_exhausted(&mut self, server: ServerId, now: SimTime) {
+        self.faults.force_down(server, now);
+    }
+
     /// Snapshot the eligible servers for a problem at `now` (advertise it,
     /// not marked down), with aged workloads.
     pub fn snapshots_for(&self, problem: &str, now: SimTime) -> Vec<ServerSnapshot> {
@@ -493,7 +525,12 @@ mod tests {
     fn message_dispatch_rejects_misdirected_messages() {
         let mut agent = AgentCore::with_defaults();
         let reply = agent.handle_message(
-            &Message::RequestSubmit { request_id: 1, problem: "x".into(), inputs: vec![] },
+            &Message::RequestSubmit {
+                request_id: 1,
+                deadline_ms: 0,
+                problem: "x".into(),
+                inputs: vec![],
+            },
             SimTime::ZERO,
         );
         assert!(matches!(reply, Message::Error { .. }));

@@ -3,12 +3,21 @@
 //! One accept loop; each connection gets its own handler thread running a
 //! simple request/reply protocol (every incoming message is answered).
 //! Works identically over TCP and the in-process channel transport.
+//!
+//! The daemon also runs a heartbeat prober: every probe interval it dials
+//! each registered server with a `Ping` and feeds the outcome into the
+//! core's fault tracker, so dead servers drop out of rankings even when no
+//! client ever reports them, and recovered servers are re-admitted.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use netsolve_core::clock::{Clock, RealClock};
+use netsolve_core::config::HeartbeatPolicy;
 use netsolve_core::error::Result;
+use netsolve_core::ids::ServerId;
 use netsolve_net::{Connection, Transport};
 use parking_lot::Mutex;
 
@@ -20,6 +29,7 @@ pub struct AgentDaemon {
     address: String,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    heartbeat_thread: Option<std::thread::JoinHandle<()>>,
     transport: Arc<dyn Transport>,
 }
 
@@ -48,7 +58,14 @@ impl AgentDaemon {
         core: AgentCore,
         peers: Vec<String>,
     ) -> Result<AgentDaemon> {
-        Self::start_inner(transport, hint, core, Arc::new(RealClock::new()), peers)
+        Self::start_inner(
+            transport,
+            hint,
+            core,
+            Arc::new(RealClock::new()),
+            peers,
+            HeartbeatPolicy::default(),
+        )
     }
 
     /// Start with an explicit clock (tests use a virtual one).
@@ -58,7 +75,22 @@ impl AgentDaemon {
         core: AgentCore,
         clock: Arc<dyn Clock>,
     ) -> Result<AgentDaemon> {
-        Self::start_inner(transport, hint, core, clock, Vec::new())
+        Self::start_inner(transport, hint, core, clock, Vec::new(), HeartbeatPolicy::default())
+    }
+
+    /// Start with an explicit clock and heartbeat policy. The clock must
+    /// be shared with anyone who later queries the core's fault state,
+    /// since down-cooldowns compare [`SimTime`]s from this clock.
+    ///
+    /// [`SimTime`]: netsolve_core::clock::SimTime
+    pub fn start_with_heartbeat(
+        transport: Arc<dyn Transport>,
+        hint: &str,
+        core: AgentCore,
+        clock: Arc<dyn Clock>,
+        heartbeat: HeartbeatPolicy,
+    ) -> Result<AgentDaemon> {
+        Self::start_inner(transport, hint, core, clock, Vec::new(), heartbeat)
     }
 
     fn start_inner(
@@ -67,11 +99,23 @@ impl AgentDaemon {
         core: AgentCore,
         clock: Arc<dyn Clock>,
         peers: Vec<String>,
+        heartbeat: HeartbeatPolicy,
     ) -> Result<AgentDaemon> {
         let listener = transport.listen(hint)?;
         let address = listener.address();
         let core = Arc::new(Mutex::new(core));
         let stop = Arc::new(AtomicBool::new(false));
+
+        let heartbeat_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let transport = Arc::clone(&transport);
+            let clock = Arc::clone(&clock);
+            std::thread::Builder::new()
+                .name("agent-heartbeat".into())
+                .spawn(move || run_heartbeat(transport, core, clock, stop, heartbeat))
+                .expect("spawn agent heartbeat thread")
+        };
 
         let accept_core = Arc::clone(&core);
         let accept_stop = Arc::clone(&stop);
@@ -113,6 +157,7 @@ impl AgentDaemon {
             address,
             stop,
             accept_thread: Some(accept_thread),
+            heartbeat_thread: Some(heartbeat_thread),
             transport,
         })
     }
@@ -137,7 +182,72 @@ impl AgentDaemon {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.heartbeat_thread.take() {
+            let _ = t.join();
+        }
     }
+}
+
+/// Heartbeat prober: every `probe_interval_secs`, dial each registered
+/// server with a `Ping`. A `Pong` within the probe timeout clears the
+/// server's fault record; `miss_threshold` consecutive misses force-mark
+/// it down. Miss counts deliberately survive the down-mark, so the
+/// half-open probe after the cooldown sends a server straight back down
+/// on a single further miss (and fully recovers it on a single success).
+fn run_heartbeat(
+    transport: Arc<dyn Transport>,
+    core: Arc<Mutex<AgentCore>>,
+    clock: Arc<dyn Clock>,
+    stop: Arc<AtomicBool>,
+    policy: HeartbeatPolicy,
+) {
+    let interval = Duration::from_secs_f64(policy.probe_interval_secs.max(0.001));
+    let probe_timeout = Duration::from_secs_f64(policy.probe_timeout_secs.max(0.001));
+    // Sleep in short ticks so stop() never waits long for this thread.
+    let tick = (interval / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let mut misses: HashMap<ServerId, u32> = HashMap::new();
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let step = tick.min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        let targets = core.lock().probe_targets(clock.now());
+        for (server, address) in targets {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            // Probe outside the core lock: a black-holed dial may block
+            // for the full probe timeout.
+            let alive = probe_once(&transport, &address, probe_timeout);
+            let mut core = core.lock();
+            if alive {
+                misses.remove(&server);
+                core.probe_succeeded(server);
+            } else {
+                let count = misses.entry(server).or_insert(0);
+                *count = count.saturating_add(1);
+                if *count >= policy.miss_threshold {
+                    core.probe_exhausted(server, clock.now());
+                }
+            }
+        }
+    }
+}
+
+/// One liveness probe: dial, Ping, expect Pong within the timeout.
+fn probe_once(transport: &Arc<dyn Transport>, address: &str, timeout: Duration) -> bool {
+    let Ok(mut conn) = transport.connect(address) else {
+        return false;
+    };
+    matches!(
+        netsolve_net::call(conn.as_mut(), &netsolve_proto::Message::Ping, timeout),
+        Ok(netsolve_proto::Message::Pong)
+    )
 }
 
 impl Drop for AgentDaemon {
@@ -426,6 +536,103 @@ mod tests {
         assert!(matches!(reply, Message::Error { .. }));
         agent_a.stop();
         agent_b.stop();
+    }
+
+    #[test]
+    fn heartbeat_marks_unresponsive_server_down_and_readmits_it() {
+        use crate::balance::Policy;
+        use netsolve_core::config::{AgentConfig, FaultPolicy, HeartbeatPolicy};
+        use netsolve_net::NetworkView;
+        use std::time::Instant;
+
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+
+        // A bare Ping/Pong responder standing in for a server daemon.
+        let listener = net.listen("srv1").unwrap();
+        std::thread::spawn(move || {
+            while let Ok(mut conn) = listener.accept() {
+                std::thread::spawn(move || {
+                    while let Ok(msg) = conn.recv() {
+                        let reply = match msg {
+                            Message::Ping => Message::Pong,
+                            other => panic!("probe sent {other:?}"),
+                        };
+                        if conn.send(&reply).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        // Short cooldown so the half-open re-admission probe happens
+        // within the test; fast probing so the whole cycle is quick.
+        let config = AgentConfig {
+            fault: FaultPolicy { failures_to_mark_down: 2, down_cooldown_secs: 0.2 },
+            ..AgentConfig::default()
+        };
+        let core = AgentCore::new(config, Policy::MinimumCompletionTime, NetworkView::lan_defaults());
+        let heartbeat = HeartbeatPolicy {
+            probe_interval_secs: 0.03,
+            miss_threshold: 2,
+            probe_timeout_secs: 0.5,
+        };
+        let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+        let mut daemon = AgentDaemon::start_with_heartbeat(
+            Arc::clone(&transport),
+            "agent",
+            core,
+            Arc::clone(&clock),
+            heartbeat,
+        )
+        .unwrap();
+
+        let mut conn = net.connect("agent").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("h1", "srv1", 200.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+        let sid = daemon.core().lock().registry().all_servers()[0].server_id;
+
+        let wait_for = |what: &str, cond: &dyn Fn() -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !cond() {
+                assert!(Instant::now() < deadline, "timed out waiting for {what}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+
+        // Healthy server: probes succeed, fault state stays clean.
+        let core_handle = daemon.core();
+        wait_for("first successful probe", &|| {
+            core_handle.lock().probe_targets(clock.now()).len() == 1
+                && !core_handle.lock().is_down(sid, clock.now())
+        });
+
+        // Kill the server: within probe_interval x miss_threshold (plus
+        // slack) the heartbeat must mark it down without any client report.
+        net.set_down("srv1");
+        wait_for("heartbeat down-mark", &|| core_handle.lock().is_down(sid, clock.now()));
+
+        // While down and cooling, the prober leaves it alone.
+        assert!(core_handle.lock().probe_targets(clock.now()).is_empty());
+
+        // Revive it: the half-open probe after the cooldown re-admits it.
+        net.set_up("srv1");
+        wait_for("re-admission after recovery", &|| {
+            let now = clock.now();
+            let core = core_handle.lock();
+            !core.is_down(sid, now) && !core.registry().all_servers().is_empty()
+        });
+        // And it stays up: fault record was fully cleared by the probe.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!core_handle.lock().is_down(sid, clock.now()));
+
+        daemon.stop();
     }
 
     #[test]

@@ -57,6 +57,28 @@ impl FaultTracker {
         rec.total_successes += 1;
     }
 
+    /// Mark a server down immediately, bypassing the consecutive-failure
+    /// threshold. Used by liveness probing, where the prober applies its
+    /// own miss threshold before concluding the server is gone.
+    pub fn force_down(&mut self, server: ServerId, now: SimTime) {
+        let rec = self.records.entry(server).or_default();
+        rec.consecutive_failures = rec.consecutive_failures.saturating_add(1);
+        rec.total_failures += 1;
+        rec.down_since = Some(now);
+    }
+
+    /// Whether a down server's cooldown has elapsed, making it half-open:
+    /// it should receive a probe (or one trial request) whose outcome
+    /// either recovers it ([`FaultTracker::record_success`]) or pushes it
+    /// straight back down. Servers that were never marked down return
+    /// `false` — they need no probe, they are taking live traffic.
+    pub fn should_probe(&self, server: ServerId, now: SimTime) -> bool {
+        match self.records.get(&server).and_then(|r| r.down_since) {
+            Some(since) => now.since(since) >= self.policy.down_cooldown_secs,
+            None => false,
+        }
+    }
+
     /// Whether the server should be excluded from rankings at `now`.
     /// After the cooldown expires the server becomes eligible again (one
     /// probe request will either succeed — clearing the record — or push
@@ -153,6 +175,37 @@ mod tests {
         t.forget(s);
         assert!(!t.is_down(s, SimTime::ZERO));
         assert_eq!(t.total_failures(s), 0);
+    }
+
+    #[test]
+    fn half_open_lifecycle_down_cooldown_probe_recovered() {
+        let mut t = tracker();
+        let s = ServerId(1);
+        // Healthy: no probing needed.
+        assert!(!t.should_probe(s, SimTime::ZERO));
+
+        // Down (via the probe path's force_down, no threshold needed).
+        t.force_down(s, SimTime::ZERO);
+        assert!(t.is_down(s, SimTime::ZERO));
+        assert!(!t.should_probe(s, SimTime::ZERO), "still cooling down");
+        assert!(!t.should_probe(s, SimTime::from_secs(59.0)));
+
+        // Cooldown elapsed: half-open — excluded no longer, probe due.
+        let probe_time = SimTime::from_secs(60.0);
+        assert!(!t.is_down(s, probe_time));
+        assert!(t.should_probe(s, probe_time));
+
+        // Failed probe pushes it straight back down; a fresh cooldown runs.
+        t.force_down(s, probe_time);
+        assert!(t.is_down(s, SimTime::from_secs(119.0)));
+        assert!(t.should_probe(s, SimTime::from_secs(120.0)));
+
+        // Successful probe recovers it fully.
+        t.record_success(s);
+        assert!(!t.is_down(s, SimTime::from_secs(120.0)));
+        assert!(!t.should_probe(s, SimTime::from_secs(1000.0)));
+        assert_eq!(t.total_failures(s), 2);
+        assert_eq!(t.total_successes(s), 1);
     }
 
     #[test]

@@ -55,7 +55,8 @@ impl ServerRegistry {
     ///
     /// Returns the assigned [`ServerId`].
     pub fn register(&mut self, desc: &ServerDescriptor) -> Result<ServerId> {
-        if !(desc.mflops > 0.0) || !desc.mflops.is_finite() {
+        // NaN falls to the is_finite arm.
+        if desc.mflops <= 0.0 || !desc.mflops.is_finite() {
             return Err(NetSolveError::Registration(format!(
                 "invalid performance {} Mflop/s",
                 desc.mflops

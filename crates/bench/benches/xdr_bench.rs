@@ -48,6 +48,7 @@ fn bench_frame_path(c: &mut Criterion) {
     let m = Matrix::random(128, 128, &mut rng);
     let msg = Message::RequestSubmit {
         request_id: 1,
+        deadline_ms: 0,
         problem: "dgemm".into(),
         inputs: vec![m.clone().into(), m.into()],
     };

@@ -29,7 +29,7 @@ fn main() {
         &["policy", "makespan", "mean turnaround", "p95 turnaround", "mean attempts"],
     );
     for report in &reports {
-        let mut r = report.clone();
+        let r = report.clone();
         table.row(vec![
             report.policy().name().to_string(),
             secs(r.makespan_secs()),

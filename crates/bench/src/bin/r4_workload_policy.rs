@@ -61,7 +61,7 @@ fn main() {
             (5.0, 50.0, 60.0),
             (5.0, 400.0, 60.0),
         ] {
-            let mut report =
+            let report =
                 run(&scenario(interval, threshold, ttl, pending)).expect("sim runs");
             table.row(vec![
                 if pending { "on" } else { "off" }.to_string(),

@@ -37,6 +37,7 @@ fn time_marshal(obj: &DataObject, repeats: usize) -> (u64, f64, f64, f64) {
     // Full frame path (adds CRC + header) through the protocol layer.
     let msg = Message::RequestSubmit {
         request_id: 1,
+        deadline_ms: 0,
         problem: "bench".into(),
         inputs: objs.to_vec(),
     };

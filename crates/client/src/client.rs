@@ -10,6 +10,7 @@ use netsolve_core::config::RetryPolicy;
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::problem::{ProblemSpec, RequestShape};
+use netsolve_core::rng::Rng64;
 use netsolve_net::{call, Connection, Transport};
 use netsolve_proto::{Candidate, Message, QueryShape};
 use parking_lot::Mutex;
@@ -42,6 +43,7 @@ pub struct NetSolveClient {
     agent_conn: Mutex<Option<Box<dyn Connection>>>,
     specs: Mutex<HashMap<String, ProblemSpec>>,
     next_request: AtomicU64,
+    jitter: Mutex<Rng64>,
 }
 
 impl NetSolveClient {
@@ -55,7 +57,14 @@ impl NetSolveClient {
             agent_conn: Mutex::new(None),
             specs: Mutex::new(HashMap::new()),
             next_request: AtomicU64::new(1),
+            jitter: Mutex::new(Rng64::new(0x6A17_7E12)),
         }
+    }
+
+    /// Reseed the backoff-jitter stream (reproducible experiments).
+    pub fn with_jitter_seed(self, seed: u64) -> Self {
+        *self.jitter.lock() = Rng64::new(seed);
+        self
     }
 
     /// Set the client's host identity (used by the agent for per-pair
@@ -183,14 +192,37 @@ impl NetSolveClient {
             return Err(NetSolveError::NoServerAvailable(problem.to_string()));
         }
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        // The per-call deadline spans every attempt and backoff wait; its
+        // remaining budget rides along in each RequestSubmit so servers
+        // can shed work whose client has already given up.
+        let deadline = (self.retry.deadline_secs > 0.0)
+            .then(|| Instant::now() + Duration::from_secs_f64(self.retry.deadline_secs));
 
         let mut last_err = NetSolveError::NoServerAvailable(problem.to_string());
         let tried = candidates.iter().take(self.retry.max_attempts.max(1));
-        let mut attempts = 0u32;
-        for candidate in tried {
-            attempts += 1;
+        for (retry, candidate) in tried.enumerate() {
+            if retry > 0 {
+                let jitter = self.jitter.lock().next_f64();
+                let wait = self.retry.backoff.delay_secs(retry as u32 - 1, jitter);
+                if wait > 0.0 {
+                    let mut pause = Duration::from_secs_f64(wait);
+                    if let Some(d) = deadline {
+                        pause = pause.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    std::thread::sleep(pause);
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(NetSolveError::Timeout(format!(
+                        "deadline of {:.3}s exhausted after {retry} attempt(s): {last_err}",
+                        self.retry.deadline_secs
+                    )));
+                }
+            }
+            let attempts = retry as u32 + 1;
             let start = Instant::now();
-            match self.try_one(candidate, request_id, problem, inputs, &spec) {
+            match self.try_one(candidate, request_id, problem, inputs, &spec, deadline) {
                 Ok((outputs, compute_secs)) => {
                     let total_secs = start.elapsed().as_secs_f64();
                     // Best-effort completion report: clears the agent's
@@ -232,16 +264,28 @@ impl NetSolveClient {
         problem: &str,
         inputs: &[DataObject],
         spec: &ProblemSpec,
+        deadline: Option<Instant>,
     ) -> Result<(Vec<DataObject>, f64)> {
+        let mut attempt_timeout = Duration::from_secs_f64(self.retry.attempt_timeout_secs);
+        let mut deadline_ms = 0u64;
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetSolveError::Timeout("request deadline exhausted".into()));
+            }
+            attempt_timeout = attempt_timeout.min(remaining);
+            deadline_ms = (remaining.as_millis() as u64).max(1);
+        }
         let mut conn = self.transport.connect(&candidate.address)?;
         let reply = call(
             conn.as_mut(),
             &Message::RequestSubmit {
                 request_id,
+                deadline_ms,
                 problem: problem.to_string(),
                 inputs: inputs.to_vec(),
             },
-            Duration::from_secs_f64(self.retry.attempt_timeout_secs),
+            attempt_timeout,
         )?;
         match reply {
             Message::RequestReply { request_id: echoed, outputs, compute_secs } => {
@@ -421,6 +465,84 @@ mod tests {
             .netsl("ddot", &[vec![1.0].into(), vec![1.0].into()])
             .unwrap_err();
         assert!(err.is_retryable(), "got {err}");
+        domain.shutdown();
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        use netsolve_core::config::{Backoff, RetryPolicy};
+        let domain = bring_up(&[
+            ("a", 100.0),
+            ("b", 100.0),
+            ("c", 100.0),
+            ("d", 100.0),
+            ("e", 100.0),
+        ]);
+        // All five servers down: every attempt fails, and with a fixed
+        // 100 ms backoff the 150 ms deadline expires before the candidate
+        // list runs dry.
+        for i in 0..5 {
+            domain.net.set_down(&format!("srv{i}"));
+        }
+        let client = domain.client().with_retry(RetryPolicy {
+            max_attempts: 5,
+            attempt_timeout_secs: 5.0,
+            backoff: Backoff::Fixed { delay_secs: 0.1 },
+            deadline_secs: 0.15,
+            report_failures: true,
+        });
+        let start = Instant::now();
+        let err = client
+            .netsl("ddot", &[vec![1.0].into(), vec![1.0].into()])
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, NetSolveError::Timeout(_)), "got {err}");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline did not bound the call: {elapsed:?}"
+        );
+        domain.shutdown();
+    }
+
+    #[test]
+    fn backoff_waits_between_failover_attempts() {
+        use netsolve_core::config::{Backoff, RetryPolicy};
+        let domain = bring_up(&[("fast", 1000.0), ("slow", 10.0)]);
+        domain.net.set_down("srv0");
+        let client = domain.client().with_retry(RetryPolicy {
+            max_attempts: 3,
+            attempt_timeout_secs: 5.0,
+            backoff: Backoff::Fixed { delay_secs: 0.08 },
+            deadline_secs: 0.0,
+            report_failures: true,
+        });
+        let start = Instant::now();
+        let (_, report) = client
+            .netsl_timed("ddot", &[vec![2.0].into(), vec![3.0].into()])
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(report.attempts, 2);
+        assert!(
+            elapsed >= Duration::from_millis(70),
+            "no backoff pause observed: {elapsed:?}"
+        );
+        domain.shutdown();
+    }
+
+    #[test]
+    fn call_with_deadline_still_succeeds_normally() {
+        use netsolve_core::config::RetryPolicy;
+        let domain = bring_up(&[("hostA", 100.0)]);
+        let client = domain.client().with_retry(RetryPolicy {
+            deadline_secs: 30.0,
+            ..RetryPolicy::default()
+        });
+        // The deadline budget propagates in the request; a healthy server
+        // answers well inside it.
+        let outputs = client
+            .netsl("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
+            .unwrap();
+        assert_eq!(outputs[0].as_double().unwrap(), 11.0);
         domain.shutdown();
     }
 

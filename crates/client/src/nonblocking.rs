@@ -47,7 +47,7 @@ impl RequestHandle {
     }
 
     /// Block until the result arrives and return it (`netslwt`).
-    pub fn wait(mut self) -> Result<Vec<DataObject>> {
+    pub fn wait(self) -> Result<Vec<DataObject>> {
         self.wait_timed().map(|(outputs, _)| outputs)
     }
 

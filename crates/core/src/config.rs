@@ -34,6 +34,49 @@ impl Default for WorkloadPolicy {
     }
 }
 
+/// Delay schedule applied between failover attempts.
+///
+/// Retrying instantly after a failure tends to re-hit the same transient
+/// fault (and, fleet-wide, synchronizes retries into load spikes); an
+/// exponential schedule with full jitter is the standard cure. The R5
+/// fault-tolerance experiment sweeps these variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backoff {
+    /// Retry immediately.
+    None,
+    /// Constant delay before every retry.
+    Fixed {
+        /// Seconds to wait before each retry.
+        delay_secs: f64,
+    },
+    /// Exponential backoff with full jitter: retry `k` waits a uniform
+    /// random time in `[0, min(cap, base * 2^k))`.
+    ExponentialJitter {
+        /// Upper bound of the first retry's wait, seconds.
+        base_secs: f64,
+        /// Ceiling on the exponential growth, seconds.
+        cap_secs: f64,
+    },
+}
+
+impl Backoff {
+    /// Seconds to wait before retry number `retry` (0 = the wait preceding
+    /// the second attempt). `jitter` must be a uniform sample in `[0, 1)`;
+    /// deterministic schedules ignore it.
+    pub fn delay_secs(&self, retry: u32, jitter: f64) -> f64 {
+        match self {
+            Backoff::None => 0.0,
+            Backoff::Fixed { delay_secs } => *delay_secs,
+            Backoff::ExponentialJitter { base_secs, cap_secs } => {
+                // Clamp the exponent so huge retry counts cannot overflow
+                // to infinity before the cap applies.
+                let ceiling = (base_secs * 2f64.powi(retry.min(62) as i32)).min(*cap_secs);
+                ceiling * jitter
+            }
+        }
+    }
+}
+
 /// Client-side fault-tolerance knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
@@ -41,6 +84,13 @@ pub struct RetryPolicy {
     pub max_attempts: usize,
     /// Per-attempt timeout in seconds.
     pub attempt_timeout_secs: f64,
+    /// Delay schedule between failover attempts.
+    pub backoff: Backoff,
+    /// End-to-end budget for one `netsl` call in seconds, spanning every
+    /// attempt and backoff wait; `0.0` means unlimited. The remaining
+    /// budget travels with the request so servers can shed work whose
+    /// deadline already passed.
+    pub deadline_secs: f64,
     /// Whether to report failures back to the agent (lets the agent mark
     /// the server down for everyone).
     pub report_failures: bool,
@@ -51,6 +101,8 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             attempt_timeout_secs: 30.0,
+            backoff: Backoff::ExponentialJitter { base_secs: 0.05, cap_secs: 2.0 },
+            deadline_secs: 0.0,
             report_failures: true,
         }
     }
@@ -70,6 +122,33 @@ impl Default for FaultPolicy {
         FaultPolicy {
             failures_to_mark_down: 2,
             down_cooldown_secs: 60.0,
+        }
+    }
+}
+
+/// Agent-side liveness probing (heartbeat) knobs.
+///
+/// The agent daemon periodically dials each registered server with a
+/// `Ping` and expects a `Pong` within `probe_timeout_secs`. A server
+/// that misses `miss_threshold` consecutive probes is force-marked down
+/// in the fault tracker; a successful probe (including the half-open
+/// probe after cooldown) re-admits it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatPolicy {
+    /// Seconds between probe rounds.
+    pub probe_interval_secs: f64,
+    /// Consecutive missed probes before the server is marked down.
+    pub miss_threshold: u32,
+    /// Seconds to wait for a `Pong` before counting the probe as missed.
+    pub probe_timeout_secs: f64,
+}
+
+impl Default for HeartbeatPolicy {
+    fn default() -> Self {
+        HeartbeatPolicy {
+            probe_interval_secs: 15.0,
+            miss_threshold: 2,
+            probe_timeout_secs: 2.0,
         }
     }
 }
@@ -126,12 +205,39 @@ mod tests {
         assert!(r.max_attempts >= 1);
         assert!(r.attempt_timeout_secs > 0.0);
         assert!(r.report_failures);
+        assert_eq!(r.deadline_secs, 0.0, "no deadline unless asked");
+        assert!(matches!(r.backoff, Backoff::ExponentialJitter { .. }));
 
         let f = FaultPolicy::default();
         assert!(f.failures_to_mark_down >= 1);
 
+        let h = HeartbeatPolicy::default();
+        assert!(h.probe_interval_secs > 0.0);
+        assert!(h.miss_threshold >= 1);
+        assert!(h.probe_timeout_secs > 0.0);
+
         let a = AgentConfig::default();
         assert!(a.candidates_returned.0 >= 1);
         assert!(a.pending_tracking, "pending tracking on by default");
+    }
+
+    #[test]
+    fn backoff_schedules() {
+        assert_eq!(Backoff::None.delay_secs(0, 0.5), 0.0);
+        assert_eq!(Backoff::None.delay_secs(9, 0.5), 0.0);
+
+        let fixed = Backoff::Fixed { delay_secs: 0.25 };
+        assert_eq!(fixed.delay_secs(0, 0.0), 0.25);
+        assert_eq!(fixed.delay_secs(5, 0.9), 0.25);
+
+        let exp = Backoff::ExponentialJitter { base_secs: 0.1, cap_secs: 1.0 };
+        // Full jitter: the sample scales the growing ceiling.
+        assert_eq!(exp.delay_secs(0, 0.5), 0.05);
+        assert_eq!(exp.delay_secs(1, 0.5), 0.1);
+        assert_eq!(exp.delay_secs(2, 0.5), 0.2);
+        // Ceiling saturates at the cap and never overflows.
+        assert_eq!(exp.delay_secs(10, 1.0), 1.0);
+        let huge = exp.delay_secs(u32::MAX, 0.999);
+        assert!(huge.is_finite() && huge <= 1.0);
     }
 }

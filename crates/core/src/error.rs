@@ -43,6 +43,12 @@ pub enum NetSolveError {
     Resource(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
+    /// A frame arrived damaged (CRC mismatch). Unlike [`Protocol`], which
+    /// means the peer speaks the wrong dialect, corruption is transient
+    /// (a bad link, an injected fault) and the request is safe to retry.
+    ///
+    /// [`Protocol`]: NetSolveError::Protocol
+    Corrupt(String),
 }
 
 impl NetSolveError {
@@ -63,6 +69,7 @@ impl NetSolveError {
             NetSolveError::InvalidHandle(_) => 12,
             NetSolveError::Resource(_) => 13,
             NetSolveError::Internal(_) => 14,
+            NetSolveError::Corrupt(_) => 15,
         }
     }
 
@@ -85,6 +92,7 @@ impl NetSolveError {
             11 => NetSolveError::Timeout(detail),
             12 => NetSolveError::InvalidHandle(detail),
             13 => NetSolveError::Resource(detail),
+            15 => NetSolveError::Corrupt(detail),
             _ => NetSolveError::Internal(detail),
         }
     }
@@ -105,22 +113,27 @@ impl NetSolveError {
             | NetSolveError::Timeout(s)
             | NetSolveError::InvalidHandle(s)
             | NetSolveError::Resource(s)
-            | NetSolveError::Internal(s) => s,
+            | NetSolveError::Internal(s)
+            | NetSolveError::Corrupt(s) => s,
         }
     }
 
     /// Whether the client's fault-tolerance loop should retry the request on
     /// a different server. Errors caused by the request itself (bad
     /// arguments, unknown problem) are not retryable; infrastructure errors
-    /// are.
+    /// are. `NoServerAvailable` counts as retryable: unlike an unknown
+    /// problem it is a transient pool condition — down-cooldowns expire,
+    /// heartbeats re-admit recovered servers, and new servers register.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            NetSolveError::ServerUnreachable(_)
+            NetSolveError::NoServerAvailable(_)
+                | NetSolveError::ServerUnreachable(_)
                 | NetSolveError::ExecutionFailed(_)
                 | NetSolveError::Transport(_)
                 | NetSolveError::Timeout(_)
                 | NetSolveError::Resource(_)
+                | NetSolveError::Corrupt(_)
         )
     }
 
@@ -141,6 +154,7 @@ impl NetSolveError {
             NetSolveError::InvalidHandle(_) => "invalid-handle",
             NetSolveError::Resource(_) => "resource",
             NetSolveError::Internal(_) => "internal",
+            NetSolveError::Corrupt(_) => "corrupt",
         }
     }
 }
@@ -189,6 +203,7 @@ mod tests {
             NetSolveError::InvalidHandle("h".into()),
             NetSolveError::Resource("r".into()),
             NetSolveError::Internal("i".into()),
+            NetSolveError::Corrupt("c".into()),
         ]
     }
 
@@ -218,8 +233,10 @@ mod tests {
     fn retryability_split() {
         assert!(NetSolveError::ServerUnreachable("h".into()).is_retryable());
         assert!(NetSolveError::Timeout("t".into()).is_retryable());
+        assert!(NetSolveError::Corrupt("crc".into()).is_retryable());
         assert!(!NetSolveError::BadArguments("a".into()).is_retryable());
         assert!(!NetSolveError::ProblemNotFound("p".into()).is_retryable());
+        assert!(!NetSolveError::Protocol("version".into()).is_retryable());
     }
 
     #[test]

@@ -188,11 +188,10 @@ impl Matrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
+        for (c, &xc) in x.iter().enumerate() {
             let col = self.col(c);
-            let xc = x[c];
-            for r in 0..self.rows {
-                y[r] += col[r] * xc;
+            for (yr, cr) in y.iter_mut().zip(col) {
+                *yr += cr * xc;
             }
         }
         Ok(y)

@@ -22,7 +22,8 @@ pub struct Complexity {
 impl Complexity {
     /// Construct; both parameters must be non-negative and `a` positive.
     pub fn new(a: f64, b: f64) -> Result<Self> {
-        if !(a > 0.0) || !(b >= 0.0) || !a.is_finite() || !b.is_finite() {
+        // NaN parameters fall to the is_finite arms.
+        if a <= 0.0 || b < 0.0 || !a.is_finite() || !b.is_finite() {
             return Err(NetSolveError::Description(format!(
                 "invalid complexity a={a}, b={b}"
             )));

@@ -96,12 +96,12 @@ impl CsrMatrix {
     pub fn random_diag_dominant(n: usize, density: f64, rng: &mut Rng64) -> Self {
         let mut t = Vec::new();
         let mut row_sums = vec![0.0f64; n];
-        for r in 0..n {
+        for (r, sum) in row_sums.iter_mut().enumerate() {
             for c in 0..n {
                 if r != c && rng.chance(density) {
                     let v = rng.uniform(-1.0, 1.0);
                     t.push((r, c, v));
-                    row_sums[r] += v.abs();
+                    *sum += v.abs();
                 }
             }
         }
@@ -157,12 +157,12 @@ impl CsrMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         Ok(y)
     }

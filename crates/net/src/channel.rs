@@ -368,6 +368,7 @@ mod tests {
         // ~80 KB payload
         conn.send(&Message::RequestSubmit {
             request_id: 1,
+            deadline_ms: 0,
             problem: "dnrm2".into(),
             inputs: vec![vec![0.0f64; 10_000].into()],
         })

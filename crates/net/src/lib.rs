@@ -10,17 +10,22 @@
 //!   [`link::LinkModel`] (latency, bandwidth, jitter, failure injection):
 //!   the reproducible substitute for the paper's 1996 testbed network;
 //! * [`metrics`] — the agent's per-host-pair latency/bandwidth estimates
-//!   feeding the `T_net` term of the completion-time predictor.
+//!   feeding the `T_net` term of the completion-time predictor;
+//! * [`chaos`] — a seeded fault-injecting decorator over any transport
+//!   (refused dials, resets, CRC-detectable corruption, black holes,
+//!   latency) for end-to-end robustness testing.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chaos;
 pub mod link;
 pub mod metrics;
 pub mod tcp;
 pub mod transport;
 
 pub use channel::ChannelNetwork;
+pub use chaos::{ChaosPolicy, ChaosStats, ChaosTransport};
 pub use link::LinkModel;
 pub use metrics::NetworkView;
 pub use tcp::TcpTransport;

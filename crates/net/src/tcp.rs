@@ -2,22 +2,60 @@
 //! NetSolve domain (agent, servers and clients in separate processes).
 
 use std::io::BufWriter;
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use netsolve_core::config::RetryPolicy;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_proto::{read_message, write_message, Message};
 
 use crate::transport::{Connection, Listener, Transport};
 
-/// TCP transport factory. Stateless; addresses are `host:port` strings.
-#[derive(Debug, Clone, Default)]
-pub struct TcpTransport;
+/// TCP transport factory. Addresses are `host:port` strings.
+///
+/// Dials are bounded by a connect timeout and writes by a write timeout,
+/// so a black-holed host (routing loop, dropped SYN, wedged peer) turns
+/// into a clean retryable error instead of an indefinite hang.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    connect_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+}
+
+/// Upper bound on a dial before the target counts as unreachable.
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Upper bound on a blocked write before the peer counts as wedged.
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl TcpTransport {
-    /// Construct the (stateless) TCP transport.
+    /// TCP transport with the default connect/write timeouts.
     pub fn new() -> Self {
-        TcpTransport
+        TcpTransport {
+            connect_timeout: Some(DEFAULT_CONNECT_TIMEOUT),
+            write_timeout: Some(DEFAULT_WRITE_TIMEOUT),
+        }
+    }
+
+    /// TCP transport whose connect and write timeouts follow a client
+    /// retry policy: no single attempt should block longer than the
+    /// policy's per-attempt timeout.
+    pub fn from_retry_policy(retry: &RetryPolicy) -> Self {
+        let bound = Duration::from_secs_f64(retry.attempt_timeout_secs.max(0.001));
+        TcpTransport { connect_timeout: Some(bound), write_timeout: Some(bound) }
+    }
+
+    /// Override the timeouts explicitly; `None` means block indefinitely.
+    pub fn with_timeouts(
+        connect_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> Self {
+        TcpTransport { connect_timeout, write_timeout }
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -29,19 +67,32 @@ impl Transport for TcpTransport {
             .local_addr()
             .map_err(|e| NetSolveError::Transport(e.to_string()))?
             .to_string();
-        Ok(Box::new(TcpListenerWrapper { listener, address }))
+        Ok(Box::new(TcpListenerWrapper { listener, address, write_timeout: self.write_timeout }))
     }
 
     fn connect(&self, address: &str) -> Result<Box<dyn Connection>> {
-        let stream = TcpStream::connect(address)
-            .map_err(|e| NetSolveError::ServerUnreachable(format!("{address}: {e}")))?;
-        TcpConnection::new(stream)
+        let stream = match self.connect_timeout {
+            Some(bound) => {
+                let addr = address
+                    .to_socket_addrs()
+                    .map_err(|e| NetSolveError::ServerUnreachable(format!("{address}: {e}")))?
+                    .next()
+                    .ok_or_else(|| {
+                        NetSolveError::ServerUnreachable(format!("{address}: no addresses"))
+                    })?;
+                TcpStream::connect_timeout(&addr, bound)
+            }
+            None => TcpStream::connect(address),
+        }
+        .map_err(|e| NetSolveError::ServerUnreachable(format!("{address}: {e}")))?;
+        TcpConnection::wrap(stream, self.write_timeout)
     }
 }
 
 struct TcpListenerWrapper {
     listener: TcpListener,
     address: String,
+    write_timeout: Option<Duration>,
 }
 
 impl Listener for TcpListenerWrapper {
@@ -50,7 +101,7 @@ impl Listener for TcpListenerWrapper {
             .listener
             .accept()
             .map_err(|e| NetSolveError::Transport(format!("accept: {e}")))?;
-        TcpConnection::new(stream)
+        TcpConnection::wrap(stream, self.write_timeout)
     }
 
     fn address(&self) -> String {
@@ -65,9 +116,12 @@ struct TcpConnection {
 }
 
 impl TcpConnection {
-    fn new(stream: TcpStream) -> Result<Box<dyn Connection>> {
+    fn wrap(stream: TcpStream, write_timeout: Option<Duration>) -> Result<Box<dyn Connection>> {
         stream
             .set_nodelay(true)
+            .map_err(|e| NetSolveError::Transport(e.to_string()))?;
+        stream
+            .set_write_timeout(write_timeout)
             .map_err(|e| NetSolveError::Transport(e.to_string()))?;
         let peer = stream
             .peer_addr()
@@ -155,6 +209,7 @@ mod tests {
         let mut conn = transport.connect(&address).unwrap();
         let payload = Message::RequestSubmit {
             request_id: 5,
+            deadline_ms: 0,
             problem: "dnrm2".into(),
             inputs: vec![vec![1.25f64; 100_000].into()],
         };
@@ -177,6 +232,46 @@ mod tests {
             Err(other) => panic!("expected unreachable, got {other}"),
             Ok(_) => panic!("expected unreachable, got a connection"),
         }
+    }
+
+    #[test]
+    fn connect_timeout_bounds_the_dial() {
+        // A tight connect timeout must turn an unresponsive target into a
+        // prompt ServerUnreachable, never an indefinite hang. The target
+        // is a TEST-NET-1 address that nothing answers for.
+        let transport = TcpTransport::with_timeouts(Some(Duration::from_millis(150)), None);
+        let started = std::time::Instant::now();
+        match transport.connect("192.0.2.1:9") {
+            Err(NetSolveError::ServerUnreachable(_)) => {}
+            Err(other) => panic!("expected unreachable, got {other}"),
+            // Some CI sandboxes transparently proxy outbound dials and
+            // answer for TEST-NET-1; the boundedness check below is the
+            // part that must hold everywhere.
+            Ok(_) => {}
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "dial not bounded: took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn retry_policy_derived_transport_works_on_loopback() {
+        let retry = netsolve_core::config::RetryPolicy::default();
+        let transport = TcpTransport::from_retry_policy(&retry);
+        let listener = transport.listen("127.0.0.1:0").unwrap();
+        let address = listener.address();
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            if let Ok(Message::Ping) = conn.recv() {
+                conn.send(&Message::Pong).unwrap();
+            }
+        });
+        let mut conn = transport.connect(&address).unwrap();
+        let reply = call(conn.as_mut(), &Message::Ping, Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, Message::Pong);
+        handle.join().unwrap();
     }
 
     #[test]

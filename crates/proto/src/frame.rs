@@ -24,7 +24,10 @@ use crate::message::Message;
 /// Frame magic: `"NSRV"`.
 pub const MAGIC: u32 = 0x4E53_5256;
 /// Protocol version spoken by this implementation.
-pub const VERSION: u32 = 1;
+///
+/// History: v1 — initial protocol; v2 — `RequestSubmit` carries a
+/// `deadline_ms` budget so servers can shed expired work.
+pub const VERSION: u32 = 2;
 /// Maximum payload size accepted (512 MiB), matching the largest
 /// experiment matrices with headroom.
 pub const MAX_FRAME_PAYLOAD: usize = 512 * 1024 * 1024;
@@ -84,7 +87,9 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
     let expect = u32::from_be_bytes(crc_bytes);
     let got = crc32(&payload);
     if got != expect {
-        return Err(NetSolveError::Protocol(format!(
+        // Corrupt, not Protocol: a damaged frame is a transient link
+        // fault and the request is safe to retry elsewhere.
+        return Err(NetSolveError::Corrupt(format!(
             "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
         )));
     }
@@ -152,7 +157,7 @@ mod tests {
         bytes[payload_start + 5] ^= 0x40;
         assert!(matches!(
             parse_frame(&bytes),
-            Err(NetSolveError::Protocol(m)) if m.contains("checksum")
+            Err(NetSolveError::Corrupt(m)) if m.contains("checksum")
         ));
     }
 
@@ -173,6 +178,121 @@ mod tests {
         });
         for cut in [1, 6, 13, bytes.len() - 1] {
             assert!(parse_frame(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    /// Seeded-random fuzz of the frame reader: whatever bytes arrive, the
+    /// reader must return a clean error or the original message — never
+    /// panic, hang, or hand back a silently different message.
+    mod fuzz {
+        use super::*;
+        use netsolve_core::rng::Rng64;
+
+        fn subjects() -> Vec<Message> {
+            vec![
+                Message::Ping,
+                Message::WorkloadReport { server_id: 9, workload: 12.5 },
+                Message::RequestSubmit {
+                    request_id: 77,
+                    deadline_ms: 1_500,
+                    problem: "dgesv".into(),
+                    inputs: vec![vec![1.0f64, -2.0, 3.5].into()],
+                },
+                Message::ProblemCatalogue {
+                    names: vec!["dgesv".into(), "dgemm".into(), "integrate".into()],
+                },
+                Message::Error { code: 4, detail: "execution failed".into() },
+            ]
+        }
+
+        #[test]
+        fn truncations_always_error_cleanly() {
+            let mut rng = Rng64::new(0xF0A2);
+            for msg in subjects() {
+                let bytes = frame_bytes(&msg);
+                for _ in 0..200 {
+                    let cut = rng.below(bytes.len()); // strictly short
+                    assert!(
+                        parse_frame(&bytes[..cut]).is_err(),
+                        "truncated frame (cut={cut}) parsed as valid"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn byte_flips_anywhere_never_yield_a_different_message() {
+            let mut rng = Rng64::new(0xBEEF);
+            for msg in subjects() {
+                let clean = frame_bytes(&msg);
+                for _ in 0..300 {
+                    let mut bytes = clean.clone();
+                    let idx = rng.below(bytes.len());
+                    let flip = 1u8 << rng.below(8);
+                    bytes[idx] ^= flip;
+                    match parse_frame(&bytes) {
+                        // A flip can only be invisible if it never changed
+                        // the decoded message (impossible for xor != 0
+                        // within one frame, short of a CRC collision).
+                        Ok((got, _)) => panic!(
+                            "flipped bit {flip:#04x} at byte {idx} escaped \
+                             validation, decoded {got:?}"
+                        ),
+                        Err(
+                            NetSolveError::Protocol(_)
+                            | NetSolveError::Corrupt(_)
+                            | NetSolveError::Transport(_),
+                        ) => {}
+                        Err(other) => panic!("unexpected error class: {other}"),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn oversized_lengths_rejected_without_allocation() {
+            let mut rng = Rng64::new(0x51CE);
+            let clean = frame_bytes(&Message::Ping);
+            for _ in 0..200 {
+                let mut bytes = clean.clone();
+                let len = MAX_FRAME_PAYLOAD as u64
+                    + 1
+                    + rng.below((u32::MAX as usize) - MAX_FRAME_PAYLOAD) as u64;
+                bytes[8..12].copy_from_slice(&(len as u32).to_be_bytes());
+                assert!(matches!(
+                    parse_frame(&bytes),
+                    Err(NetSolveError::Protocol(m)) if m.contains("cap")
+                ));
+            }
+        }
+
+        #[test]
+        fn random_garbage_never_panics() {
+            let mut rng = Rng64::new(0x6A12_0B4D);
+            for _ in 0..500 {
+                let len = rng.below(256);
+                let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                // Valid garbage would need magic, version and a CRC match.
+                assert!(parse_frame(&garbage).is_err());
+            }
+        }
+
+        #[test]
+        fn garbage_magic_with_valid_tail_rejected() {
+            let mut rng = Rng64::new(0xA117);
+            let clean = frame_bytes(&Message::Pong);
+            for _ in 0..200 {
+                let mut bytes = clean.clone();
+                let magic = rng.next_u64() as u32;
+                if magic == MAGIC {
+                    continue;
+                }
+                bytes[0..4].copy_from_slice(&magic.to_be_bytes());
+                assert!(matches!(
+                    parse_frame(&bytes),
+                    Err(NetSolveError::Protocol(m)) if m.contains("magic")
+                ));
+            }
         }
     }
 

@@ -74,12 +74,13 @@ mod proptests {
                         pdl_source: pdl,
                     })
                 }),
-            (any::<u64>(), "[a-z]{1,10}", prop::collection::vec(
+            (any::<u64>(), any::<u64>(), "[a-z]{1,10}", prop::collection::vec(
                 prop::collection::vec(-1e9..1e9f64, 0..32).prop_map(netsolve_core::DataObject::Vector),
                 0..4
             ))
-                .prop_map(|(request_id, problem, inputs)| Message::RequestSubmit {
+                .prop_map(|(request_id, deadline_ms, problem, inputs)| Message::RequestSubmit {
                     request_id,
+                    deadline_ms,
                     problem,
                     inputs,
                 }),
@@ -112,10 +113,7 @@ mod proptests {
             let mut bad = bytes.clone();
             let idx = byte.index(bad.len());
             bad[idx] ^= 1 << bit;
-            match parse_frame(&bad) {
-                Ok((decoded, _)) => prop_assert_eq!(decoded, msg),
-                Err(_) => {}
-            }
+            if let Ok((decoded, _)) = parse_frame(&bad) { prop_assert_eq!(decoded, msg) }
         }
 
         #[test]

@@ -158,6 +158,11 @@ pub enum Message {
     RequestSubmit {
         /// Client-chosen request identifier (echoed in the reply).
         request_id: u64,
+        /// Milliseconds of deadline budget remaining when the client sent
+        /// the request; `0` means no deadline. Servers shed requests whose
+        /// budget is exhausted instead of computing results nobody will
+        /// wait for.
+        deadline_ms: u64,
         /// Problem mnemonic.
         problem: String,
         /// Marshaled input objects.
@@ -330,8 +335,9 @@ impl Message {
                 e.put_u32(*code);
                 e.put_string(detail);
             }
-            Message::RequestSubmit { request_id, problem, inputs } => {
+            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
                 e.put_u64(*request_id);
+                e.put_u64(*deadline_ms);
                 e.put_string(problem);
                 netsolve_xdr::encode_objects(&mut e, inputs);
             }
@@ -472,6 +478,7 @@ impl Message {
             },
             11 => Message::RequestSubmit {
                 request_id: d.get_u64()?,
+                deadline_ms: d.get_u64()?,
                 problem: d.get_string()?,
                 inputs: netsolve_xdr::decode_objects(d)?,
             },
@@ -554,6 +561,7 @@ mod tests {
             },
             Message::RequestSubmit {
                 request_id: 99,
+                deadline_ms: 1500,
                 problem: "dgesv".into(),
                 inputs: vec![Matrix::identity(3).into(), vec![1.0, 2.0, 3.0].into()],
             },
@@ -647,6 +655,7 @@ mod tests {
         let m = Matrix::from_fn(64, 64, |r, c| (r * 64 + c) as f64);
         let msg = Message::RequestSubmit {
             request_id: 1,
+            deadline_ms: 0,
             problem: "dgemm".into(),
             inputs: vec![m.clone().into(), m.into()],
         };

@@ -89,8 +89,27 @@ impl ServerCore {
 
     /// Protocol-level dispatch: answer one client message.
     pub fn handle_message(&self, msg: &Message) -> Message {
+        self.handle_message_at(msg, Instant::now())
+    }
+
+    /// Like [`ServerCore::handle_message`], but measuring deadline budgets
+    /// from `received_at` — the instant the daemon pulled the message off
+    /// the wire — so time spent queued behind other work counts against
+    /// the request's deadline.
+    pub fn handle_message_at(&self, msg: &Message, received_at: Instant) -> Message {
         match msg {
-            Message::RequestSubmit { request_id, problem, inputs } => {
+            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+                // Shed expired work: if the client's remaining budget was
+                // already consumed before execution starts, nobody is
+                // waiting for this result.
+                if *deadline_ms > 0 {
+                    let budget = std::time::Duration::from_millis(*deadline_ms);
+                    if received_at.elapsed() >= budget {
+                        return Message::from_error(&NetSolveError::Timeout(format!(
+                            "request {request_id} deadline ({deadline_ms} ms) expired before execution"
+                        )));
+                    }
+                }
                 match self.run(problem, inputs) {
                     Ok(exec) => Message::RequestReply {
                         request_id: *request_id,
@@ -198,6 +217,7 @@ mod tests {
         let core = ServerCore::with_standard_catalogue();
         let reply = core.handle_message(&Message::RequestSubmit {
             request_id: 77,
+            deadline_ms: 0,
             problem: "ddot".into(),
             inputs: vec![vec![1.0, 2.0].into(), vec![3.0, 4.0].into()],
         });
@@ -233,6 +253,7 @@ mod tests {
         let core = ServerCore::with_standard_catalogue();
         let reply = core.handle_message(&Message::RequestSubmit {
             request_id: 1,
+            deadline_ms: 0,
             problem: "nope".into(),
             inputs: vec![],
         });
@@ -242,5 +263,41 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_sheds_request() {
+        let core = ServerCore::with_standard_catalogue();
+        let msg = Message::RequestSubmit {
+            request_id: 9,
+            deadline_ms: 10,
+            problem: "ddot".into(),
+            inputs: vec![vec![1.0].into(), vec![1.0].into()],
+        };
+        // Received 50 ms ago with a 10 ms budget: shed with Timeout.
+        let received = Instant::now() - std::time::Duration::from_millis(50);
+        match core.handle_message_at(&msg, received) {
+            Message::Error { code, detail } => {
+                assert_eq!(code, NetSolveError::Timeout(String::new()).code());
+                assert!(detail.contains("deadline"), "detail: {detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fresh budget: executes normally.
+        match core.handle_message_at(&msg, Instant::now()) {
+            Message::RequestReply { request_id, .. } => assert_eq!(request_id, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+        // No deadline: never shed.
+        let no_deadline = Message::RequestSubmit {
+            request_id: 10,
+            deadline_ms: 0,
+            problem: "ddot".into(),
+            inputs: vec![vec![1.0].into(), vec![1.0].into()],
+        };
+        assert!(matches!(
+            core.handle_message_at(&no_deadline, received),
+            Message::RequestReply { .. }
+        ));
     }
 }

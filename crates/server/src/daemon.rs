@@ -263,11 +263,12 @@ fn serve_connection(
             Ok(m) => m,
             Err(_) => return,
         };
+        let received_at = std::time::Instant::now();
         let is_request = matches!(msg, Message::RequestSubmit { .. });
         if is_request {
             active.fetch_add(1, Ordering::AcqRel);
         }
-        let reply = core.handle_message(&msg);
+        let reply = core.handle_message_at(&msg, received_at);
         if is_request {
             active.fetch_sub(1, Ordering::AcqRel);
             served.fetch_add(1, Ordering::AcqRel);
@@ -341,6 +342,7 @@ mod tests {
             sconn.as_mut(),
             &Message::RequestSubmit {
                 request_id: 5,
+                deadline_ms: 0,
                 problem: "dgesv".into(),
                 inputs: vec![a.into(), b.clone().into()],
             },

@@ -86,7 +86,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         .entries
         .iter()
         .map(|e| {
-            if !(e.weight > 0.0) {
+            if e.weight <= 0.0 || e.weight.is_nan() {
                 return Err(NetSolveError::BadArguments(format!(
                     "mix entry '{}' has non-positive weight",
                     e.problem
@@ -207,7 +207,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
     }
     let mut seq = 0u64;
     let mut queue: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
-    let mut push = |queue: &mut BinaryHeap<Reverse<Entry>>, seq: &mut u64, t: SimTime, e: Event| {
+    let push = |queue: &mut BinaryHeap<Reverse<Entry>>, seq: &mut u64, t: SimTime, e: Event| {
         *seq += 1;
         queue.push(Reverse(Entry { key: (t.as_secs(), *seq), event: e }));
     };
@@ -322,9 +322,8 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         Some(now.plus(service.max(0.0)))
     }
 
-    let mut now = SimTime::ZERO;
     while let Some(Reverse(Entry { key, event })) = queue.pop() {
-        now = SimTime::from_secs(key.0);
+        let now = SimTime::from_secs(key.0);
         match event {
             Event::Arrival { idx } => {
                 let (arrival, entry_idx, n) = arrivals[idx];

@@ -92,9 +92,9 @@ pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) -> Res
         )));
     }
     dscal(beta, y);
-    for c in 0..a.cols() {
+    for (c, &xc) in x.iter().enumerate() {
         let col = a.col(c);
-        let axc = alpha * x[c];
+        let axc = alpha * xc;
         for (yi, &aic) in y.iter_mut().zip(col) {
             *yi += aic * axc;
         }
@@ -113,8 +113,8 @@ pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) -> Result<()> {
             y.len()
         )));
     }
-    for c in 0..a.cols() {
-        let ayc = alpha * y[c];
+    for (c, &yc) in y.iter().enumerate() {
+        let ayc = alpha * yc;
         let col = a.col_mut(c);
         for (aic, &xi) in col.iter_mut().zip(x) {
             *aic += xi * ayc;
@@ -174,6 +174,7 @@ pub fn dgemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 
 /// Compute columns `[j_lo, j_hi)` of `C = A B` into the column-major buffer
 /// `c` (length `m * n`).
+#[allow(clippy::too_many_arguments)]
 fn gemm_into(
     a: &Matrix,
     b: &Matrix,

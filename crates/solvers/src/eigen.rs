@@ -35,7 +35,7 @@ pub fn eig_power(a: &Matrix, tol: f64, maxit: u32) -> Result<EigResult> {
     if a.rows() == 0 {
         return Err(NetSolveError::BadArguments("empty matrix".into()));
     }
-    if !(tol > 0.0) {
+    if tol <= 0.0 || tol.is_nan() {
         return Err(NetSolveError::BadArguments(format!("tolerance {tol} must be > 0")));
     }
     let n = a.rows();

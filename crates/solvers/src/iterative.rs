@@ -32,14 +32,15 @@ fn check_system(a: &CsrMatrix, b: &[f64]) -> Result<usize> {
             a.rows()
         )));
     }
-    if !(a.rows() > 0) {
+    if a.rows() == 0 {
         return Err(NetSolveError::BadArguments("empty system".into()));
     }
     Ok(a.rows())
 }
 
 fn check_tol(tol: f64) -> Result<()> {
-    if !(tol > 0.0) || !tol.is_finite() {
+    // NaN falls to the is_finite arm.
+    if tol <= 0.0 || !tol.is_finite() {
         return Err(NetSolveError::BadArguments(format!(
             "tolerance {tol} must be positive and finite"
         )));

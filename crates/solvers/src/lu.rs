@@ -107,8 +107,8 @@ impl LuFactors {
         for k in 0..n {
             let xk = x[k];
             if xk != 0.0 {
-                for r in (k + 1)..n {
-                    x[r] -= self.lu[(r, k)] * xk;
+                for (r, xr) in x.iter_mut().enumerate().skip(k + 1) {
+                    *xr -= self.lu[(r, k)] * xk;
                 }
             }
         }
@@ -117,8 +117,8 @@ impl LuFactors {
             x[k] /= self.lu[(k, k)];
             let xk = x[k];
             if xk != 0.0 {
-                for r in 0..k {
-                    x[r] -= self.lu[(r, k)] * xk;
+                for (r, xr) in x.iter_mut().enumerate().take(k) {
+                    *xr -= self.lu[(r, k)] * xk;
                 }
             }
         }

@@ -86,13 +86,13 @@ impl QrFactors {
                 continue;
             }
             let mut w = x[k];
-            for r in (k + 1)..m {
-                w += self.qr[(r, k)] * x[r];
+            for (r, &xr) in x.iter().enumerate().take(m).skip(k + 1) {
+                w += self.qr[(r, k)] * xr;
             }
             let w = w * beta;
             x[k] -= w;
-            for r in (k + 1)..m {
-                x[r] -= self.qr[(r, k)] * w;
+            for (r, xr) in x.iter_mut().enumerate().take(m).skip(k + 1) {
+                *xr -= self.qr[(r, k)] * w;
             }
         }
     }
@@ -119,8 +119,8 @@ impl QrFactors {
                 )));
             }
             let mut s = y[k];
-            for c in (k + 1)..n {
-                s -= self.qr[(k, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(k + 1) {
+                s -= self.qr[(k, c)] * xc;
             }
             x[k] = s / rkk;
         }

@@ -47,7 +47,8 @@ pub fn integrand_names() -> &'static [&'static str] {
 /// `tol`. Handles `a > b` by sign flip. Errors on invalid tolerance or if
 /// the recursion budget is exhausted (non-integrable behaviour).
 pub fn adaptive_simpson(f: fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<QuadResult> {
-    if !(tol > 0.0) || !tol.is_finite() {
+    // NaN falls to the is_finite arm.
+    if tol <= 0.0 || !tol.is_finite() {
         return Err(NetSolveError::BadArguments(format!(
             "tolerance {tol} must be positive and finite"
         )));

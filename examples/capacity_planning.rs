@@ -42,7 +42,7 @@ fn main() -> netsolve::core::Result<()> {
         // should dominate so the pool size is what matters.
         sc.network = netsolve::sim::SimNetwork::uniform(1e-4, 50e6);
         sc.seed = 7;
-        let mut report = run(&sc)?;
+        let report = run(&sc)?;
         println!(
             "{:>8}  {:>12}  {:>16}  {:>16}",
             pool_size,

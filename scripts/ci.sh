@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything a PR must pass before merge.
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== build (release) ==="
+cargo build --release --workspace
+
+echo "=== tests ==="
+cargo test -q
+cargo test --workspace -q
+
+echo "=== clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "CI gate passed."

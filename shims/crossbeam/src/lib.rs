@@ -1,0 +1,184 @@
+//! Minimal API-compatible `crossbeam` stand-in for an offline build
+//! environment: `channel` maps onto `std::sync::mpsc` (whose `Sender` has
+//! been `Sync + Clone` since Rust 1.72) and `thread::scope` maps onto
+//! `std::thread::scope`.
+//!
+//! Only the surface the workspace uses is provided: `unbounded`,
+//! `bounded`, the receiver error enums, and scoped spawning where the
+//! closure receives the scope (crossbeam's signature) but the workspace
+//! never uses it for nested spawns.
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Drain everything currently queued.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// A bounded channel. `std`'s `sync_channel(cap)` blocks senders at
+    /// capacity, matching crossbeam's bounded semantics for cap >= 1.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (SyncSender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct SyncSender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            SyncSender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Send a value, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+}
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// scope. Crossbeam passes `&Scope` to each spawned closure so nested
+    /// spawns are possible; we forward the same shape.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Crossbeam returns `Err` when an unjoined child
+    /// panicked; `std::thread::scope` resumes that panic on the spawning
+    /// thread instead, so the `Err` arm here is unreachable — callers'
+    /// `.expect(...)` still fires (as a propagated panic) on child panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_timeout() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(41).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn bounded_try_recv() {
+        let (tx, rx) = channel::bounded(1);
+        assert!(matches!(rx.try_recv(), Err(channel::TryRecvError::Empty)));
+        tx.send("x").unwrap();
+        assert_eq!(rx.try_recv().unwrap(), "x");
+    }
+
+    #[test]
+    fn sender_clones_share_channel() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap()).join().unwrap();
+        tx.send(8).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1, 2, 3, 4];
+        let mut results = vec![0; 2];
+        {
+            let (left, right) = results.split_at_mut(1);
+            thread::scope(|s| {
+                s.spawn(|_| left[0] = data[..2].iter().sum());
+                s.spawn(|_| right[0] = data[2..].iter().sum());
+            })
+            .unwrap();
+        }
+        assert_eq!(results, vec![3, 7]);
+    }
+}

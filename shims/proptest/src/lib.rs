@@ -1,0 +1,280 @@
+//! Minimal API-compatible `proptest` stand-in for an offline build
+//! environment. It implements the slice of the proptest surface the
+//! workspace uses — the `Strategy` trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, `Just`, `any::<T>()`, tuple and
+//! `Vec` strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! regex-style string strategies, and the `proptest!` / `prop_compose!`
+//! / `prop_oneof!` / `prop_assert*` macros — as a plain seeded random
+//! sampler. No shrinking: a failing case reports its inputs via the
+//! assertion message and the run is fully deterministic (the seed is
+//! derived from the test name), so failures always reproduce.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    /// Namespaced module access (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Build a [`strategy::Union`] choosing uniformly among the listed
+/// strategies (all must share one `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy: outer arguments are
+/// captured, inner `name in strategy` bindings are sampled, and the body
+/// maps them into the declared output type.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($field:ident in $strat:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($field,)+)| $body
+            )
+        }
+    };
+}
+
+/// Declare property tests: each `fn name(binding in strategy, ...)` runs
+/// the body against `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with a message instead of unwinding mid-sample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (resampled, not counted) when a precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair(offset: u64)(a in 0u64..100, b in 1usize..4) -> (u64, usize) {
+            (a + offset, b)
+        }
+    }
+
+    fn arb_choice() -> impl Strategy<Value = i64> {
+        prop_oneof![Just(-1i64), 10i64..20, any::<i64>().prop_map(|v| v | 1)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -2.5..2.5f64) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn composed_strategies_apply_outer_args(p in arb_pair(1000)) {
+            prop_assert!(p.0 >= 1000 && p.0 < 1100);
+            prop_assert!((1..4).contains(&p.1));
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(v in arb_choice()) {
+            prop_assert!(v == -1 || (10..20).contains(&v) || v % 2 != 0);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in prop::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 6);
+        }
+
+        #[test]
+        fn string_patterns_match_classes(s in "[a-z][a-z0-9_]{0,15}") {
+            prop_assert!(!s.is_empty() && s.len() <= 16);
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_lowercase());
+            prop_assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn alternation_patterns_parse(s in "(@[A-Z]{1,4}|[a-z]{1,3}|:)") {
+            let ok = s == ":"
+                || (s.starts_with('@') && s[1..].chars().all(|c| c.is_ascii_uppercase()))
+                || s.chars().all(|c| c.is_ascii_lowercase());
+            prop_assert!(ok, "unexpected sample {s:?}");
+        }
+
+        #[test]
+        fn printable_pattern_has_no_controls(s in "\\PC{0,50}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn filters_hold(x in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+            prop_assert!(x.is_finite());
+        }
+
+        #[test]
+        fn index_is_in_range(ix in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(ix.index(len) < len);
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..9);
+        let mut r1 = TestRng::for_test("determinism");
+        let mut r2 = TestRng::for_test("determinism");
+        for _ in 0..10 {
+            assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_outer_sample() {
+        use crate::strategy::Strategy;
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        let mut rng = TestRng::for_test("flat_map");
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shim_failure_demo")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run_cases(&config, "shim_failure_demo", |rng| {
+            let x = crate::strategy::Strategy::sample(&(0u64..10), rng);
+            prop_assert!(x > 100);
+            Ok(())
+        });
+    }
+}

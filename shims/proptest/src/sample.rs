@@ -1,0 +1,24 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An arbitrary index into a collection whose length is only known at
+/// use time: `index(len)` maps the drawn entropy uniformly into
+/// `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a concrete collection length (must be non-zero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,322 @@
+//! A tiny regex-subset sampler backing `"pattern"` string strategies.
+//!
+//! Supported syntax — the subset actually used by the workspace's
+//! property tests:
+//!
+//! * character classes `[a-z0-9_]` with ranges and `\n`/`\\` escapes
+//! * bounded repetition `{m}` / `{m,n}` on any atom
+//! * groups with alternation `(foo|[a-z]{1,3}|:)`
+//! * `\PC` — any non-control (printable) character
+//! * literal characters and `\`-escapes outside classes
+//!
+//! Unsupported constructs panic with the offending pattern so a new test
+//! pattern fails loudly instead of sampling garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+    AnyPrintable,
+    Group(Vec<Vec<Term>>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { chars: pattern.chars().peekable(), pattern }
+    }
+
+    fn bail(&self, why: &str) -> ! {
+        panic!("unsupported pattern {:?}: {why}", self.pattern);
+    }
+
+    fn next_or(&mut self, why: &str) -> char {
+        match self.chars.next() {
+            Some(c) => c,
+            None => self.bail(why),
+        }
+    }
+
+    /// alternation := sequence ('|' sequence)* , terminated by `)` (kept)
+    /// or end of input.
+    fn parse_alternation(&mut self, in_group: bool) -> Vec<Vec<Term>> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None => {
+                    if in_group {
+                        self.bail("unterminated group");
+                    }
+                    return alts;
+                }
+                Some(')') if in_group => return alts,
+                Some(')') => self.bail("stray ')'"),
+                Some('|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let term = self.parse_term();
+                    alts.last_mut().unwrap().push(term);
+                }
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Term {
+        let atom = self.parse_atom();
+        let (min, max) = self.parse_repeat();
+        Term { atom, min, max }
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.next_or("empty atom") {
+            '[' => Atom::Class(self.parse_class()),
+            '(' => {
+                let alts = self.parse_alternation(true);
+                match self.chars.next() {
+                    Some(')') => Atom::Group(alts),
+                    _ => self.bail("unterminated group"),
+                }
+            }
+            '\\' => match self.next_or("dangling escape") {
+                'P' => match self.chars.next() {
+                    Some('C') => Atom::AnyPrintable,
+                    _ => self.bail("only \\PC is supported"),
+                },
+                'n' => Atom::Lit('\n'),
+                't' => Atom::Lit('\t'),
+                c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '"' | '+' | '*'
+                | '?' | '-' | ':' | '@') => Atom::Lit(c),
+                _ => self.bail("unknown escape"),
+            },
+            c @ ('.' | '*' | '+' | '?' | '^' | '$') => {
+                let _ = c;
+                self.bail("metacharacter not supported")
+            }
+            c => Atom::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut pool = Vec::new();
+        loop {
+            let c = match self.next_or("unterminated class") {
+                ']' => {
+                    if pool.is_empty() {
+                        self.bail("empty character class");
+                    }
+                    return pool;
+                }
+                '\\' => match self.next_or("dangling class escape") {
+                    'n' => '\n',
+                    't' => '\t',
+                    c @ ('\\' | ']' | '[' | '-' | '^') => c,
+                    _ => self.bail("unknown class escape"),
+                },
+                '^' if pool.is_empty() => self.bail("negated classes not supported"),
+                c => c,
+            };
+            // Range if a '-' follows and is not class-final.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    self.chars.next();
+                    let hi = match self.next_or("unterminated range") {
+                        '\\' => match self.next_or("dangling range escape") {
+                            'n' => '\n',
+                            c @ ('\\' | ']' | '-') => c,
+                            _ => self.bail("unknown range escape"),
+                        },
+                        c => c,
+                    };
+                    if (hi as u32) < (c as u32) {
+                        self.bail("inverted class range");
+                    }
+                    for code in c as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(code) {
+                            pool.push(ch);
+                        }
+                    }
+                    continue;
+                }
+            }
+            pool.push(c);
+        }
+    }
+
+    fn parse_repeat(&mut self) -> (usize, usize) {
+        if self.chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        self.chars.next();
+        let min = self.parse_number();
+        let max = match self.chars.peek() {
+            Some(',') => {
+                self.chars.next();
+                self.parse_number()
+            }
+            _ => min,
+        };
+        if self.chars.next() != Some('}') {
+            self.bail("unterminated repetition");
+        }
+        if max < min {
+            self.bail("inverted repetition bounds");
+        }
+        (min, max)
+    }
+
+    fn parse_number(&mut self) -> usize {
+        let mut n: Option<usize> = None;
+        while let Some(c) = self.chars.peek().copied() {
+            if let Some(d) = c.to_digit(10) {
+                self.chars.next();
+                n = Some(n.unwrap_or(0) * 10 + d as usize);
+            } else {
+                break;
+            }
+        }
+        match n {
+            Some(n) => n,
+            None => self.bail("expected number in repetition"),
+        }
+    }
+}
+
+/// Sampling pool for `\PC`: printable ASCII plus a spread of multi-byte
+/// code points so UTF-8 handling is exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend("£é÷ßλжᚠ‰→中日🙂".chars());
+    pool
+}
+
+fn gen_seq(seq: &[Term], rng: &mut TestRng, out: &mut String) {
+    for term in seq {
+        let span = (term.max - term.min + 1) as u64;
+        let reps = term.min + rng.below(span) as usize;
+        for _ in 0..reps {
+            match &term.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(pool) => {
+                    out.push(pool[rng.below(pool.len() as u64) as usize]);
+                }
+                Atom::AnyPrintable => {
+                    let pool = printable_pool();
+                    out.push(pool[rng.below(pool.len() as u64) as usize]);
+                }
+                Atom::Group(alts) => {
+                    let alt = &alts[rng.below(alts.len() as u64) as usize];
+                    gen_seq(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Draw one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alts = parser.parse_alternation(false);
+    let alt = &alts[rng.below(alts.len() as u64) as usize];
+    let mut out = String::new();
+    gen_seq(alt, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDECAF)
+    }
+
+    #[test]
+    fn class_ranges_expand() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[ -~]{0,40}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(s.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn class_with_newline_escape() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = sample_pattern("[ -~\\n]{0,20}", &mut r);
+            saw_newline |= s.contains('\n');
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+        assert!(saw_newline, "newline escape never sampled");
+    }
+
+    #[test]
+    fn concatenated_terms() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z][a-z0-9_]{0,15}", &mut r);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!((1..=16).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn alternation_with_literals_and_quotes() {
+        let mut r = rng();
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            let s = sample_pattern(
+                "(@[A-Z]{1,10}|[a-z]{1,8}|\"[a-z ]{0,10}\"|[0-9]{1,3}|:)",
+                &mut r,
+            );
+            if s.starts_with('@') {
+                seen[0] = true;
+            } else if s.starts_with('"') {
+                assert!(s.ends_with('"') && s.len() >= 2);
+                seen[2] = true;
+            } else if s == ":" {
+                seen[4] = true;
+            } else if s.chars().all(|c| c.is_ascii_digit()) {
+                seen[3] = true;
+            } else {
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad sample {s:?}");
+                seen[1] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "not every alternative sampled: {seen:?}");
+    }
+
+    #[test]
+    fn printable_escape_excludes_controls() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = sample_pattern("\\PC{0,60}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern")]
+    fn unsupported_syntax_panics() {
+        sample_pattern("a+", &mut rng());
+    }
+}

@@ -1,0 +1,191 @@
+//! Chaos soak: a full in-process domain (agent + four servers) hammered by
+//! concurrent clients whose every dial goes through a fault-injecting
+//! [`ChaosTransport`] — refused connections, mid-stream resets, corrupted
+//! frames, injected latency. The invariant under test is the end-to-end
+//! robustness contract: every request either completes with a bit-exact
+//! result or fails with a clean *retryable* error. No hangs, no panics,
+//! no silently wrong answers, and every injected corruption is caught by
+//! the frame CRC.
+//!
+//! [`ChaosTransport`]: netsolve::net::ChaosTransport
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netsolve::agent::{AgentCore, AgentDaemon, Policy};
+use netsolve::client::NetSolveClient;
+use netsolve::core::config::{AgentConfig, Backoff, FaultPolicy, RetryPolicy};
+use netsolve::net::{ChannelNetwork, ChaosPolicy, ChaosStats, ChaosTransport, NetworkView, Transport};
+use netsolve::server::{ServerConfig, ServerCore, ServerDaemon};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 25;
+
+struct SoakOutcome {
+    ok: u64,
+    failed_retryable: u64,
+    stats: ChaosStats,
+    elapsed: Duration,
+}
+
+/// Boot the domain, run every client to completion, tear down, and report.
+fn run_soak(seed: u64) -> SoakOutcome {
+    let net = ChannelNetwork::new();
+    let clean: Arc<dyn Transport> = Arc::new(net.clone());
+
+    // Daemons live on the clean transport; chaos sits on the dialing side
+    // of the client RPC path (queries, submissions, reports), which is the
+    // path this PR hardens. Listeners pass through chaos untouched anyway.
+    // The agent runs a short down-cooldown: clients honestly report their
+    // chaos-hit attempts as server failures, and the default 60s blacklist
+    // would otherwise let one bad burst empty the candidate pool for the
+    // rest of the soak.
+    let agent_config = AgentConfig {
+        fault: FaultPolicy { failures_to_mark_down: 3, down_cooldown_secs: 0.5 },
+        ..AgentConfig::default()
+    };
+    let core =
+        AgentCore::new(agent_config, Policy::MinimumCompletionTime, NetworkView::lan_defaults());
+    let mut agent = AgentDaemon::start(Arc::clone(&clean), "agent", core).unwrap();
+    let mut servers = Vec::new();
+    for i in 0..4 {
+        servers.push(
+            ServerDaemon::start(
+                Arc::clone(&clean),
+                "agent",
+                ServerCore::with_standard_catalogue(),
+                ServerConfig::quick(&format!("host{i}"), &format!("srv{i}"), 100.0 + 50.0 * i as f64),
+            )
+            .unwrap(),
+        );
+    }
+
+    // >=10% refused dials, >=1% corrupted frames, plus resets and latency.
+    let policy = ChaosPolicy::calm()
+        .with_refusals(0.12)
+        .with_corruption(0.03)
+        .with_resets(0.02)
+        .with_delays(0.10, Duration::from_millis(2));
+    let chaos = Arc::new(ChaosTransport::new(Arc::clone(&clean), policy, seed));
+
+    let retry = RetryPolicy {
+        max_attempts: 5,
+        attempt_timeout_secs: 5.0,
+        backoff: Backoff::ExponentialJitter { base_secs: 0.002, cap_secs: 0.02 },
+        deadline_secs: 0.0,
+        report_failures: true,
+    };
+
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed_retryable = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let transport: Arc<dyn Transport> = Arc::clone(&chaos) as Arc<dyn Transport>;
+            let ok = Arc::clone(&ok);
+            let failed_retryable = Arc::clone(&failed_retryable);
+            std::thread::spawn(move || {
+                let client = NetSolveClient::new(transport, "agent")
+                    .with_retry(retry)
+                    .with_jitter_seed(seed.wrapping_mul(31).wrapping_add(c as u64));
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Integer-valued vectors: the dot product is exact in
+                    // f64 whatever the summation order, so the expected
+                    // value is bit-comparable.
+                    let x: Vec<f64> = (0..16).map(|k| ((c * 31 + i * 7 + k) % 11) as f64).collect();
+                    let y: Vec<f64> = (0..16).map(|k| ((c * 13 + i * 3 + k) % 7) as f64).collect();
+                    let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                    match client.netsl("ddot", &[x.into(), y.into()]) {
+                        Ok(out) => {
+                            let got = out[0].as_double().unwrap();
+                            assert_eq!(
+                                got.to_bits(),
+                                expect.to_bits(),
+                                "client {c} request {i}: result not bit-exact \
+                                 ({got} vs {expect})"
+                            );
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            assert!(
+                                e.is_retryable(),
+                                "client {c} request {i}: non-retryable error leaked \
+                                 through the hardened path: {e}"
+                            );
+                            failed_retryable.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("a soak client panicked");
+    }
+    let elapsed = started.elapsed();
+
+    for s in &mut servers {
+        s.stop();
+    }
+    agent.stop();
+
+    SoakOutcome {
+        ok: ok.load(Ordering::Relaxed),
+        failed_retryable: failed_retryable.load(Ordering::Relaxed),
+        stats: chaos.stats(),
+        elapsed,
+    }
+}
+
+fn assert_soak_invariants(seed: u64, outcome: &SoakOutcome) {
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(
+        outcome.ok + outcome.failed_retryable,
+        total,
+        "seed {seed}: every request must be accounted for"
+    );
+    // Retries plus four-way failover should absorb most of the chaos.
+    assert!(
+        outcome.ok >= total / 2,
+        "seed {seed}: too few successes ({}/{total})",
+        outcome.ok
+    );
+    // The chaos actually bit: dials were refused and frames corrupted.
+    assert!(outcome.stats.refused > 0, "seed {seed}: no refusals injected");
+    assert!(
+        outcome.stats.corruptions_injected > 0,
+        "seed {seed}: no corruption injected"
+    );
+    // Every injected corruption was detected by the frame CRC — none
+    // slipped through to a solver, none double-counted.
+    assert_eq!(
+        outcome.stats.corruptions_injected, outcome.stats.corruptions_detected,
+        "seed {seed}: corruption escaped detection"
+    );
+    // No hangs: bounded attempt timeouts and backoffs keep the whole soak
+    // far from pathological wall-clock.
+    assert!(
+        outcome.elapsed < Duration::from_secs(120),
+        "seed {seed}: soak took {:?}",
+        outcome.elapsed
+    );
+}
+
+#[test]
+fn chaos_soak_seed_1() {
+    let outcome = run_soak(1);
+    assert_soak_invariants(1, &outcome);
+}
+
+#[test]
+fn chaos_soak_seed_2() {
+    let outcome = run_soak(2);
+    assert_soak_invariants(2, &outcome);
+}
+
+#[test]
+fn chaos_soak_seed_3() {
+    let outcome = run_soak(3);
+    assert_soak_invariants(3, &outcome);
+}
