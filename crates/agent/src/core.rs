@@ -6,6 +6,7 @@
 //! with virtual time — both exercise identical decision logic.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netsolve_core::clock::SimTime;
 use netsolve_core::config::AgentConfig;
@@ -13,6 +14,7 @@ use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::ids::{HostId, ServerId};
 use netsolve_core::problem::RequestShape;
 use netsolve_net::NetworkView;
+use netsolve_obs::MetricsRegistry;
 use netsolve_proto::{Candidate, Message, QueryShape};
 
 use crate::balance::{rank, BalancerState, Policy, Ranked, ServerSnapshot};
@@ -40,6 +42,7 @@ pub struct AgentCore {
     /// between two workload reports, the agent itself is the only one who
     /// knows it just sent a server three jobs.
     pending: HashMap<ServerId, Vec<SimTime>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl AgentCore {
@@ -55,7 +58,15 @@ impl AgentCore {
             network,
             balancer: BalancerState::default(),
             pending: HashMap::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The registry holding this agent's `agent.*` instruments. The live
+    /// daemon shares it for heartbeat metrics, and
+    /// [`Message::StatsQuery`] snapshots it over the wire.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Agent with defaults: MCT policy, LAN network assumptions.
@@ -91,6 +102,7 @@ impl AgentCore {
         now: SimTime,
     ) -> Result<ServerId> {
         let id = self.registry.register(desc)?;
+        self.metrics.counter("agent.registrations").inc();
         // A fresh server is assumed idle until its first report.
         self.workloads.record(id, 0.0, now);
         Ok(id)
@@ -99,6 +111,7 @@ impl AgentCore {
     /// Store a workload report.
     pub fn workload_report(&mut self, server: ServerId, workload: f64, now: SimTime) {
         if self.registry.get(server).is_some() {
+            self.metrics.counter("agent.workload_reports").inc();
             self.workloads.record(server, workload, now);
         }
     }
@@ -107,13 +120,19 @@ impl AgentCore {
     /// marked down by this report. Also clears one pending assignment —
     /// the failed request is no longer heading for that server.
     pub fn failure_report(&mut self, server: ServerId, now: SimTime) -> bool {
+        self.metrics.counter("agent.failure_reports").inc();
         self.clear_one_pending(server);
-        self.faults.record_failure(server, now)
+        let marked_down = self.faults.record_failure(server, now);
+        if marked_down {
+            self.metrics.counter("agent.fault_down_marks").inc();
+        }
+        marked_down
     }
 
     /// Record a client success (clears fault state and one pending
     /// assignment).
     pub fn success_report(&mut self, server: ServerId) {
+        self.metrics.counter("agent.success_reports").inc();
         self.clear_one_pending(server);
         self.faults.record_success(server);
     }
@@ -128,6 +147,12 @@ impl AgentCore {
                 self.pending.remove(&server);
             }
         }
+        self.refresh_pending_gauge();
+    }
+
+    fn refresh_pending_gauge(&self) {
+        let depth: usize = self.pending.values().map(Vec::len).sum();
+        self.metrics.gauge("agent.pending_assignments").set(depth as i64);
     }
 
     /// Count unexpired pending assignments for a server.
@@ -149,6 +174,7 @@ impl AgentCore {
         let entries = self.pending.entry(server).or_default();
         entries.retain(|t| now.since(*t) < PENDING_TTL_SECS);
         entries.push(now);
+        self.refresh_pending_gauge();
     }
 
     /// Record an observed network measurement between two hosts.
@@ -189,6 +215,7 @@ impl AgentCore {
     /// [`AgentCore::success_report`] this does not touch pending
     /// assignments — probes are not client requests.
     pub fn probe_succeeded(&mut self, server: ServerId) {
+        self.metrics.counter("agent.probe_successes").inc();
         self.faults.record_success(server);
     }
 
@@ -196,6 +223,7 @@ impl AgentCore {
     /// Bypasses the client-report failure threshold: the prober has
     /// already accumulated the configured number of consecutive misses.
     pub fn probe_exhausted(&mut self, server: ServerId, now: SimTime) {
+        self.metrics.counter("agent.heartbeat_down_marks").inc();
         self.faults.force_down(server, now);
     }
 
@@ -254,6 +282,7 @@ impl AgentCore {
 
     /// Answer a client's server query with the top-k candidate list.
     pub fn query(&mut self, q: &QueryShape, now: SimTime) -> Result<Vec<Candidate>> {
+        self.metrics.counter("agent.queries").inc();
         let shape = RequestShape {
             problem: q.problem.clone(),
             n: q.n,
@@ -261,6 +290,7 @@ impl AgentCore {
             bytes_out: q.bytes_out,
         };
         let ranked = self.rank_request(&shape, HostId(q.client_host), now)?;
+        self.metrics.counter("agent.rankings").inc();
         Ok(ranked
             .into_iter()
             .take(self.config.candidates_returned.0)
@@ -353,6 +383,7 @@ impl AgentCore {
                 Message::Pong
             }
             Message::Ping => Message::Pong,
+            Message::StatsQuery => Message::StatsReply(self.metrics.snapshot("agent")),
             other => Message::from_error(&NetSolveError::Protocol(format!(
                 "agent cannot handle {}",
                 other.name()

@@ -206,6 +206,7 @@ fn run_heartbeat(
     // Sleep in short ticks so stop() never waits long for this thread.
     let tick = (interval / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
     let mut misses: HashMap<ServerId, u32> = HashMap::new();
+    let metrics = core.lock().metrics();
     loop {
         let mut waited = Duration::ZERO;
         while waited < interval {
@@ -229,6 +230,7 @@ fn run_heartbeat(
                 misses.remove(&server);
                 core.probe_succeeded(server);
             } else {
+                metrics.counter("agent.heartbeat_misses").inc();
                 let count = misses.entry(server).or_insert(0);
                 *count = count.saturating_add(1);
                 if *count >= policy.miss_threshold {

@@ -24,6 +24,7 @@ use netsolve_bench::{pct, secs, Table};
 use netsolve_client::NetSolveClient;
 use netsolve_core::config::{AgentConfig, Backoff, FaultPolicy, RetryPolicy};
 use netsolve_net::{ChannelNetwork, ChaosPolicy, ChaosTransport, NetworkView, Transport};
+use netsolve_obs::{MetricsRegistry, Tracer};
 use netsolve_server::{ServerConfig, ServerCore, ServerDaemon};
 use netsolve_sim::{run, Arrivals, RequestMix, Scenario, SimServer};
 
@@ -101,7 +102,13 @@ fn backoff_sweep_live() {
 
     let mut table = Table::new(
         "R5b: live chaos transport — client backoff policy (refuse 15%, corrupt 2%, reset 2%)",
-        &["backoff", "success rate", "mean attempts", "p95 turnaround"],
+        &[
+            "backoff",
+            "success rate",
+            "attempts/call",
+            "p95 turnaround",
+            "faults injected",
+        ],
     );
     let cases: [(&str, Backoff); 3] = [
         ("none", Backoff::None),
@@ -148,8 +155,13 @@ fn backoff_sweep_live() {
             .with_refusals(0.15)
             .with_corruption(0.02)
             .with_resets(0.02);
-        let chaos: Arc<dyn Transport> =
-            Arc::new(ChaosTransport::new(Arc::clone(&clean), policy, CHAOS_SEED));
+        // One registry shared by the chaos layer and the client: the
+        // attempt counts and the injected-fault counts below come from
+        // the same instruments a live operator scrapes via StatsQuery.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let chaos: Arc<dyn Transport> = Arc::new(
+            ChaosTransport::new(Arc::clone(&clean), policy, CHAOS_SEED).with_metrics(&metrics),
+        );
         let client = NetSolveClient::new(chaos, "agent")
             .with_retry(RetryPolicy {
                 max_attempts: 4,
@@ -158,33 +170,35 @@ fn backoff_sweep_live() {
                 deadline_secs: 0.0,
                 report_failures: true,
             })
-            .with_jitter_seed(CHAOS_SEED);
+            .with_jitter_seed(CHAOS_SEED)
+            .with_observability(Arc::clone(&metrics), Arc::new(Tracer::new()));
 
-        let mut ok = 0usize;
-        let mut attempts_total = 0u64;
         let mut turnarounds: Vec<f64> = Vec::with_capacity(REQUESTS);
         for i in 0..REQUESTS {
             let x: Vec<f64> = (0..32).map(|k| ((i * 7 + k) % 13) as f64).collect();
             let y: Vec<f64> = (0..32).map(|k| ((i * 3 + k) % 5) as f64).collect();
             let started = std::time::Instant::now();
-            match client.netsl_timed("ddot", &[x.into(), y.into()]) {
-                Ok((_, report)) => {
-                    ok += 1;
-                    attempts_total += u64::from(report.attempts);
-                    turnarounds.push(started.elapsed().as_secs_f64());
-                }
-                Err(_) => {
-                    turnarounds.push(started.elapsed().as_secs_f64());
-                }
-            }
+            let _ = client.netsl("ddot", &[x.into(), y.into()]);
+            turnarounds.push(started.elapsed().as_secs_f64());
         }
         turnarounds.sort_by(|a, b| a.total_cmp(b));
         let p95 = turnarounds[((turnarounds.len() - 1) as f64 * 0.95) as usize];
+        let m = metrics.snapshot("r5b");
+        let ok = m.counter("client.calls_ok");
         table.row(vec![
             label.to_string(),
             pct(ok as f64 / REQUESTS as f64),
-            format!("{:.2}", attempts_total as f64 / ok.max(1) as f64),
+            format!(
+                "{:.2}",
+                m.counter("client.attempts") as f64 / m.counter("client.calls").max(1) as f64
+            ),
             secs(p95),
+            format!(
+                "{} refuse / {} corrupt / {} reset",
+                m.counter("chaos.refused"),
+                m.counter("chaos.corruptions_injected"),
+                m.counter("chaos.resets"),
+            ),
         ]);
 
         for s in &mut servers {

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use netsolve_core::config::RetryPolicy;
@@ -12,6 +12,7 @@ use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::problem::{ProblemSpec, RequestShape};
 use netsolve_core::rng::Rng64;
 use netsolve_net::{call, Connection, Transport};
+use netsolve_obs::{MetricsRegistry, Tracer};
 use netsolve_proto::{Candidate, Message, QueryShape};
 use parking_lot::Mutex;
 
@@ -20,6 +21,9 @@ use parking_lot::Mutex;
 /// predicted-vs-actual).
 #[derive(Debug, Clone)]
 pub struct CallReport {
+    /// The request id this call travelled under (correlates with trace
+    /// events and server-side logs).
+    pub request_id: u64,
     /// The server that finally satisfied the request.
     pub server_id: u64,
     /// Its address.
@@ -44,6 +48,38 @@ pub struct NetSolveClient {
     specs: Mutex<HashMap<String, ProblemSpec>>,
     next_request: AtomicU64,
     jitter: Mutex<Rng64>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
+/// Seed for a client's request-id counter: a unique 32-bit lane in the
+/// high bits, call counter in the low bits. The lane XORs a process-wide
+/// instance counter with per-process startup entropy — XOR with a fixed
+/// value is a bijection, so two clients in one process can never share a
+/// lane, and the entropy decorrelates lanes across processes. (The
+/// client-host id is deliberately *not* folded in per client: a
+/// host-dependent XOR would break the in-process uniqueness guarantee.)
+fn request_id_seed() -> u64 {
+    static INSTANCES: AtomicU64 = AtomicU64::new(0);
+    static PROCESS_ENTROPY: OnceLock<u64> = OnceLock::new();
+    let entropy = *PROCESS_ENTROPY.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ (u64::from(std::process::id()) << 32))
+    });
+    let instance = INSTANCES.fetch_add(1, Ordering::Relaxed);
+    let lane = (instance as u32) ^ (entropy as u32);
+    (u64::from(lane) << 32) | 1
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche mix.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl NetSolveClient {
@@ -56,8 +92,10 @@ impl NetSolveClient {
             retry: RetryPolicy::default(),
             agent_conn: Mutex::new(None),
             specs: Mutex::new(HashMap::new()),
-            next_request: AtomicU64::new(1),
+            next_request: AtomicU64::new(request_id_seed()),
             jitter: Mutex::new(Rng64::new(0x6A17_7E12)),
+            metrics: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(Tracer::new()),
         }
     }
 
@@ -78,6 +116,25 @@ impl NetSolveClient {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Share a metrics registry and tracer with this client (tests and
+    /// experiments aggregate several clients into one registry; a shared
+    /// tracer also cross-checks request-id uniqueness *across* clients).
+    pub fn with_observability(mut self, metrics: Arc<MetricsRegistry>, tracer: Arc<Tracer>) -> Self {
+        self.metrics = metrics;
+        self.tracer = tracer;
+        self
+    }
+
+    /// This client's metrics registry (`client.*` instruments).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// This client's tracer.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     fn agent_timeout(&self) -> Duration {
@@ -184,6 +241,31 @@ impl NetSolveClient {
         problem: &str,
         inputs: &[DataObject],
     ) -> Result<(Vec<DataObject>, CallReport)> {
+        // Account every call here, including ones that die before the
+        // retry loop (bad arguments, agent unreachable), so
+        // calls == calls_ok + calls_failed always closes.
+        self.metrics.counter("client.calls").inc();
+        let started = Instant::now();
+        let result = self.netsl_inner(problem, inputs);
+        match &result {
+            Ok(_) => {
+                self.metrics.counter("client.calls_ok").inc();
+                self.metrics
+                    .histogram("client.call_secs")
+                    .record_secs(started.elapsed().as_secs_f64());
+            }
+            Err(_) => {
+                self.metrics.counter("client.calls_failed").inc();
+            }
+        }
+        result
+    }
+
+    fn netsl_inner(
+        &self,
+        problem: &str,
+        inputs: &[DataObject],
+    ) -> Result<(Vec<DataObject>, CallReport)> {
         let spec = self.describe(problem)?;
         spec.check_inputs(inputs)?;
         let shape = RequestShape::from_call(&spec, inputs);
@@ -192,15 +274,41 @@ impl NetSolveClient {
             return Err(NetSolveError::NoServerAvailable(problem.to_string()));
         }
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        if !self.tracer.register_request(request_id) {
+            self.metrics.counter("client.request_id_collisions").inc();
+        }
+        self.tracer.emit(
+            request_id,
+            "client",
+            "call_start",
+            format!("problem={problem} candidates={}", candidates.len()),
+        );
+        let call_start = Instant::now();
         // The per-call deadline spans every attempt and backoff wait; its
         // remaining budget rides along in each RequestSubmit so servers
         // can shed work whose client has already given up.
         let deadline = (self.retry.deadline_secs > 0.0)
-            .then(|| Instant::now() + Duration::from_secs_f64(self.retry.deadline_secs));
+            .then(|| call_start + Duration::from_secs_f64(self.retry.deadline_secs));
 
         let mut last_err = NetSolveError::NoServerAvailable(problem.to_string());
-        let tried = candidates.iter().take(self.retry.max_attempts.max(1));
-        for (retry, candidate) in tried.enumerate() {
+        // Servers whose failure is tied to the host rather than the path
+        // (ExecutionFailed) drop out of the rotation; transient failures
+        // (unreachable, timeout, corruption) keep the candidate in play.
+        let mut spent: Vec<u64> = Vec::new();
+        let max_attempts = self.retry.max_attempts.max(1);
+        for retry in 0..max_attempts {
+            let live: Vec<&Candidate> = candidates
+                .iter()
+                .filter(|c| !spent.contains(&c.server_id))
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            // Cycle the ranked list rather than zipping it against the
+            // attempt budget: with fewer candidates than attempts the
+            // rotation wraps, so a single-server domain still gets its
+            // full retry budget instead of silently capping at one try.
+            let candidate = live[retry % live.len()];
             if retry > 0 {
                 let jitter = self.jitter.lock().next_f64();
                 let wait = self.retry.backoff.delay_secs(retry as u32 - 1, jitter);
@@ -209,11 +317,21 @@ impl NetSolveClient {
                     if let Some(d) = deadline {
                         pause = pause.min(d.saturating_duration_since(Instant::now()));
                     }
+                    self.metrics
+                        .histogram("client.backoff_wait_secs")
+                        .record_secs(pause.as_secs_f64());
                     std::thread::sleep(pause);
                 }
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
+                    self.metrics.counter("client.deadline_exhausted").inc();
+                    self.tracer.emit(
+                        request_id,
+                        "client",
+                        "deadline_exhausted",
+                        format!("after {retry} attempt(s): {last_err}"),
+                    );
                     return Err(NetSolveError::Timeout(format!(
                         "deadline of {:.3}s exhausted after {retry} attempt(s): {last_err}",
                         self.retry.deadline_secs
@@ -221,10 +339,23 @@ impl NetSolveClient {
                 }
             }
             let attempts = retry as u32 + 1;
+            self.metrics.counter("client.attempts").inc();
+            self.tracer.emit(
+                request_id,
+                "client",
+                "attempt",
+                format!("server={} address={}", candidate.server_id, candidate.address),
+            );
             let start = Instant::now();
             match self.try_one(candidate, request_id, problem, inputs, &spec, deadline) {
                 Ok((outputs, compute_secs)) => {
                     let total_secs = start.elapsed().as_secs_f64();
+                    self.tracer.emit(
+                        request_id,
+                        "client",
+                        "call_ok",
+                        format!("server={} attempts={attempts}", candidate.server_id),
+                    );
                     // Best-effort completion report: clears the agent's
                     // pending-assignment and fault state for this server.
                     let _ = self.agent_call(&Message::CompletionReport {
@@ -238,6 +369,7 @@ impl NetSolveClient {
                     return Ok((
                         outputs,
                         CallReport {
+                            request_id,
                             server_id: candidate.server_id,
                             server_address: candidate.address.clone(),
                             predicted_secs: candidate.predicted_secs,
@@ -248,12 +380,37 @@ impl NetSolveClient {
                     ));
                 }
                 Err(e) if e.is_retryable() => {
+                    self.metrics.counter("client.attempt_failures").inc();
+                    self.tracer.emit(
+                        request_id,
+                        "client",
+                        "attempt_failed",
+                        format!("server={} err={e}", candidate.server_id),
+                    );
                     self.report_failure(candidate, problem, &e);
+                    if matches!(e, NetSolveError::ExecutionFailed(_)) {
+                        spent.push(candidate.server_id);
+                    }
                     last_err = e;
                 }
-                Err(e) => return Err(e), // the request itself is bad; retrying elsewhere is futile
+                Err(e) => {
+                    // The request itself is bad; retrying elsewhere is futile.
+                    self.tracer.emit(
+                        request_id,
+                        "client",
+                        "call_failed",
+                        format!("non-retryable: {e}"),
+                    );
+                    return Err(e);
+                }
             }
         }
+        self.tracer.emit(
+            request_id,
+            "client",
+            "call_failed",
+            format!("retry budget exhausted: {last_err}"),
+        );
         Err(last_err)
     }
 

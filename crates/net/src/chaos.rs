@@ -22,14 +22,19 @@
 //!
 //! Every injected fault is counted; [`ChaosTransport::stats`] exposes a
 //! snapshot so tests can assert, e.g., that every injected corruption was
-//! detected by CRC validation.
+//! detected by CRC validation. [`ChaosTransport::with_metrics`] mirrors
+//! the same counts into a [`MetricsRegistry`] under `chaos.*` names, so
+//! the injected-equals-detected invariant is assertable from a metrics
+//! snapshot (including one scraped over the wire) rather than only from
+//! a test-local handle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::rng::Rng64;
+use netsolve_obs::MetricsRegistry;
 use netsolve_proto::{frame_bytes, parse_frame, Message};
 use parking_lot::Mutex;
 
@@ -110,16 +115,43 @@ impl ChaosPolicy {
     }
 }
 
+/// One fault counter: the raw atomic plus an optional mirror into a
+/// metrics registry, attached once via [`ChaosTransport::with_metrics`].
+/// The mirror read is a lock-free `OnceLock` load, so the unattached
+/// fast path stays a single `fetch_add`.
+#[derive(Debug, Default)]
+struct Tally {
+    raw: AtomicU64,
+    mirror: OnceLock<Arc<netsolve_obs::Counter>>,
+}
+
+impl Tally {
+    fn bump(&self) {
+        self.raw.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.mirror.get() {
+            c.inc();
+        }
+    }
+
+    fn get(&self) -> u64 {
+        self.raw.load(Ordering::Relaxed)
+    }
+
+    fn attach(&self, registry: &MetricsRegistry, name: &str) {
+        let _ = self.mirror.set(registry.counter(name));
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
-    connects: AtomicU64,
-    refused: AtomicU64,
-    resets: AtomicU64,
-    corruptions_injected: AtomicU64,
-    corruptions_detected: AtomicU64,
-    black_holes: AtomicU64,
-    delays: AtomicU64,
-    delivered_clean: AtomicU64,
+    connects: Tally,
+    refused: Tally,
+    resets: Tally,
+    corruptions_injected: Tally,
+    corruptions_detected: Tally,
+    black_holes: Tally,
+    delays: Tally,
+    delivered_clean: Tally,
 }
 
 /// Snapshot of everything a [`ChaosTransport`] has injected so far.
@@ -164,18 +196,36 @@ impl ChaosTransport {
         }
     }
 
+    /// Mirror every fault count into `registry` under `chaos.*` names
+    /// (`chaos.refused`, `chaos.corruptions_injected`, …), so injected
+    /// faults are assertable from the same metrics surface the daemons
+    /// expose. Attach before traffic starts: counts from earlier events
+    /// stay only in [`ChaosTransport::stats`].
+    pub fn with_metrics(self, registry: &MetricsRegistry) -> Self {
+        let c = &self.counters;
+        c.connects.attach(registry, "chaos.connects");
+        c.refused.attach(registry, "chaos.refused");
+        c.resets.attach(registry, "chaos.resets");
+        c.corruptions_injected.attach(registry, "chaos.corruptions_injected");
+        c.corruptions_detected.attach(registry, "chaos.corruptions_detected");
+        c.black_holes.attach(registry, "chaos.black_holes");
+        c.delays.attach(registry, "chaos.delays");
+        c.delivered_clean.attach(registry, "chaos.delivered_clean");
+        self
+    }
+
     /// Snapshot of the injected-fault counters.
     pub fn stats(&self) -> ChaosStats {
         let c = &self.counters;
         ChaosStats {
-            connects: c.connects.load(Ordering::Relaxed),
-            refused: c.refused.load(Ordering::Relaxed),
-            resets: c.resets.load(Ordering::Relaxed),
-            corruptions_injected: c.corruptions_injected.load(Ordering::Relaxed),
-            corruptions_detected: c.corruptions_detected.load(Ordering::Relaxed),
-            black_holes: c.black_holes.load(Ordering::Relaxed),
-            delays: c.delays.load(Ordering::Relaxed),
-            delivered_clean: c.delivered_clean.load(Ordering::Relaxed),
+            connects: c.connects.get(),
+            refused: c.refused.get(),
+            resets: c.resets.get(),
+            corruptions_injected: c.corruptions_injected.get(),
+            corruptions_detected: c.corruptions_detected.get(),
+            black_holes: c.black_holes.get(),
+            delays: c.delays.get(),
+            delivered_clean: c.delivered_clean.get(),
         }
     }
 
@@ -200,13 +250,13 @@ impl Transport for ChaosTransport {
             parent.fork(stream)
         };
         if rng.chance(self.policy.refuse_prob) {
-            self.counters.refused.fetch_add(1, Ordering::Relaxed);
+            self.counters.refused.bump();
             return Err(NetSolveError::ServerUnreachable(format!(
                 "chaos: connection to {address} refused"
             )));
         }
         let inner = self.inner.connect(address)?;
-        self.counters.connects.fetch_add(1, Ordering::Relaxed);
+        self.counters.connects.bump();
         Ok(Box::new(ChaosConnection {
             inner,
             policy: self.policy,
@@ -230,7 +280,7 @@ struct ChaosConnection {
 impl ChaosConnection {
     fn maybe_delay(&mut self) {
         if self.policy.delay_prob > 0.0 && self.rng.chance(self.policy.delay_prob) {
-            self.counters.delays.fetch_add(1, Ordering::Relaxed);
+            self.counters.delays.bump();
             let frac = self.rng.next_f64();
             std::thread::sleep(self.policy.max_delay.mul_f64(frac));
         }
@@ -238,7 +288,7 @@ impl ChaosConnection {
 
     fn maybe_reset(&mut self, during: &str) -> Result<()> {
         if self.rng.chance(self.policy.reset_prob) {
-            self.counters.resets.fetch_add(1, Ordering::Relaxed);
+            self.counters.resets.bump();
             return Err(NetSolveError::Transport(format!(
                 "chaos: connection reset during {during}"
             )));
@@ -253,7 +303,7 @@ impl ChaosConnection {
     /// single-byte flip there is always caught by CRC32.
     fn deliver(&mut self, msg: Message) -> Result<Message> {
         if !self.rng.chance(self.policy.corrupt_prob) {
-            self.counters.delivered_clean.fetch_add(1, Ordering::Relaxed);
+            self.counters.delivered_clean.bump();
             return Ok(msg);
         }
         let mut frame = frame_bytes(&msg);
@@ -263,13 +313,13 @@ impl ChaosConnection {
         let idx = 12 + self.rng.below(frame.len() - 12);
         let bit = 1u8 << self.rng.below(8);
         frame[idx] ^= bit;
-        self.counters.corruptions_injected.fetch_add(1, Ordering::Relaxed);
+        self.counters.corruptions_injected.bump();
         match parse_frame(&frame) {
             Ok(_) => Err(NetSolveError::Internal(
                 "chaos: injected corruption escaped frame validation".into(),
             )),
             Err(e) => {
-                self.counters.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+                self.counters.corruptions_detected.bump();
                 Err(e)
             }
         }
@@ -286,7 +336,7 @@ impl Connection for ChaosConnection {
     fn recv(&mut self) -> Result<Message> {
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
-            self.counters.black_holes.fetch_add(1, Ordering::Relaxed);
+            self.counters.black_holes.bump();
             std::thread::sleep(self.policy.black_hole_cap);
             return Err(NetSolveError::Timeout("chaos: read black-holed".into()));
         }
@@ -298,7 +348,7 @@ impl Connection for ChaosConnection {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Message> {
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
-            self.counters.black_holes.fetch_add(1, Ordering::Relaxed);
+            self.counters.black_holes.bump();
             std::thread::sleep(timeout.min(self.policy.black_hole_cap));
             return Err(NetSolveError::Timeout("chaos: read black-holed".into()));
         }

@@ -1,0 +1,23 @@
+//! # netsolve-obs
+//!
+//! The observability layer for the live NetSolve daemons: a lock-cheap
+//! [`MetricsRegistry`] (atomic counters, gauges and fixed-bucket
+//! log-scale histograms — hand-rolled, no external deps, matching the
+//! rest of the workspace) plus a [`Tracer`] recording structured
+//! per-request events keyed by the protocol's `request_id`.
+//!
+//! Daemons hold one registry each and bump instruments on the hot path
+//! with single atomic operations; a [`StatsSnapshot`] is taken on demand
+//! (the `StatsQuery` wire message, the `netsl-stats` bin, test
+//! assertions) and is plain data, so `netsolve-proto` can marshal it
+//! without this crate knowing anything about the wire format.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,361 @@
+//! Atomic metric instruments and the registry that owns them.
+//!
+//! Three instrument kinds cover everything the daemons need:
+//!
+//! * [`Counter`] — monotone `u64`, one `fetch_add` per event;
+//! * [`Gauge`] — signed level (`i64`), inc/dec/set;
+//! * [`Histogram`] — fixed log-scale buckets for durations: bucket `i`
+//!   holds samples up to `1 µs × 2^i`, doubling from 1 µs to ~33 s, with
+//!   the last bucket absorbing everything longer. Recording is two
+//!   `fetch_add`s plus one on the nanosecond sum — no locks, no heap.
+//!
+//! Instruments are created (and found again) by name through the
+//! [`MetricsRegistry`]; callers cache the returned `Arc` outside hot
+//! loops. [`MetricsRegistry::snapshot`] freezes everything into a
+//! [`StatsSnapshot`], the plain-data form that travels in `StatsReply`
+//! wire messages.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Number of histogram buckets: 1 µs doubling up to `2^25` µs (~33.6 s),
+/// with the final bucket catching every longer sample.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Count one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events at once.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level (queue depths, in-flight request counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Raise the level by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set the level outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale duration histogram (seconds in, buckets of
+/// doubling width from 1 µs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a sample of `secs` falls into.
+fn bucket_index(secs: f64) -> usize {
+    if secs.is_nan() || secs <= 1e-6 {
+        // NaN, negative and sub-microsecond samples all land in bucket 0.
+        return 0;
+    }
+    let idx = (secs / 1e-6).log2().ceil() as i64;
+    idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Inclusive upper bound of bucket `i` in seconds (the last bucket is
+/// reported with this bound but actually unbounded).
+pub fn bucket_bound_secs(i: usize) -> f64 {
+    1e-6 * (1u64 << i.min(HISTOGRAM_BUCKETS - 1)) as f64
+}
+
+impl Histogram {
+    /// Record one duration sample in seconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.buckets[bucket_index(secs)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let nanos = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e9).min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Freeze this histogram into plain data.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count(),
+            sum_secs: self.sum_secs(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Plain-data form of one histogram, as carried in `StatsReply`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name (e.g. `server.compute_secs`).
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, seconds.
+    pub sum_secs: f64,
+    /// Per-bucket sample counts ([`HISTOGRAM_BUCKETS`] entries; decoded
+    /// snapshots from other builds may legitimately differ in length).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_secs / self.count as f64
+        }
+    }
+}
+
+/// Everything one daemon's registry held at snapshot time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Which daemon answered (`"client"`, `"server"`, `"agent"`, …).
+    pub component: String,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Look up a counter by name (0 when absent — an instrument that was
+    /// never touched may not exist yet).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Look up a gauge by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Owns every named instrument of one daemon. Lookup takes a short lock;
+/// the instruments themselves are lock-free, so hot paths fetch their
+/// `Arc`s once and then only touch atomics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Freeze every instrument into a [`StatsSnapshot`] labelled with the
+    /// answering `component`.
+    pub fn snapshot(&self, component: &str) -> StatsSnapshot {
+        StatsSnapshot {
+            component: component.to_string(),
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(n, h)| h.snapshot(n))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x.events");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x.events").get(), 5, "same name, same instrument");
+        let g = reg.gauge("x.depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(reg.gauge("x.depth").get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(1e-6), 0);
+        assert_eq!(bucket_index(1.5e-6), 1);
+        assert_eq!(bucket_index(3e-6), 2);
+        // 1 ms = 2^10 µs exactly: bucket 10.
+        assert_eq!(bucket_index(1.024e-3), 10);
+        // Far beyond the last bound: clamped to the overflow bucket.
+        assert_eq!(bucket_index(1e6), HISTOGRAM_BUCKETS - 1);
+        // Bounds double from 1 µs.
+        assert_eq!(bucket_bound_secs(0), 1e-6);
+        assert_eq!(bucket_bound_secs(1), 2e-6);
+        assert!(bucket_bound_secs(HISTOGRAM_BUCKETS - 1) > 30.0);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.secs");
+        h.record_secs(0.5e-6);
+        h.record_secs(3e-6);
+        h.record_secs(0.010);
+        let snap = h.snapshot("x.secs");
+        assert_eq!(snap.count, 3);
+        assert!((snap.sum_secs - 0.0100035).abs() < 1e-6, "sum {}", snap.sum_secs);
+        assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert!((snap.mean_secs() - snap.sum_secs / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").add(1);
+        reg.gauge("depth").set(7);
+        reg.histogram("lat").record_secs(0.001);
+        let snap = reg.snapshot("test");
+        assert_eq!(snap.component, "test");
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "b.second"], "BTreeMap keeps names sorted");
+        assert_eq!(snap.counter("a.first"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("depth"), 7);
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn instruments_are_shared_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), 4000);
+    }
+}

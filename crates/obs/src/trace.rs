@@ -1,0 +1,168 @@
+//! Structured trace events keyed by the protocol's `request_id`.
+//!
+//! The [`Tracer`] is a bounded ring buffer of [`TraceEvent`]s: each
+//! records which component saw what happen to which request, in global
+//! sequence order. It doubles as the request-id uniqueness monitor — a
+//! shared tracer registers every id a client mints and counts
+//! collisions, which is how the "two concurrent clients must never
+//! submit the same `request_id`" invariant is asserted at trace level
+//! rather than hoped for.
+
+use std::collections::{HashSet, VecDeque};
+
+use parking_lot::Mutex;
+
+/// Default ring capacity: enough for a soak test's tail without
+/// unbounded growth in long-lived daemons.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotone per tracer).
+    pub seq: u64,
+    /// The request this event belongs to (0 for request-less events).
+    pub request_id: u64,
+    /// Component that emitted it (`"client"`, `"server"`, `"agent"`).
+    pub component: String,
+    /// Event kind, e.g. `"attempt"`, `"backoff"`, `"deadline_exhausted"`.
+    pub event: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+struct TraceInner {
+    next_seq: u64,
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    seen_requests: HashSet<u64>,
+    collisions: u64,
+}
+
+/// A bounded, thread-safe event ring plus request-id registry.
+pub struct Tracer {
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// Tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tracer keeping at most `capacity` events (oldest evicted first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Mutex::new(TraceInner {
+                next_seq: 0,
+                ring: VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+                capacity: capacity.max(1),
+                seen_requests: HashSet::new(),
+                collisions: 0,
+            }),
+        }
+    }
+
+    /// Append one event.
+    pub fn emit(&self, request_id: u64, component: &str, event: &str, detail: String) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(TraceEvent {
+            seq,
+            request_id,
+            component: component.to_string(),
+            event: event.to_string(),
+            detail,
+        });
+    }
+
+    /// Register a freshly minted request id. Returns `false` (and counts
+    /// a collision) if any client sharing this tracer already used it.
+    pub fn register_request(&self, request_id: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.seen_requests.insert(request_id) {
+            true
+        } else {
+            inner.collisions += 1;
+            false
+        }
+    }
+
+    /// How many request-id collisions [`Tracer::register_request`] saw.
+    pub fn collisions(&self) -> u64 {
+        self.inner.lock().collisions
+    }
+
+    /// Total events emitted over the tracer's lifetime (including ones
+    /// the ring has since evicted).
+    pub fn events_emitted(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// The retained events for one request, oldest first.
+    pub fn events_for(&self, request_id: u64) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .ring
+            .iter()
+            .filter(|e| e.request_id == request_id)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_keep_sequence_order() {
+        let t = Tracer::new();
+        t.emit(7, "client", "attempt", "srv0".into());
+        t.emit(7, "client", "attempt", "srv1".into());
+        t.emit(9, "client", "call_ok", String::new());
+        let all = t.events();
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(t.events_for(7).len(), 2);
+        assert_eq!(t.events_for(9)[0].event, "call_ok");
+        assert_eq!(t.events_emitted(), 3);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_past_capacity() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10 {
+            t.emit(i, "client", "attempt", String::new());
+        }
+        let kept = t.events();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].request_id, 6, "oldest events evicted");
+        assert_eq!(t.events_emitted(), 10);
+    }
+
+    #[test]
+    fn request_id_collisions_are_counted() {
+        let t = Tracer::new();
+        assert!(t.register_request(1));
+        assert!(t.register_request(2));
+        assert_eq!(t.collisions(), 0);
+        assert!(!t.register_request(1));
+        assert_eq!(t.collisions(), 1);
+    }
+}

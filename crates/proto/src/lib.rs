@@ -84,6 +84,34 @@ mod proptests {
                     problem,
                     inputs,
                 }),
+            Just(Message::StatsQuery),
+            (
+                "[a-z]{1,8}",
+                prop::collection::vec(("[a-z._]{1,16}", any::<u64>()), 0..6),
+                prop::collection::vec(("[a-z._]{1,16}", any::<i64>()), 0..4),
+                prop::collection::vec(
+                    (
+                        "[a-z._]{1,16}",
+                        any::<u64>(),
+                        0.0..1e6f64,
+                        prop::collection::vec(any::<u64>(), 0..30),
+                    ),
+                    0..3,
+                ),
+            )
+                .prop_map(|(component, counters, gauges, hists)| {
+                    Message::StatsReply(netsolve_obs::StatsSnapshot {
+                        component,
+                        counters,
+                        gauges,
+                        histograms: hists
+                            .into_iter()
+                            .map(|(name, count, sum_secs, buckets)| {
+                                netsolve_obs::HistogramSnapshot { name, count, sum_secs, buckets }
+                            })
+                            .collect(),
+                    })
+                }),
         ]
     }
 

@@ -12,6 +12,7 @@
 
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
+use netsolve_obs::{HistogramSnapshot, StatsSnapshot};
 use netsolve_xdr::{Decoder, Encoder};
 
 /// Description of one computational server, sent at registration and
@@ -197,6 +198,13 @@ pub enum Message {
         /// `bytes / (total - compute)`.
         bytes: u64,
     },
+    /// any → daemon: dump your metrics registry. Additive in protocol
+    /// version 2: daemons from before this message existed answer with
+    /// their generic "cannot handle" `Error` reply, which scrapers treat
+    /// as *unsupported*, so mixed-version domains keep working.
+    StatsQuery,
+    /// daemon → any: the metrics snapshot ([`StatsSnapshot`]).
+    StatsReply(StatsSnapshot),
     /// any → any: liveness probe.
     Ping,
     /// any → any: liveness answer.
@@ -231,6 +239,8 @@ impl Message {
             Message::DescribeProblemForwarded { .. } => 18,
             Message::ListServers => 19,
             Message::ServerInfoList { .. } => 20,
+            Message::StatsQuery => 21,
+            Message::StatsReply(_) => 22,
             Message::Ping => 13,
             Message::Pong => 14,
             Message::Error { .. } => 15,
@@ -257,6 +267,8 @@ impl Message {
             Message::RequestSubmit { .. } => "RequestSubmit",
             Message::RequestReply { .. } => "RequestReply",
             Message::CompletionReport { .. } => "CompletionReport",
+            Message::StatsQuery => "StatsQuery",
+            Message::StatsReply(_) => "StatsReply",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Error { .. } => "Error",
@@ -360,6 +372,30 @@ impl Message {
                 e.put_f64(*total_secs);
                 e.put_f64(*compute_secs);
                 e.put_u64(*bytes);
+            }
+            Message::StatsQuery => {}
+            Message::StatsReply(snap) => {
+                e.put_string(&snap.component);
+                e.put_u32(snap.counters.len() as u32);
+                for (name, value) in &snap.counters {
+                    e.put_string(name);
+                    e.put_u64(*value);
+                }
+                e.put_u32(snap.gauges.len() as u32);
+                for (name, value) in &snap.gauges {
+                    e.put_string(name);
+                    e.put_u64(*value as u64); // two's complement on the wire
+                }
+                e.put_u32(snap.histograms.len() as u32);
+                for h in &snap.histograms {
+                    e.put_string(&h.name);
+                    e.put_u64(h.count);
+                    e.put_f64(h.sum_secs);
+                    e.put_u32(h.buckets.len() as u32);
+                    for b in &h.buckets {
+                        e.put_u64(*b);
+                    }
+                }
             }
             Message::Ping | Message::Pong => {}
             Message::Error { code, detail } => {
@@ -497,6 +533,51 @@ impl Message {
                 compute_secs: d.get_f64()?,
                 bytes: d.get_u64()?,
             },
+            21 => Message::StatsQuery,
+            22 => {
+                let component = d.get_string()?;
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 12 + 1 {
+                    return Err(NetSolveError::Protocol("counter count too large".into()));
+                }
+                let mut counters = Vec::with_capacity(count);
+                for _ in 0..count {
+                    counters.push((d.get_string()?, d.get_u64()?));
+                }
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 12 + 1 {
+                    return Err(NetSolveError::Protocol("gauge count too large".into()));
+                }
+                let mut gauges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    gauges.push((d.get_string()?, d.get_u64()? as i64));
+                }
+                let count = d.get_u32()? as usize;
+                if count > d.remaining() / 24 + 1 {
+                    return Err(NetSolveError::Protocol("histogram count too large".into()));
+                }
+                let mut histograms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = d.get_string()?;
+                    let sample_count = d.get_u64()?;
+                    let sum_secs = d.get_f64()?;
+                    let buckets_len = d.get_u32()? as usize;
+                    if buckets_len > d.remaining() / 8 + 1 {
+                        return Err(NetSolveError::Protocol("bucket count too large".into()));
+                    }
+                    let mut buckets = Vec::with_capacity(buckets_len);
+                    for _ in 0..buckets_len {
+                        buckets.push(d.get_u64()?);
+                    }
+                    histograms.push(HistogramSnapshot {
+                        name,
+                        count: sample_count,
+                        sum_secs,
+                        buckets,
+                    });
+                }
+                Message::StatsReply(StatsSnapshot { component, counters, gauges, histograms })
+            }
             15 => Message::Error { code: d.get_u32()?, detail: d.get_string()? },
             other => {
                 return Err(NetSolveError::Protocol(format!("unknown message tag {other}")))
@@ -585,6 +666,19 @@ mod tests {
                 bytes_in: 16_400,
                 bytes_out: 16_400,
             }),
+            Message::StatsQuery,
+            Message::StatsReply(StatsSnapshot {
+                component: "server".into(),
+                counters: vec![("server.accepts".into(), 12), ("server.requests".into(), 9)],
+                gauges: vec![("server.active_requests".into(), -1)],
+                histograms: vec![HistogramSnapshot {
+                    name: "server.compute_secs".into(),
+                    count: 3,
+                    sum_secs: 0.125,
+                    buckets: vec![0, 1, 2, 0],
+                }],
+            }),
+            Message::StatsReply(StatsSnapshot::default()),
             Message::Ping,
             Message::Pong,
             Message::Error { code: 1, detail: "problem not found".into() },
@@ -606,8 +700,8 @@ mod tests {
         let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        // RegisterAck appears twice in samples
-        assert_eq!(tags.len(), samples().len() - 1);
+        // RegisterAck and StatsReply each appear twice in samples
+        assert_eq!(tags.len(), samples().len() - 2);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The server brain: validate a request against the problem catalogue,
 //! run the solver, time it, and shape the reply.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
+use netsolve_obs::MetricsRegistry;
 use netsolve_pdl::ProblemRegistry;
 use netsolve_proto::Message;
 use netsolve_solvers::execute;
@@ -28,6 +30,7 @@ pub enum ExecutionMode {
 pub struct ServerCore {
     problems: ProblemRegistry,
     mode: ExecutionMode,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A computed reply plus how long the computation took.
@@ -42,7 +45,7 @@ pub struct Execution {
 impl ServerCore {
     /// Server offering the given problem catalogue.
     pub fn new(problems: ProblemRegistry, mode: ExecutionMode) -> Self {
-        ServerCore { problems, mode }
+        ServerCore { problems, mode, metrics: Arc::new(MetricsRegistry::new()) }
     }
 
     /// Server offering the full standard catalogue with real execution.
@@ -58,6 +61,13 @@ impl ServerCore {
     /// The execution mode.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// The registry holding this server's `server.*` instruments. The
+    /// daemon shares it for accept-loop metrics, and [`Message::StatsQuery`]
+    /// snapshots it over the wire.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Validate and execute one request.
@@ -99,26 +109,42 @@ impl ServerCore {
     pub fn handle_message_at(&self, msg: &Message, received_at: Instant) -> Message {
         match msg {
             Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+                self.metrics.counter("server.requests").inc();
+                // Time spent queued between wire arrival and dispatch.
+                self.metrics
+                    .histogram("server.queue_secs")
+                    .record_secs(received_at.elapsed().as_secs_f64());
                 // Shed expired work: if the client's remaining budget was
                 // already consumed before execution starts, nobody is
                 // waiting for this result.
                 if *deadline_ms > 0 {
                     let budget = std::time::Duration::from_millis(*deadline_ms);
                     if received_at.elapsed() >= budget {
+                        self.metrics.counter("server.deadline_shed").inc();
                         return Message::from_error(&NetSolveError::Timeout(format!(
                             "request {request_id} deadline ({deadline_ms} ms) expired before execution"
                         )));
                     }
                 }
                 match self.run(problem, inputs) {
-                    Ok(exec) => Message::RequestReply {
-                        request_id: *request_id,
-                        outputs: exec.outputs,
-                        compute_secs: exec.compute_secs,
-                    },
-                    Err(e) => Message::from_error(&e),
+                    Ok(exec) => {
+                        self.metrics.counter("server.requests_ok").inc();
+                        self.metrics
+                            .histogram("server.compute_secs")
+                            .record_secs(exec.compute_secs);
+                        Message::RequestReply {
+                            request_id: *request_id,
+                            outputs: exec.outputs,
+                            compute_secs: exec.compute_secs,
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.counter("server.requests_failed").inc();
+                        Message::from_error(&e)
+                    }
                 }
             }
+            Message::StatsQuery => Message::StatsReply(self.metrics.snapshot("server")),
             Message::Ping => Message::Pong,
             Message::ListProblems => Message::ProblemCatalogue {
                 names: self.problems.names(),

@@ -9,6 +9,7 @@ use netsolve_core::config::WorkloadPolicy;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_net::{call, Connection, Transport};
 use netsolve_proto::{Message, ServerDescriptor};
+use parking_lot::Mutex;
 
 use crate::core::ServerCore;
 
@@ -25,6 +26,11 @@ pub struct ServerConfig {
     pub workload: WorkloadPolicy,
     /// Concurrent requests considered "100% workload".
     pub capacity: u32,
+    /// Hard cap on concurrent connection-service threads. Connections
+    /// arriving past the cap are answered with a retryable Busy error and
+    /// dropped, so a connection flood degrades into shed load instead of
+    /// unbounded thread growth.
+    pub max_connections: u32,
 }
 
 impl ServerConfig {
@@ -36,6 +42,7 @@ impl ServerConfig {
             mflops,
             workload: WorkloadPolicy::default(),
             capacity: 1,
+            max_connections: 64,
         }
     }
 }
@@ -113,22 +120,68 @@ impl ServerDaemon {
             let active = Arc::clone(&active);
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&requests_served);
+            let metrics = core.metrics();
+            let max_conns = config.max_connections.max(1);
+            let live_conns = Arc::new(AtomicU32::new(0));
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("server-accept-{server_id}"))
                     .spawn(move || loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
                         match listener.accept() {
-                            Ok(conn) => {
+                            Ok(mut conn) => {
                                 if stop.load(Ordering::Acquire) {
                                     break;
+                                }
+                                metrics.counter("server.accepts").inc();
+                                // Admission control. The protocol is strictly
+                                // client-sends-then-recvs, so an unsolicited
+                                // Busy error is the first frame a rejected
+                                // client's recv sees.
+                                let in_flight = live_conns.fetch_add(1, Ordering::AcqRel);
+                                if in_flight >= max_conns {
+                                    live_conns.fetch_sub(1, Ordering::AcqRel);
+                                    metrics.counter("server.busy_rejected").inc();
+                                    let _ = conn.send(&Message::from_error(
+                                        &NetSolveError::Resource(format!(
+                                            "server busy: {max_conns} connection(s) already open"
+                                        )),
+                                    ));
+                                    continue;
                                 }
                                 let core = Arc::clone(&core);
                                 let active = Arc::clone(&active);
                                 let served = Arc::clone(&served);
-                                std::thread::Builder::new()
+                                let conns = Arc::clone(&live_conns);
+                                // Park the connection where a failed spawn
+                                // can still reach it to answer Busy.
+                                let slot = Arc::new(Mutex::new(Some(conn)));
+                                let thread_slot = Arc::clone(&slot);
+                                let spawned = std::thread::Builder::new()
                                     .name("server-conn".into())
-                                    .spawn(move || serve_connection(conn, core, active, served))
-                                    .expect("spawn server connection thread");
+                                    .spawn(move || {
+                                        if let Some(conn) = thread_slot.lock().take() {
+                                            serve_connection(conn, core, active, served);
+                                        }
+                                        conns.fetch_sub(1, Ordering::AcqRel);
+                                    });
+                                if spawned.is_err() {
+                                    // Out of threads: degrade by shedding
+                                    // this connection, never by panicking
+                                    // the accept loop.
+                                    live_conns.fetch_sub(1, Ordering::AcqRel);
+                                    metrics.counter("server.spawn_failures").inc();
+                                    if let Some(mut conn) = slot.lock().take() {
+                                        let _ = conn.send(&Message::from_error(
+                                            &NetSolveError::Resource(
+                                                "server busy: cannot spawn connection thread"
+                                                    .into(),
+                                            ),
+                                        ));
+                                    }
+                                }
                             }
                             Err(_) => {
                                 if stop.load(Ordering::Acquire) {
@@ -258,6 +311,7 @@ fn serve_connection(
     active: Arc<AtomicU32>,
     served: Arc<AtomicU64>,
 ) {
+    let metrics = core.metrics();
     loop {
         let msg = match conn.recv() {
             Ok(m) => m,
@@ -267,14 +321,25 @@ fn serve_connection(
         let is_request = matches!(msg, Message::RequestSubmit { .. });
         if is_request {
             active.fetch_add(1, Ordering::AcqRel);
+            metrics.gauge("server.active_requests").inc();
         }
         let reply = core.handle_message_at(&msg, received_at);
         if is_request {
             active.fetch_sub(1, Ordering::AcqRel);
+            metrics.gauge("server.active_requests").dec();
             served.fetch_add(1, Ordering::AcqRel);
+            metrics
+                .histogram("server.request_handle_secs")
+                .record_secs(received_at.elapsed().as_secs_f64());
         }
+        let send_start = std::time::Instant::now();
         if conn.send(&reply).is_err() {
             return;
+        }
+        if is_request {
+            metrics
+                .histogram("server.reply_marshal_secs")
+                .record_secs(send_start.elapsed().as_secs_f64());
         }
     }
 }

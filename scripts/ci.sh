@@ -8,9 +8,16 @@ cd "$(dirname "$0")/.."
 echo "=== build (release) ==="
 cargo build --release --workspace
 
+echo "=== build (all bins, incl. netsl-stats) ==="
+cargo build --bins
+
 echo "=== tests ==="
 cargo test -q
 cargo test --workspace -q
+
+echo "=== regression tests (retry cap, request ids, accept-loop cap, stats) ==="
+cargo test --test observability -q
+cargo test --test chaos_soak -q
 
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings

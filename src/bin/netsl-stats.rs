@@ -1,0 +1,94 @@
+//! `netsl-stats` — scrape live NetSolve daemons for their metrics.
+//!
+//! ```text
+//! netsl-stats HOST:PORT [HOST:PORT ...]
+//! ```
+//!
+//! Dials each address over TCP, sends a `StatsQuery`, and pretty-prints
+//! the `StatsReply`. Daemons from before the stats protocol answer with
+//! their generic "cannot handle" error; those are reported as
+//! *unsupported* rather than failures, so a mixed-version domain can
+//! still be scraped.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use netsolve::net::{call, TcpTransport, Transport};
+use netsolve::obs::metrics::bucket_bound_secs;
+use netsolve::obs::StatsSnapshot;
+use netsolve::proto::Message;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netsl-stats HOST:PORT [HOST:PORT ...]\n\
+         \n\
+         Sends a StatsQuery to each daemon (agent, server or any future\n\
+         component) and prints its counters, gauges and latency histograms."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let addresses: Vec<String> = std::env::args().skip(1).collect();
+    if addresses.is_empty() || addresses.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let mut failures = 0usize;
+    for address in &addresses {
+        match scrape(&transport, address) {
+            Ok(Some(snapshot)) => print_snapshot(address, &snapshot),
+            Ok(None) => println!("{address}: stats unsupported by this daemon"),
+            Err(e) => {
+                eprintln!("netsl-stats: {address}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One scrape. `Ok(None)` means the peer predates `StatsQuery`.
+fn scrape(
+    transport: &Arc<dyn Transport>,
+    address: &str,
+) -> netsolve::core::Result<Option<StatsSnapshot>> {
+    let mut conn = transport.connect(address)?;
+    let reply = call(conn.as_mut(), &Message::StatsQuery, Duration::from_secs(5))?;
+    match reply {
+        Message::StatsReply(snapshot) => Ok(Some(snapshot)),
+        Message::Error { .. } => Ok(None),
+        other => Err(netsolve::core::NetSolveError::Protocol(format!(
+            "unexpected reply {}",
+            other.name()
+        ))),
+    }
+}
+
+fn print_snapshot(address: &str, s: &StatsSnapshot) {
+    println!("{address} [{}]", s.component);
+    for (name, value) in &s.counters {
+        println!("  {name:<32} {value}");
+    }
+    for (name, value) in &s.gauges {
+        println!("  {name:<32} {value}");
+    }
+    for h in &s.histograms {
+        println!(
+            "  {:<32} count {}  mean {:.6}s  sum {:.6}s",
+            h.name,
+            h.count,
+            h.mean_secs(),
+            h.sum_secs
+        );
+        for (i, n) in h.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            println!("    <= {:>12.6}s  {n}", bucket_bound_secs(i));
+        }
+    }
+}

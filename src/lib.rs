@@ -16,6 +16,7 @@
 //! | [`solvers`] | `netsolve-solvers` | the numerical substrate (LAPACK-style) |
 //! | [`proto`] | `netsolve-proto` | protocol messages and framing |
 //! | [`net`] | `netsolve-net` | TCP + link-model transports |
+//! | [`obs`] | `netsolve-obs` | metrics registry + request tracing |
 //! | [`agent`] | `netsolve-agent` | the resource broker (the paper's core) |
 //! | [`server`] | `netsolve-server` | the computational server |
 //! | [`client`] | `netsolve-client` | `netsl` blocking / non-blocking calls |
@@ -45,6 +46,7 @@ pub use netsolve_agent as agent;
 pub use netsolve_client as client;
 pub use netsolve_core as core;
 pub use netsolve_net as net;
+pub use netsolve_obs as obs;
 pub use netsolve_pdl as pdl;
 pub use netsolve_proto as proto;
 pub use netsolve_script as script;

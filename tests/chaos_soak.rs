@@ -17,6 +17,7 @@ use netsolve::agent::{AgentCore, AgentDaemon, Policy};
 use netsolve::client::NetSolveClient;
 use netsolve::core::config::{AgentConfig, Backoff, FaultPolicy, RetryPolicy};
 use netsolve::net::{ChannelNetwork, ChaosPolicy, ChaosStats, ChaosTransport, NetworkView, Transport};
+use netsolve::obs::{MetricsRegistry, StatsSnapshot, Tracer};
 use netsolve::server::{ServerConfig, ServerCore, ServerDaemon};
 
 const CLIENTS: usize = 4;
@@ -26,6 +27,7 @@ struct SoakOutcome {
     ok: u64,
     failed_retryable: u64,
     stats: ChaosStats,
+    metrics: StatsSnapshot,
     elapsed: Duration,
 }
 
@@ -67,7 +69,13 @@ fn run_soak(seed: u64) -> SoakOutcome {
         .with_corruption(0.03)
         .with_resets(0.02)
         .with_delays(0.10, Duration::from_millis(2));
-    let chaos = Arc::new(ChaosTransport::new(Arc::clone(&clean), policy, seed));
+    // One registry shared by the chaos layer and every client: injected
+    // faults and client-observed attempts land side by side, so the
+    // injected == detected invariant is assertable purely from metrics.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let tracer = Arc::new(Tracer::new());
+    let chaos =
+        Arc::new(ChaosTransport::new(Arc::clone(&clean), policy, seed).with_metrics(&metrics));
 
     let retry = RetryPolicy {
         max_attempts: 5,
@@ -85,10 +93,13 @@ fn run_soak(seed: u64) -> SoakOutcome {
             let transport: Arc<dyn Transport> = Arc::clone(&chaos) as Arc<dyn Transport>;
             let ok = Arc::clone(&ok);
             let failed_retryable = Arc::clone(&failed_retryable);
+            let metrics = Arc::clone(&metrics);
+            let tracer = Arc::clone(&tracer);
             std::thread::spawn(move || {
                 let client = NetSolveClient::new(transport, "agent")
                     .with_retry(retry)
-                    .with_jitter_seed(seed.wrapping_mul(31).wrapping_add(c as u64));
+                    .with_jitter_seed(seed.wrapping_mul(31).wrapping_add(c as u64))
+                    .with_observability(metrics, tracer);
                 for i in 0..REQUESTS_PER_CLIENT {
                     // Integer-valued vectors: the dot product is exact in
                     // f64 whatever the summation order, so the expected
@@ -134,6 +145,7 @@ fn run_soak(seed: u64) -> SoakOutcome {
         ok: ok.load(Ordering::Relaxed),
         failed_retryable: failed_retryable.load(Ordering::Relaxed),
         stats: chaos.stats(),
+        metrics: metrics.snapshot("soak"),
         elapsed,
     }
 }
@@ -163,6 +175,43 @@ fn assert_soak_invariants(seed: u64, outcome: &SoakOutcome) {
         outcome.stats.corruptions_injected, outcome.stats.corruptions_detected,
         "seed {seed}: corruption escaped detection"
     );
+    // The same invariants hold in the mirrored metrics (what a live
+    // operator would scrape): injected faults are visible and every
+    // injected corruption was detected.
+    let m = &outcome.metrics;
+    assert_eq!(m.counter("chaos.refused"), outcome.stats.refused, "seed {seed}");
+    assert_eq!(
+        m.counter("chaos.corruptions_injected"),
+        outcome.stats.corruptions_injected,
+        "seed {seed}"
+    );
+    assert_eq!(
+        m.counter("chaos.corruptions_injected"),
+        m.counter("chaos.corruptions_detected"),
+        "seed {seed}: corruption escaped detection (metrics view)"
+    );
+    // Client-side accounting closes: every call entered the retry loop,
+    // refusals forced extra attempts, and no request ids collided even
+    // with four clients sharing one tracer.
+    assert_eq!(m.counter("client.calls"), total, "seed {seed}");
+    assert_eq!(m.counter("client.calls_ok"), outcome.ok, "seed {seed}");
+    assert_eq!(
+        m.counter("client.calls_failed"),
+        outcome.failed_retryable,
+        "seed {seed}"
+    );
+    assert!(
+        m.counter("client.attempt_failures") > 0,
+        "seed {seed}: chaos should have failed some attempts"
+    );
+    assert!(
+        m.counter("client.attempts") > m.counter("client.calls_ok"),
+        "seed {seed}: failed attempts must show up as extra attempts \
+         ({} attempts, {} successes)",
+        m.counter("client.attempts"),
+        m.counter("client.calls_ok")
+    );
+    assert_eq!(m.counter("client.request_id_collisions"), 0, "seed {seed}");
     // No hangs: bounded attempt timeouts and backoffs keep the whole soak
     // far from pathological wall-clock.
     assert!(
