@@ -383,7 +383,18 @@ impl AgentCore {
                 Message::Pong
             }
             Message::Ping => Message::Pong,
-            Message::StatsQuery => Message::StatsReply(self.metrics.snapshot("agent")),
+            Message::StatsQuery => {
+                // Mirror the process-wide protocol downgrade count into
+                // this registry (monotone catch-up — the counter may lag
+                // between stats queries, never run backwards).
+                let c = self.metrics.counter("proto.version_downgrade");
+                let global = netsolve_proto::version_downgrades();
+                let seen = c.get();
+                if global > seen {
+                    c.add(global - seen);
+                }
+                Message::StatsReply(self.metrics.snapshot("agent"))
+            }
             other => Message::from_error(&NetSolveError::Protocol(format!(
                 "agent cannot handle {}",
                 other.name()

@@ -52,10 +52,17 @@ fn bench_frame_path(c: &mut Criterion) {
         problem: "dgemm".into(),
         inputs: vec![m.clone().into(), m.into()],
     };
-    let framed = frame_bytes(&msg);
+    let framed = frame_bytes(&msg).expect("bench payload under frame cap");
     group.throughput(Throughput::Bytes(framed.len() as u64));
     group.bench_function("frame_encode_128x128_pair", |b| {
-        b.iter(|| frame_bytes(std::hint::black_box(&msg)))
+        b.iter(|| frame_bytes(std::hint::black_box(&msg)).unwrap())
+    });
+    group.bench_function("frame_encode_single_pass_128x128_pair", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            netsolve_proto::encode_frame_into(std::hint::black_box(&msg), &mut scratch).unwrap();
+            std::hint::black_box(scratch.len())
+        })
     });
     group.bench_function("frame_decode_128x128_pair", |b| {
         b.iter(|| parse_frame(std::hint::black_box(&framed)).unwrap())

@@ -1,0 +1,172 @@
+//! R1-wire — Wire-path experiment: single-pass framing vs the legacy
+//! multi-pass route.
+//!
+//! Measures encode+frame throughput of both writer paths plus decode
+//! throughput across payloads from 1 KiB to 64 MiB, all in the same run
+//! so the speedup column compares like with like:
+//!
+//! * **legacy** — `frame_bytes`: encode the payload into its own vector,
+//!   copy it into a freshly allocated frame vector, then a separate CRC
+//!   scan (three passes, two allocations per frame);
+//! * **single-pass** — `encode_frame_into` with a reused scratch buffer:
+//!   header reserved up front, payload marshaled directly into place with
+//!   the CRC folded in during encode (one pass, zero steady-state
+//!   allocations).
+//!
+//! Expected shape: the gap widens with payload size — large frames pay
+//! the legacy route's extra passes and fresh page-faulting allocations in
+//! full, while the single-pass route stays in one warm buffer.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r1_wire_path`
+//! (writes `results/BENCH_r1_wire.json`); pass `--quick` for a tiny
+//! smoke run that skips the JSON artifact.
+
+use std::time::Instant;
+
+use netsolve_bench::Table;
+use netsolve_core::units::{fmt_bytes, fmt_rate};
+use netsolve_core::DataObject;
+use netsolve_proto::{encode_frame_into, frame_bytes, parse_frame, Message};
+
+struct Row {
+    payload_bytes: u64,
+    legacy_bps: f64,
+    single_pass_bps: f64,
+    decode_bps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.single_pass_bps / self.legacy_bps
+    }
+}
+
+/// Per-iteration seconds of `f`, averaged after one warmup call.
+fn time_per_iter(repeats: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: fault pages in, fill the scratch buffer
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed().as_secs_f64() / repeats as f64
+}
+
+fn measure(payload_bytes: usize, repeats: usize) -> Row {
+    // One vector of doubles dominates the payload; the surrounding
+    // RequestSubmit fields add a fixed few dozen bytes.
+    let n = payload_bytes / 8;
+    let values: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let msg = Message::RequestSubmit {
+        request_id: 1,
+        deadline_ms: 0,
+        problem: "bench".into(),
+        inputs: vec![DataObject::Vector(values)],
+    };
+
+    let framed = frame_bytes(&msg).expect("bench payload under frame cap");
+    let frame_len = framed.len() as f64;
+
+    let legacy_secs = time_per_iter(repeats, || {
+        std::hint::black_box(frame_bytes(std::hint::black_box(&msg)).unwrap());
+    });
+
+    let mut scratch = Vec::new();
+    let single_secs = time_per_iter(repeats, || {
+        encode_frame_into(std::hint::black_box(&msg), &mut scratch).unwrap();
+        std::hint::black_box(scratch.len());
+    });
+    assert_eq!(scratch, framed, "writer paths must agree byte-for-byte");
+
+    let decode_secs = time_per_iter(repeats, || {
+        std::hint::black_box(parse_frame(std::hint::black_box(&framed)).unwrap());
+    });
+
+    Row {
+        payload_bytes: payload_bytes as u64,
+        legacy_bps: frame_len / legacy_secs,
+        single_pass_bps: frame_len / single_secs,
+        decode_bps: frame_len / decode_secs,
+    }
+}
+
+fn write_json(rows: &[Row], path: &str) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"r1_wire_path\",\n");
+    out.push_str(
+        "  \"description\": \"encode+frame+decode throughput, legacy multi-pass vs \
+         single-pass zero-copy writer, bytes/sec over whole frames\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {}, \"legacy_bytes_per_sec\": {:.0}, \
+             \"single_pass_bytes_per_sec\": {:.0}, \"decode_bytes_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.payload_bytes,
+            r.legacy_bps,
+            r.single_pass_bps,
+            r.decode_bps,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let at_16mib = rows
+        .iter()
+        .find(|r| r.payload_bytes == 16 * 1024 * 1024)
+        .map(Row::speedup)
+        .unwrap_or(f64::NAN);
+    out.push_str(&format!("  \"speedup_at_16mib\": {at_16mib:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_r1_wire.json");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // (payload bytes, repeats) — repeats shrink as payloads grow so the
+    // full sweep stays in tens of seconds.
+    let sweep: &[(usize, usize)] = if quick {
+        &[(1 << 10, 50), (1 << 14, 20)]
+    } else {
+        &[
+            (1 << 10, 20_000),
+            (1 << 14, 5_000),
+            (1 << 18, 1_000),
+            (1 << 20, 300),
+            (1 << 22, 80),
+            (1 << 24, 30),
+            (1 << 26, 8),
+        ]
+    };
+
+    let mut table = Table::new(
+        "R1-wire: frame writer throughput, legacy multi-pass vs single-pass",
+        &["payload", "legacy", "single-pass", "speedup", "decode"],
+    );
+    let mut rows = Vec::new();
+    for &(payload, repeats) in sweep {
+        let row = measure(payload, repeats);
+        table.row(vec![
+            fmt_bytes(row.payload_bytes),
+            fmt_rate(row.legacy_bps),
+            fmt_rate(row.single_pass_bps),
+            format!("{:.2}x", row.speedup()),
+            fmt_rate(row.decode_bps),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    if quick {
+        println!("\n--quick: smoke sizes only, JSON artifact not written");
+        return;
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_r1_wire.json");
+    write_json(&rows, path);
+    println!("\nwrote {path}");
+    println!("shape check: the single-pass writer eliminates the legacy route's");
+    println!("extra copy + separate CRC scan + fresh per-frame allocations, so the");
+    println!("gap should widen with payload size and exceed 1.5x by 16 MiB.");
+}

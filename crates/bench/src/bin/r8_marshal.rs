@@ -41,7 +41,7 @@ fn time_marshal(obj: &DataObject, repeats: usize) -> (u64, f64, f64, f64) {
         problem: "bench".into(),
         inputs: objs.to_vec(),
     };
-    let framed = frame_bytes(&msg);
+    let framed = frame_bytes(&msg).expect("bench payload under frame cap");
     let start = Instant::now();
     for _ in 0..repeats {
         std::hint::black_box(parse_frame(&framed).expect("frame ok"));

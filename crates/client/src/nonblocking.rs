@@ -71,18 +71,28 @@ impl RequestHandle {
 impl NetSolveClient {
     /// Start a non-blocking call (`netslnb`). The returned handle can be
     /// probed or waited on; the computation proceeds on a worker thread.
+    ///
+    /// If the OS refuses to spawn the worker (thread exhaustion, resource
+    /// limits), the handle is returned already resolved to an `Internal`
+    /// error instead of panicking the caller — probe/wait report the
+    /// failure through the normal outcome channel.
     pub fn netsl_nb(self: &Arc<Self>, problem: &str, inputs: Vec<DataObject>) -> RequestHandle {
         let (tx, rx) = bounded(1);
         let client = Arc::clone(self);
         let problem = problem.to_string();
-        let handle = std::thread::Builder::new()
-            .name("netsl-nb".into())
-            .spawn(move || {
-                let outcome = client.netsl_timed(&problem, &inputs);
-                let _ = tx.send(outcome);
-            })
-            .expect("spawn non-blocking request worker");
-        RequestHandle { rx, outcome: None, joined: Some(handle) }
+        match std::thread::Builder::new().name("netsl-nb".into()).spawn(move || {
+            let outcome = client.netsl_timed(&problem, &inputs);
+            let _ = tx.send(outcome);
+        }) {
+            Ok(handle) => RequestHandle { rx, outcome: None, joined: Some(handle) },
+            Err(e) => RequestHandle {
+                rx,
+                outcome: Some(Err(NetSolveError::Internal(format!(
+                    "spawn request worker: {e}"
+                )))),
+                joined: None,
+            },
+        }
     }
 
     /// Task farming: submit every input set concurrently and wait for all
@@ -204,6 +214,24 @@ mod tests {
             s.stop();
         }
         agent.stop();
+    }
+
+    /// A handle degraded at spawn time (the shape `netsl_nb` returns when
+    /// the OS refuses a worker thread) must resolve through probe/wait
+    /// like any finished request — never panic.
+    #[test]
+    fn degraded_handle_reports_spawn_failure_via_outcome() {
+        let (_tx, rx) = bounded(1);
+        let mut handle = RequestHandle {
+            rx,
+            outcome: Some(Err(NetSolveError::Internal("spawn request worker: test".into()))),
+            joined: None,
+        };
+        assert!(handle.probe(), "pre-resolved handle must probe ready");
+        match handle.wait() {
+            Err(NetSolveError::Internal(m)) => assert!(m.contains("spawn request worker")),
+            other => panic!("expected Internal spawn error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::rng::Rng64;
-use netsolve_proto::{frame_bytes, parse_frame, Message};
+use netsolve_proto::{encode_frame_into, parse_frame, Message};
 use parking_lot::Mutex;
 
 use crate::link::LinkModel;
@@ -172,6 +172,7 @@ impl Transport for ChannelNetwork {
             rx: s2c_rx,
             peer: address.to_string(),
             network: self.clone(),
+            scratch: Vec::new(),
         }))
     }
 }
@@ -193,6 +194,7 @@ impl Listener for ChannelListener {
             rx: req.to_server,
             peer: req.peer,
             network: self.network.clone(),
+            scratch: Vec::new(),
         }))
     }
 
@@ -212,6 +214,10 @@ struct ChannelConnection {
     rx: Receiver<Envelope>,
     peer: String,
     network: ChannelNetwork,
+    /// Reused single-pass frame buffer; the envelope still needs owned
+    /// bytes, so a send costs one clone of the scratch — but marshaling
+    /// stays one pass with the CRC folded in.
+    scratch: Vec<u8>,
 }
 
 impl ChannelConnection {
@@ -237,7 +243,8 @@ impl Connection for ChannelConnection {
                 self.peer
             )));
         }
-        let bytes = frame_bytes(msg);
+        encode_frame_into(msg, &mut self.scratch)?;
+        let bytes = self.scratch.clone();
         let delay = self.network.delay_for(bytes.len())?;
         let env = Envelope { bytes, deliver_at: Instant::now() + delay };
         self.tx

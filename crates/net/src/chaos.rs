@@ -35,7 +35,7 @@ use std::time::Duration;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::rng::Rng64;
 use netsolve_obs::MetricsRegistry;
-use netsolve_proto::{frame_bytes, parse_frame, Message};
+use netsolve_proto::{encode_frame_into, parse_frame, Message};
 use parking_lot::Mutex;
 
 use crate::transport::{Connection, Listener, Transport};
@@ -262,6 +262,7 @@ impl Transport for ChaosTransport {
             policy: self.policy,
             rng,
             counters: Arc::clone(&self.counters),
+            scratch: Vec::new(),
         }))
     }
 
@@ -275,6 +276,8 @@ struct ChaosConnection {
     policy: ChaosPolicy,
     rng: Rng64,
     counters: Arc<Counters>,
+    /// Reused buffer for re-framing messages under corruption injection.
+    scratch: Vec<u8>,
 }
 
 impl ChaosConnection {
@@ -306,15 +309,16 @@ impl ChaosConnection {
             self.counters.delivered_clean.bump();
             return Ok(msg);
         }
-        let mut frame = frame_bytes(&msg);
+        encode_frame_into(&msg, &mut self.scratch)
+            .map_err(|e| NetSolveError::Internal(format!("chaos re-frame: {e}")))?;
         // Header is 12 bytes (magic, version, length); everything after
         // it — payload plus trailing CRC — is covered by the checksum
         // comparison, so a flip here is deterministically detectable.
-        let idx = 12 + self.rng.below(frame.len() - 12);
+        let idx = 12 + self.rng.below(self.scratch.len() - 12);
         let bit = 1u8 << self.rng.below(8);
-        frame[idx] ^= bit;
+        self.scratch[idx] ^= bit;
         self.counters.corruptions_injected.bump();
-        match parse_frame(&frame) {
+        match parse_frame(&self.scratch) {
             Ok(_) => Err(NetSolveError::Internal(
                 "chaos: injected corruption escaped frame validation".into(),
             )),

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use netsolve_core::config::RetryPolicy;
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_proto::{read_message, write_message, Message};
+use netsolve_proto::{read_message, write_message_into, Message};
 
 use crate::transport::{Connection, Listener, Transport};
 
@@ -113,6 +113,9 @@ struct TcpConnection {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
     peer: String,
+    /// Reused frame buffer: steady-state sends marshal into warm memory
+    /// and allocate nothing (see `write_message_into`).
+    scratch: Vec<u8>,
 }
 
 impl TcpConnection {
@@ -134,13 +137,14 @@ impl TcpConnection {
             reader: stream,
             writer: BufWriter::new(writer_stream),
             peer,
+            scratch: Vec::new(),
         }))
     }
 }
 
 impl Connection for TcpConnection {
     fn send(&mut self, msg: &Message) -> Result<()> {
-        write_message(&mut self.writer, msg)
+        write_message_into(&mut self.writer, msg, &mut self.scratch)
     }
 
     fn recv(&mut self) -> Result<Message> {

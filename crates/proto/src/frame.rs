@@ -13,11 +13,34 @@
 //! The CRC covers the payload only; magic and version mismatches are
 //! reported as protocol errors before any allocation happens, and the
 //! length field is capped so a corrupt peer cannot force a huge buffer.
+//! The same cap is enforced on the *send* side — an oversize message is
+//! rejected before any bytes hit the wire, never silently truncated
+//! through the `u32` length field.
+//!
+//! Two writer paths exist:
+//!
+//! * [`encode_frame_into`] / [`write_message_into`] — the hot path: the
+//!   message is marshaled **directly into the frame buffer** (header
+//!   reserved up front, length backfilled) with the CRC folded in
+//!   incrementally while encoding, so a frame costs exactly one pass over
+//!   the payload and zero intermediate copies, and a per-connection
+//!   scratch buffer amortizes the allocation away entirely;
+//! * [`frame_bytes`] — the legacy three-pass route (encode to a payload
+//!   vector, copy into a frame vector, scan again for the CRC), kept as
+//!   the baseline the `r1_wire_path` benchmark measures the hot path
+//!   against and for callers that want a self-contained buffer.
+//!
+//! Reading is version-tolerant: any frame whose version is in
+//! `1..=VERSION` is accepted and its payload decoded under the sender's
+//! version (older versions are additive subsets), so old peers keep
+//! interoperating; downgraded decodes are counted and surfaced as the
+//! `proto.version_downgrade` counter in daemon stats.
 
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_xdr::crc32;
+use netsolve_xdr::{crc32, Encoder};
 
 use crate::message::Message;
 
@@ -26,35 +49,114 @@ pub const MAGIC: u32 = 0x4E53_5256;
 /// Protocol version spoken by this implementation.
 ///
 /// History: v1 — initial protocol; v2 — `RequestSubmit` carries a
-/// `deadline_ms` budget so servers can shed expired work.
+/// `deadline_ms` budget so servers can shed expired work, and the
+/// `StatsQuery`/`StatsReply` pair exists.
 pub const VERSION: u32 = 2;
+/// Oldest protocol version this implementation still decodes.
+pub const MIN_VERSION: u32 = 1;
 /// Maximum payload size accepted (512 MiB), matching the largest
-/// experiment matrices with headroom.
+/// experiment matrices with headroom. Enforced on both send and receive.
 pub const MAX_FRAME_PAYLOAD: usize = 512 * 1024 * 1024;
+/// Bytes of frame header before the payload (magic, version, length).
+pub const HEADER_LEN: usize = 12;
 
-/// Serialize a message into one self-contained frame buffer.
-pub fn frame_bytes(msg: &Message) -> Vec<u8> {
-    let payload = msg.encode();
+/// Process-wide count of frames accepted at a version below [`VERSION`].
+static VERSION_DOWNGRADES: AtomicU64 = AtomicU64::new(0);
+
+/// How many frames this process has accepted from older-version peers
+/// (decoded under the sender's version). Daemons mirror this into their
+/// metrics registry as `proto.version_downgrade` when answering
+/// `StatsQuery`.
+pub fn version_downgrades() -> u64 {
+    VERSION_DOWNGRADES.load(Ordering::Relaxed)
+}
+
+fn oversize(len: usize) -> NetSolveError {
+    NetSolveError::Protocol(format!(
+        "frame payload {len} exceeds cap {MAX_FRAME_PAYLOAD}"
+    ))
+}
+
+/// Serialize a message into one self-contained frame buffer (legacy
+/// multi-pass route; see the module docs). Fails — before any bytes could
+/// reach a wire — if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn frame_bytes(msg: &Message) -> Result<Vec<u8>> {
+    frame_bytes_versioned(msg, VERSION)
+}
+
+/// [`frame_bytes`] at an explicit protocol version — compatibility tests
+/// use this to speak as an older peer.
+pub fn frame_bytes_versioned(msg: &Message, version: u32) -> Result<Vec<u8>> {
+    let payload = msg.encode_versioned(version);
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(oversize(payload.len()));
+    }
     let mut out = Vec::with_capacity(payload.len() + 16);
     out.extend_from_slice(&MAGIC.to_be_bytes());
-    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&version.to_be_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(&payload);
     out.extend_from_slice(&crc32(&payload).to_be_bytes());
-    out
+    Ok(out)
 }
 
-/// Write one framed message.
-pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
-    let bytes = frame_bytes(msg);
-    w.write_all(&bytes)?;
+/// Single-pass frame writer: clears `buf` and builds the complete frame
+/// in it — header reserved up front, payload marshaled directly into
+/// place with the CRC folded in as bytes are produced, then the length
+/// field backfilled and the CRC appended. No intermediate payload buffer,
+/// no second scan. Reusing `buf` across calls (the per-connection scratch
+/// pattern) also amortizes the allocation to zero.
+///
+/// Fails without side effects beyond `buf`'s contents if the payload
+/// exceeds [`MAX_FRAME_PAYLOAD`]; `buf` is left cleared in that case.
+pub fn encode_frame_into(msg: &Message, buf: &mut Vec<u8>) -> Result<()> {
+    buf.clear();
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 4]); // length, backfilled below
+    let crc = {
+        let mut e = Encoder::borrowing(buf).with_crc();
+        msg.encode_into(&mut e);
+        e.crc().expect("crc tracking enabled")
+    };
+    let payload_len = buf.len() - HEADER_LEN;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        buf.clear();
+        return Err(oversize(payload_len));
+    }
+    buf[8..12].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    buf.extend_from_slice(&crc.to_be_bytes());
+    Ok(())
+}
+
+/// Write one framed message through a caller-owned scratch buffer
+/// (single-pass; see [`encode_frame_into`]). Connections keep one scratch
+/// per stream so steady-state sends allocate nothing.
+pub fn write_message_into(
+    w: &mut impl Write,
+    msg: &Message,
+    scratch: &mut Vec<u8>,
+) -> Result<()> {
+    encode_frame_into(msg, scratch)?;
+    w.write_all(scratch)?;
     w.flush()?;
     Ok(())
 }
 
+/// Write one framed message (convenience wrapper over
+/// [`write_message_into`] with a throwaway buffer).
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
+    let mut buf = Vec::new();
+    write_message_into(w, msg, &mut buf)
+}
+
 /// Read one framed message, validating magic, version, length cap and CRC.
+///
+/// Versions `MIN_VERSION..=VERSION` are accepted; the payload is decoded
+/// under the sender's version so additive fields degrade gracefully
+/// instead of hard-rejecting older peers.
 pub fn read_message(r: &mut impl Read) -> Result<Message> {
-    let mut header = [0u8; 12];
+    let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             NetSolveError::Transport("peer closed connection".into())
@@ -69,16 +171,17 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
         )));
     }
     let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(NetSolveError::Protocol(format!(
-            "unsupported protocol version {version} (expected {VERSION})"
+            "unsupported protocol version {version} (supported {MIN_VERSION}..={VERSION})"
         )));
+    }
+    if version < VERSION {
+        VERSION_DOWNGRADES.fetch_add(1, Ordering::Relaxed);
     }
     let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME_PAYLOAD {
-        return Err(NetSolveError::Protocol(format!(
-            "frame payload {len} exceeds cap {MAX_FRAME_PAYLOAD}"
-        )));
+        return Err(oversize(len));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
@@ -93,7 +196,7 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
             "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
         )));
     }
-    Message::decode(&payload)
+    Message::decode_versioned(&payload, version)
 }
 
 /// Parse one frame from an in-memory buffer, returning the message and how
@@ -108,6 +211,11 @@ pub fn parse_frame(buf: &[u8]) -> Result<(Message, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test shorthand: frame a message that is known to fit the cap.
+    fn frame_ok(msg: &Message) -> Vec<u8> {
+        frame_bytes(msg).unwrap()
+    }
 
     #[test]
     fn roundtrip_through_buffer() {
@@ -131,7 +239,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = frame_bytes(&Message::Ping);
+        let mut bytes = frame_ok(&Message::Ping);
         bytes[0] = b'X';
         assert!(matches!(
             parse_frame(&bytes),
@@ -141,7 +249,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = frame_bytes(&Message::Ping);
+        let mut bytes = frame_ok(&Message::Ping);
         bytes[7] = 99;
         assert!(matches!(
             parse_frame(&bytes),
@@ -152,7 +260,7 @@ mod tests {
     #[test]
     fn corrupt_payload_caught_by_crc() {
         let msg = Message::ProblemCatalogue { names: vec!["dgesv".into()] };
-        let mut bytes = frame_bytes(&msg);
+        let mut bytes = frame_ok(&msg);
         let payload_start = 12;
         bytes[payload_start + 5] ^= 0x40;
         assert!(matches!(
@@ -163,7 +271,7 @@ mod tests {
 
     #[test]
     fn oversized_length_rejected_before_allocation() {
-        let mut bytes = frame_bytes(&Message::Ping);
+        let mut bytes = frame_ok(&Message::Ping);
         bytes[8..12].copy_from_slice(&(u32::MAX).to_be_bytes());
         assert!(matches!(
             parse_frame(&bytes),
@@ -173,7 +281,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_transport_error() {
-        let bytes = frame_bytes(&Message::ProblemCatalogue {
+        let bytes = frame_ok(&Message::ProblemCatalogue {
             names: vec!["a".into(), "b".into()],
         });
         for cut in [1, 6, 13, bytes.len() - 1] {
@@ -209,7 +317,7 @@ mod tests {
         fn truncations_always_error_cleanly() {
             let mut rng = Rng64::new(0xF0A2);
             for msg in subjects() {
-                let bytes = frame_bytes(&msg);
+                let bytes = frame_ok(&msg);
                 for _ in 0..200 {
                     let cut = rng.below(bytes.len()); // strictly short
                     assert!(
@@ -224,7 +332,7 @@ mod tests {
         fn byte_flips_anywhere_never_yield_a_different_message() {
             let mut rng = Rng64::new(0xBEEF);
             for msg in subjects() {
-                let clean = frame_bytes(&msg);
+                let clean = frame_ok(&msg);
                 for _ in 0..300 {
                     let mut bytes = clean.clone();
                     let idx = rng.below(bytes.len());
@@ -252,7 +360,7 @@ mod tests {
         #[test]
         fn oversized_lengths_rejected_without_allocation() {
             let mut rng = Rng64::new(0x51CE);
-            let clean = frame_bytes(&Message::Ping);
+            let clean = frame_ok(&Message::Ping);
             for _ in 0..200 {
                 let mut bytes = clean.clone();
                 let len = MAX_FRAME_PAYLOAD as u64
@@ -280,7 +388,7 @@ mod tests {
         #[test]
         fn garbage_magic_with_valid_tail_rejected() {
             let mut rng = Rng64::new(0xA117);
-            let clean = frame_bytes(&Message::Pong);
+            let clean = frame_ok(&Message::Pong);
             for _ in 0..200 {
                 let mut bytes = clean.clone();
                 let magic = rng.next_u64() as u32;
@@ -298,8 +406,8 @@ mod tests {
 
     #[test]
     fn parse_frame_reports_consumed_bytes() {
-        let m1 = frame_bytes(&Message::Ping);
-        let m2 = frame_bytes(&Message::Pong);
+        let m1 = frame_ok(&Message::Ping);
+        let m2 = frame_ok(&Message::Pong);
         let mut joined = m1.clone();
         joined.extend_from_slice(&m2);
         let (msg, used) = parse_frame(&joined).unwrap();
@@ -308,5 +416,148 @@ mod tests {
         let (msg2, used2) = parse_frame(&joined[used..]).unwrap();
         assert_eq!(msg2, Message::Pong);
         assert_eq!(used2, m2.len());
+    }
+
+    /// The single-pass writer must be byte-for-byte identical to the
+    /// legacy multi-pass route for every message shape — same header,
+    /// same payload, same CRC. This is the invariant that lets the two
+    /// paths coexist (and be benchmarked against each other).
+    #[test]
+    fn single_pass_writer_matches_legacy_frame_bytes() {
+        let subjects = vec![
+            Message::Ping,
+            Message::Pong,
+            Message::ListProblems,
+            Message::WorkloadReport { server_id: 9, workload: 12.5 },
+            Message::RequestSubmit {
+                request_id: 77,
+                deadline_ms: 1_500,
+                problem: "dgesv".into(),
+                inputs: vec![
+                    vec![1.0f64, -2.0, 3.5].into(),
+                    netsolve_core::DataObject::Text("rhs".into()),
+                ],
+            },
+            Message::ProblemCatalogue {
+                names: vec!["dgesv".into(), "dgemm".into(), "integrate".into()],
+            },
+            Message::Error { code: 4, detail: "execution failed".into() },
+        ];
+        let mut scratch = Vec::new();
+        for msg in &subjects {
+            let legacy = frame_ok(msg);
+            encode_frame_into(msg, &mut scratch).unwrap();
+            assert_eq!(scratch, legacy, "frame mismatch for {msg:?}");
+
+            let mut wire = Vec::new();
+            write_message_into(&mut wire, msg, &mut scratch).unwrap();
+            assert_eq!(wire, legacy, "writer output mismatch for {msg:?}");
+        }
+    }
+
+    /// A reused scratch buffer keeps its allocation across sends instead
+    /// of reallocating per frame.
+    #[test]
+    fn scratch_buffer_is_reused_across_sends() {
+        let big = Message::RequestSubmit {
+            request_id: 1,
+            deadline_ms: 0,
+            problem: "dgemm".into(),
+            inputs: vec![vec![0.5f64; 4096].into()],
+        };
+        let mut scratch = Vec::new();
+        encode_frame_into(&big, &mut scratch).unwrap();
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        for _ in 0..5 {
+            encode_frame_into(&big, &mut scratch).unwrap();
+            assert_eq!(scratch.capacity(), cap);
+            assert_eq!(scratch.as_ptr(), ptr);
+        }
+        // A smaller message also fits without shrinking the buffer.
+        encode_frame_into(&Message::Ping, &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    /// Regression: the payload cap is enforced on the send side, before
+    /// any bytes could hit a wire. Previously `payload.len() as u32`
+    /// silently truncated the length field for huge payloads.
+    #[test]
+    fn oversize_payload_rejected_on_send() {
+        // A PDL string one byte past the cap: string framing adds a
+        // 4-byte length + padding on top, guaranteeing payload > cap.
+        let msg = Message::ProblemDescription {
+            pdl: "y".repeat(MAX_FRAME_PAYLOAD + 1),
+        };
+        assert!(matches!(
+            frame_bytes(&msg),
+            Err(NetSolveError::Protocol(m)) if m.contains("cap")
+        ));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            encode_frame_into(&msg, &mut scratch),
+            Err(NetSolveError::Protocol(m)) if m.contains("cap")
+        ));
+        // The failed frame must not leave a half-built header behind.
+        assert!(scratch.is_empty());
+        let mut wire = Vec::new();
+        assert!(write_message_into(&mut wire, &msg, &mut scratch).is_err());
+        assert!(wire.is_empty(), "no bytes may reach the wire");
+    }
+
+    /// Version tolerance: a v1 peer's `RequestSubmit` (no `deadline_ms`
+    /// field) decodes cleanly with the deadline defaulted, and the
+    /// downgrade is counted.
+    #[test]
+    fn v1_frames_decode_with_defaulted_fields() {
+        let msg = Message::RequestSubmit {
+            request_id: 42,
+            deadline_ms: 9_999, // dropped by the v1 encoding
+            problem: "dgesv".into(),
+            inputs: vec![vec![1.0f64, 2.0].into()],
+        };
+        let v1 = frame_bytes_versioned(&msg, 1).unwrap();
+        let before = version_downgrades();
+        let (decoded, used) = parse_frame(&v1).unwrap();
+        assert_eq!(used, v1.len());
+        assert!(version_downgrades() > before, "downgrade not counted");
+        match decoded {
+            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+                assert_eq!(request_id, 42);
+                assert_eq!(deadline_ms, 0, "v1 has no deadline; defaults to 0");
+                assert_eq!(problem, "dgesv");
+                assert_eq!(inputs, vec![vec![1.0f64, 2.0].into()]);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+        // Version-independent messages round-trip exactly at v1.
+        let ping_v1 = frame_bytes_versioned(&Message::Ping, 1).unwrap();
+        assert_eq!(parse_frame(&ping_v1).unwrap().0, Message::Ping);
+    }
+
+    /// v2 frames still round-trip exactly (deadline preserved), and
+    /// versions outside `MIN_VERSION..=VERSION` are rejected.
+    #[test]
+    fn version_window_enforced() {
+        let msg = Message::RequestSubmit {
+            request_id: 7,
+            deadline_ms: 1_234,
+            problem: "dgemm".into(),
+            inputs: vec![],
+        };
+        let v2 = frame_ok(&msg);
+        assert_eq!(parse_frame(&v2).unwrap().0, msg);
+
+        for bad in [0u32, VERSION + 1, 99] {
+            let mut bytes = frame_ok(&Message::Ping);
+            bytes[4..8].copy_from_slice(&bad.to_be_bytes());
+            assert!(
+                matches!(
+                    parse_frame(&bytes),
+                    Err(NetSolveError::Protocol(m)) if m.contains("version")
+                ),
+                "version {bad} must be rejected"
+            );
+        }
     }
 }

@@ -14,7 +14,11 @@
 pub mod frame;
 pub mod message;
 
-pub use frame::{frame_bytes, parse_frame, read_message, write_message, MAX_FRAME_PAYLOAD};
+pub use frame::{
+    encode_frame_into, frame_bytes, frame_bytes_versioned, parse_frame, read_message,
+    version_downgrades, write_message, write_message_into, MAX_FRAME_PAYLOAD, MIN_VERSION,
+    VERSION,
+};
 pub use message::{Candidate, Message, QueryShape, ServerDescriptor, ServerInfo};
 
 #[cfg(test)]
@@ -124,10 +128,20 @@ mod proptests {
 
         #[test]
         fn frame_roundtrip(msg in arb_message()) {
-            let bytes = frame_bytes(&msg);
+            let bytes = frame_bytes(&msg).unwrap();
             let (back, used) = parse_frame(&bytes).unwrap();
             prop_assert_eq!(back, msg);
             prop_assert_eq!(used, bytes.len());
+        }
+
+        #[test]
+        fn single_pass_frame_matches_legacy(msg in arb_message()) {
+            // The zero-copy writer must agree byte-for-byte with the
+            // legacy route on arbitrary messages, not just fixtures.
+            let legacy = frame_bytes(&msg).unwrap();
+            let mut single = Vec::new();
+            encode_frame_into(&msg, &mut single).unwrap();
+            prop_assert_eq!(single, legacy);
         }
 
         #[test]
@@ -137,7 +151,7 @@ mod proptests {
             // Any single-bit corruption must either fail to parse or decode
             // to the identical message (flips in ignored padding cannot
             // occur because the codec validates padding).
-            let bytes = frame_bytes(&msg);
+            let bytes = frame_bytes(&msg).unwrap();
             let mut bad = bytes.clone();
             let idx = byte.index(bad.len());
             bad[idx] ^= 1 << bit;

@@ -280,9 +280,31 @@ impl Message {
         Message::Error { code: e.code(), detail: e.detail().to_string() }
     }
 
-    /// Encode to payload bytes (no framing).
+    /// Encode to payload bytes (no framing), at the current protocol
+    /// version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(crate::frame::VERSION)
+    }
+
+    /// Encode to payload bytes at a specific protocol version (used when
+    /// talking to — or impersonating, in compatibility tests — an older
+    /// peer). Version differences are additive: v1 `RequestSubmit` has no
+    /// `deadline_ms` field.
+    pub fn encode_versioned(&self, version: u32) -> Vec<u8> {
         let mut e = Encoder::with_capacity(64);
+        self.encode_body(&mut e, version);
+        e.into_bytes()
+    }
+
+    /// Encode into an existing encoder at the current protocol version —
+    /// the single-pass frame writer hands in an encoder borrowing its
+    /// frame buffer (with the header already reserved) so the payload is
+    /// marshaled directly into the frame with no intermediate copy.
+    pub fn encode_into(&self, e: &mut Encoder<'_>) {
+        self.encode_body(e, crate::frame::VERSION);
+    }
+
+    fn encode_body(&self, e: &mut Encoder<'_>, version: u32) {
         e.put_u32(self.tag());
         match self {
             Message::RegisterServer(d) => {
@@ -349,14 +371,16 @@ impl Message {
             }
             Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
                 e.put_u64(*request_id);
-                e.put_u64(*deadline_ms);
+                if version >= 2 {
+                    e.put_u64(*deadline_ms);
+                }
                 e.put_string(problem);
-                netsolve_xdr::encode_objects(&mut e, inputs);
+                netsolve_xdr::encode_objects(e, inputs);
             }
             Message::RequestReply { request_id, outputs, compute_secs } => {
                 e.put_u64(*request_id);
                 e.put_f64(*compute_secs);
-                netsolve_xdr::encode_objects(&mut e, outputs);
+                netsolve_xdr::encode_objects(e, outputs);
             }
             Message::CompletionReport {
                 server_id,
@@ -403,18 +427,26 @@ impl Message {
                 e.put_string(detail);
             }
         }
-        e.into_bytes()
     }
 
-    /// Decode from payload bytes, requiring full consumption.
+    /// Decode from payload bytes, requiring full consumption, at the
+    /// current protocol version.
     pub fn decode(bytes: &[u8]) -> Result<Message> {
+        Self::decode_versioned(bytes, crate::frame::VERSION)
+    }
+
+    /// Decode a payload that arrived in a frame of the given (negotiated)
+    /// protocol version. Older versions are additive subsets: a v1
+    /// `RequestSubmit` carries no `deadline_ms` and decodes with a zero
+    /// (no-deadline) budget.
+    pub fn decode_versioned(bytes: &[u8], version: u32) -> Result<Message> {
         let mut d = Decoder::new(bytes);
-        let msg = Self::decode_body(&mut d)?;
+        let msg = Self::decode_body(&mut d, version)?;
         d.finish()?;
         Ok(msg)
     }
 
-    fn decode_body(d: &mut Decoder<'_>) -> Result<Message> {
+    fn decode_body(d: &mut Decoder<'_>, version: u32) -> Result<Message> {
         let tag = d.get_u32()?;
         Ok(match tag {
             1 => {
@@ -514,7 +546,7 @@ impl Message {
             },
             11 => Message::RequestSubmit {
                 request_id: d.get_u64()?,
-                deadline_ms: d.get_u64()?,
+                deadline_ms: if version >= 2 { d.get_u64()? } else { 0 },
                 problem: d.get_string()?,
                 inputs: netsolve_xdr::decode_objects(d)?,
             },

@@ -9,8 +9,18 @@
 //!   count;
 //! * strict, bounds-checked decoding with configurable size limits so a
 //!   malicious or corrupt peer cannot force huge allocations.
+//!
+//! The encoder is built for the wire hot path: it can own its buffer
+//! ([`Encoder::new`] / [`Encoder::from_vec`]) or borrow a caller-provided
+//! scratch buffer ([`Encoder::borrowing`]) so per-connection buffers are
+//! reused across messages, it byte-swaps `f64`/`u64` arrays in bulk into
+//! pre-sized space instead of appending element by element, and it can
+//! fold a CRC-32 over everything it writes ([`Encoder::with_crc`]) so the
+//! framing layer never needs a second pass over the payload.
 
 use netsolve_core::error::{NetSolveError, Result};
+
+use crate::checksum::Crc32;
 
 /// Default cap on any single variable-length item (256 MiB) — large enough
 /// for the biggest experiment matrices, small enough to bound allocation on
@@ -21,66 +31,155 @@ fn pad_len(n: usize) -> usize {
     (4 - (n % 4)) % 4
 }
 
-/// Append-only XDR encoder.
-#[derive(Debug, Default)]
-pub struct Encoder {
-    buf: Vec<u8>,
+/// The encoder's output buffer: owned, or borrowed from the caller so a
+/// long-lived scratch vector's capacity survives across messages.
+#[derive(Debug)]
+enum Buf<'a> {
+    Owned(Vec<u8>),
+    Borrowed(&'a mut Vec<u8>),
 }
 
-impl Encoder {
-    /// Empty encoder.
+/// Append-only XDR encoder over an owned or borrowed byte buffer.
+#[derive(Debug)]
+pub struct Encoder<'a> {
+    buf: Buf<'a>,
+    /// When present, every byte appended through this encoder is folded
+    /// into the accumulator as it is written (single-pass CRC).
+    crc: Option<Crc32>,
+}
+
+impl Encoder<'static> {
+    /// Empty encoder with a fresh owned buffer.
     pub fn new() -> Self {
-        Encoder { buf: Vec::new() }
+        Encoder { buf: Buf::Owned(Vec::new()), crc: None }
     }
 
     /// Encoder with pre-reserved capacity (hot path for large payloads).
     pub fn with_capacity(cap: usize) -> Self {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder { buf: Buf::Owned(Vec::with_capacity(cap)), crc: None }
     }
 
-    /// Bytes written so far.
+    /// Encoder that appends to an existing owned vector, reusing its
+    /// capacity. Pair with [`Encoder::into_bytes`] to get the vector back.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Encoder { buf: Buf::Owned(buf), crc: None }
+    }
+}
+
+impl Default for Encoder<'static> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Encoder<'a> {
+    /// Encoder that appends to a borrowed scratch buffer (contents already
+    /// present are kept — the frame writer relies on this to reserve its
+    /// header before the payload). Dropping the encoder leaves the encoded
+    /// bytes in place; the caller keeps the allocation.
+    pub fn borrowing(buf: &'a mut Vec<u8>) -> Encoder<'a> {
+        Encoder { buf: Buf::Borrowed(buf), crc: None }
+    }
+
+    /// Fold a CRC-32 over every byte appended from this point on. The
+    /// running value is readable via [`Encoder::crc`].
+    pub fn with_crc(mut self) -> Self {
+        self.crc = Some(Crc32::new());
+        self
+    }
+
+    /// Final CRC-32 of the bytes appended since [`Encoder::with_crc`], or
+    /// `None` when CRC tracking is off.
+    pub fn crc(&self) -> Option<u32> {
+        self.crc.map(Crc32::finish)
+    }
+
+    fn buf_mut(&mut self) -> &mut Vec<u8> {
+        match &mut self.buf {
+            Buf::Owned(v) => v,
+            Buf::Borrowed(v) => v,
+        }
+    }
+
+    fn buf_ref(&self) -> &Vec<u8> {
+        match &self.buf {
+            Buf::Owned(v) => v,
+            Buf::Borrowed(v) => v,
+        }
+    }
+
+    /// Append raw bytes, updating the CRC accumulator if enabled. Every
+    /// fixed-size put funnels through here.
+    fn append(&mut self, bytes: &[u8]) {
+        if let Some(c) = self.crc.as_mut() {
+            c.write(bytes);
+        }
+        self.buf_mut().extend_from_slice(bytes);
+    }
+
+    /// Fold bytes written directly into the buffer (bulk paths) into the
+    /// CRC accumulator.
+    fn crc_over_written(&mut self, start: usize) {
+        let Encoder { buf, crc } = self;
+        if let Some(c) = crc.as_mut() {
+            let b: &Vec<u8> = match buf {
+                Buf::Owned(v) => v,
+                Buf::Borrowed(v) => v,
+            };
+            c.write(&b[start..]);
+        }
+    }
+
+    /// Bytes in the output buffer so far (including any bytes that were
+    /// already present when a borrowed buffer was attached).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf_ref().len()
     }
 
-    /// True if nothing has been written.
+    /// True if the output buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf_ref().is_empty()
     }
 
-    /// Finish and take the encoded bytes.
+    /// Finish and take the encoded bytes. For a borrowing encoder this
+    /// moves the accumulated bytes out of the scratch buffer (leaving it
+    /// empty); prefer dropping the encoder instead when the caller wants
+    /// the bytes to stay in the scratch buffer.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        match self.buf {
+            Buf::Owned(v) => v,
+            Buf::Borrowed(v) => std::mem::take(v),
+        }
     }
 
     /// Borrow the encoded bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.buf_ref()
     }
 
     /// XDR unsigned int (4 bytes, big-endian).
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.append(&v.to_be_bytes());
     }
 
     /// XDR int.
     pub fn put_i32(&mut self, v: i32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.append(&v.to_be_bytes());
     }
 
     /// XDR unsigned hyper (8 bytes).
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.append(&v.to_be_bytes());
     }
 
     /// XDR hyper.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.append(&v.to_be_bytes());
     }
 
     /// XDR double (IEEE-754, big-endian).
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+        self.append(&v.to_bits().to_be_bytes());
     }
 
     /// XDR bool (a full 4-byte word, per the spec).
@@ -91,10 +190,9 @@ impl Encoder {
     /// Variable-length opaque: u32 count, bytes, zero padding to 4.
     pub fn put_opaque(&mut self, data: &[u8]) {
         self.put_u32(data.len() as u32);
-        self.buf.extend_from_slice(data);
-        for _ in 0..pad_len(data.len()) {
-            self.buf.push(0);
-        }
+        self.append(data);
+        const PAD: [u8; 4] = [0; 4];
+        self.append(&PAD[..pad_len(data.len())]);
     }
 
     /// XDR string: same wire shape as opaque, contents guaranteed UTF-8.
@@ -103,21 +201,36 @@ impl Encoder {
     }
 
     /// Variable-length array of doubles: u32 count then each element.
+    /// The elements are byte-swapped in bulk into pre-sized space — one
+    /// resize plus a tight swap loop, not a capacity check per element.
     pub fn put_f64_array(&mut self, xs: &[f64]) {
         self.put_u32(xs.len() as u32);
-        self.buf.reserve(xs.len() * 8);
-        for &x in xs {
-            self.buf.extend_from_slice(&x.to_bits().to_be_bytes());
-        }
+        let start = {
+            let buf = self.buf_mut();
+            let start = buf.len();
+            buf.resize(start + xs.len() * 8, 0);
+            for (dst, &x) in buf[start..].chunks_exact_mut(8).zip(xs) {
+                dst.copy_from_slice(&x.to_bits().to_be_bytes());
+            }
+            start
+        };
+        self.crc_over_written(start);
     }
 
     /// Variable-length array of u64 (used for sparse-matrix index arrays).
+    /// Same bulk byte-swap discipline as [`Encoder::put_f64_array`].
     pub fn put_u64_array(&mut self, xs: &[u64]) {
         self.put_u32(xs.len() as u32);
-        self.buf.reserve(xs.len() * 8);
-        for &x in xs {
-            self.buf.extend_from_slice(&x.to_be_bytes());
-        }
+        let start = {
+            let buf = self.buf_mut();
+            let start = buf.len();
+            buf.resize(start + xs.len() * 8, 0);
+            for (dst, &x) in buf[start..].chunks_exact_mut(8).zip(xs) {
+                dst.copy_from_slice(&x.to_be_bytes());
+            }
+            start
+        };
+        self.crc_over_written(start);
     }
 }
 
@@ -275,6 +388,7 @@ impl<'a> Decoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checksum::crc32;
 
     #[test]
     fn primitive_roundtrips() {
@@ -346,6 +460,100 @@ mod tests {
         assert_eq!(d.get_f64_array().unwrap(), xs);
         assert_eq!(d.get_u64_array().unwrap(), us);
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn bulk_array_encode_matches_per_element_reference() {
+        // The bulk byte-swap paths must be byte-identical to the naive
+        // per-element encoding they replaced.
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 1e6)
+            .chain([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0])
+            .collect();
+        let us: Vec<u64> = (0..777u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+
+        let mut bulk = Encoder::new();
+        bulk.put_f64_array(&xs);
+        bulk.put_u64_array(&us);
+
+        let mut reference = Encoder::new();
+        reference.put_u32(xs.len() as u32);
+        for &x in &xs {
+            reference.put_u64(x.to_bits());
+        }
+        reference.put_u32(us.len() as u32);
+        for &u in &us {
+            reference.put_u64(u);
+        }
+        let bytes = bulk.into_bytes();
+        assert_eq!(bytes, reference.into_bytes());
+
+        // And the decoder reads the bulk encoding back exactly
+        // (bit-level, so NaN survives the comparison).
+        let mut d = Decoder::new(&bytes);
+        let xs_back = d.get_f64_array().unwrap();
+        let us_back = d.get_u64_array().unwrap();
+        d.finish().unwrap();
+        assert_eq!(
+            xs_back.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(us_back, us);
+    }
+
+    #[test]
+    fn borrowed_buffer_appends_and_keeps_allocation() {
+        let mut scratch = Vec::with_capacity(256);
+        scratch.extend_from_slice(b"HDR!");
+        {
+            let mut e = Encoder::borrowing(&mut scratch);
+            e.put_u32(7);
+            e.put_string("ok");
+            assert!(e.len() > 4);
+        }
+        assert_eq!(&scratch[..4], b"HDR!");
+        let mut d = Decoder::new(&scratch[4..]);
+        assert_eq!(d.get_u32().unwrap(), 7);
+        assert_eq!(d.get_string().unwrap(), "ok");
+        let cap = scratch.capacity();
+        scratch.clear();
+        let mut e = Encoder::borrowing(&mut scratch);
+        e.put_u64(9);
+        drop(e);
+        assert_eq!(scratch.capacity(), cap, "scratch allocation must be reused");
+    }
+
+    #[test]
+    fn incremental_crc_matches_oneshot_over_all_put_kinds() {
+        let xs: Vec<f64> = (0..257).map(|i| i as f64 / 3.0).collect();
+        let us: Vec<u64> = (0..65).map(|i| i * 31).collect();
+        let mut e = Encoder::new().with_crc();
+        e.put_u32(5);
+        e.put_i64(-9);
+        e.put_f64(2.5);
+        e.put_bool(true);
+        e.put_string("incremental");
+        e.put_opaque(b"xyz");
+        e.put_f64_array(&xs);
+        e.put_u64_array(&us);
+        let crc = e.crc().unwrap();
+        let bytes = e.into_bytes();
+        assert_eq!(crc, crc32(&bytes), "streamed CRC must equal a full scan");
+    }
+
+    #[test]
+    fn from_vec_reuses_and_appends() {
+        let mut v = Vec::with_capacity(128);
+        v.push(0xAA);
+        let cap = v.capacity();
+        let mut e = Encoder::from_vec(v);
+        e.put_u32(1);
+        let out = e.into_bytes();
+        assert_eq!(out[0], 0xAA);
+        assert_eq!(&out[1..], &[0, 0, 0, 1]);
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use netsolve_core::sparse::CsrMatrix;
 use crate::codec::{Decoder, Encoder};
 
 /// Encode one data object.
-pub fn encode_object(e: &mut Encoder, obj: &DataObject) {
+pub fn encode_object(e: &mut Encoder<'_>, obj: &DataObject) {
     e.put_u32(obj.kind().tag() as u32);
     match obj {
         DataObject::Int(v) => e.put_i64(*v),
@@ -73,7 +73,7 @@ pub fn decode_object(d: &mut Decoder<'_>) -> Result<DataObject> {
 }
 
 /// Encode a list of objects (u32 count + objects).
-pub fn encode_objects(e: &mut Encoder, objs: &[DataObject]) {
+pub fn encode_objects(e: &mut Encoder<'_>, objs: &[DataObject]) {
     e.put_u32(objs.len() as u32);
     for obj in objs {
         encode_object(e, obj);

@@ -19,6 +19,10 @@ echo "=== regression tests (retry cap, request ids, accept-loop cap, stats) ==="
 cargo test --test observability -q
 cargo test --test chaos_soak -q
 
+echo "=== wire-path bench smoke (single-pass writer vs legacy) ==="
+cargo build --release -p netsolve-bench --bin r1_wire_path
+./target/release/r1_wire_path --quick
+
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 

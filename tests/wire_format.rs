@@ -10,7 +10,7 @@ use netsolve::xdr::{crc32, Encoder};
 
 #[test]
 fn ping_frame_is_pinned() {
-    let bytes = frame_bytes(&Message::Ping);
+    let bytes = frame_bytes(&Message::Ping).unwrap();
     // magic "NSRV", version 2 (deadline-bearing RequestSubmit), length 4,
     // payload = tag 13, crc
     let mut expect = Vec::new();
