@@ -14,7 +14,7 @@ use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::ids::{HostId, ServerId};
 use netsolve_core::problem::RequestShape;
 use netsolve_net::NetworkView;
-use netsolve_obs::MetricsRegistry;
+use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
 use netsolve_proto::{Candidate, Message, QueryShape};
 
 use crate::balance::{rank, BalancerState, Policy, Ranked, ServerSnapshot};
@@ -43,6 +43,7 @@ pub struct AgentCore {
     /// knows it just sent a server three jobs.
     pending: HashMap<ServerId, Vec<SimTime>>,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 impl AgentCore {
@@ -59,7 +60,21 @@ impl AgentCore {
             balancer: BalancerState::default(),
             pending: HashMap::new(),
             metrics: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(Tracer::new()),
         }
+    }
+
+    /// Replace the tracer (e.g. [`Tracer::disabled`] for overhead-free
+    /// operation, or a shared tracer in tests).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer holding this agent's `agent.*` phase spans.
+    /// [`Message::TraceQuery`] snapshots it over the wire.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     /// The registry holding this agent's `agent.*` instruments. The live
@@ -320,7 +335,22 @@ impl AgentCore {
                 Message::Pong
             }
             Message::ServerQuery(q) | Message::ServerQueryForwarded(q) => {
-                match self.query(q, now) {
+                // Adopt the wire-propagated context: the parent span is the
+                // client's rank span, so the scoring work nests under it in
+                // the stitched timeline. Queries carry no request id.
+                let ctx = SpanContext {
+                    trace_id: q.trace_id,
+                    parent_span: q.parent_span,
+                    request_id: 0,
+                };
+                let score_timer = self.tracer.start();
+                let ranked = self.query(q, now);
+                let detail = match &ranked {
+                    Ok(c) => format!("problem={} candidates={}", q.problem, c.len()),
+                    Err(e) => format!("problem={} err={e}", q.problem),
+                };
+                self.tracer.record(ctx, score_timer, "agent", "score", detail);
+                match ranked {
                     Ok(candidates) => Message::ServerList { candidates },
                     Err(e) => Message::from_error(&e),
                 }
@@ -395,6 +425,20 @@ impl AgentCore {
                 }
                 Message::StatsReply(self.metrics.snapshot("agent"))
             }
+            Message::TraceQuery { trace_id } => {
+                // Same monotone downgrade catch-up as StatsQuery: a trace
+                // pull from an old peer still surfaces in the counter.
+                let c = self.metrics.counter("proto.version_downgrade");
+                let global = netsolve_proto::version_downgrades();
+                let seen = c.get();
+                if global > seen {
+                    c.add(global - seen);
+                }
+                Message::TraceReply {
+                    component: "agent".to_string(),
+                    spans: self.tracer.snapshot_trace(*trace_id),
+                }
+            }
             other => Message::from_error(&NetSolveError::Protocol(format!(
                 "agent cannot handle {}",
                 other.name()
@@ -428,6 +472,8 @@ mod tests {
             n,
             bytes_in: 8 * n * n,
             bytes_out: 8 * n,
+            trace_id: 0,
+            parent_span: 0,
         }
     }
 
@@ -572,6 +618,8 @@ mod tests {
                 deadline_ms: 0,
                 problem: "x".into(),
                 inputs: vec![],
+                trace_id: 0,
+                parent_span: 0,
             },
             SimTime::ZERO,
         );

@@ -206,7 +206,10 @@ fn run_heartbeat(
     // Sleep in short ticks so stop() never waits long for this thread.
     let tick = (interval / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
     let mut misses: HashMap<ServerId, u32> = HashMap::new();
-    let metrics = core.lock().metrics();
+    let (metrics, tracer) = {
+        let core = core.lock();
+        (core.metrics(), core.tracer())
+    };
     loop {
         let mut waited = Duration::ZERO;
         while waited < interval {
@@ -223,8 +226,17 @@ fn run_heartbeat(
                 return;
             }
             // Probe outside the core lock: a black-holed dial may block
-            // for the full probe timeout.
+            // for the full probe timeout. Heartbeats are traceless — no
+            // request context exists (stitching skips trace 0).
+            let probe_timer = tracer.start();
             let alive = probe_once(&transport, &address, probe_timeout);
+            tracer.record(
+                netsolve_obs::SpanContext::NONE,
+                probe_timer,
+                "agent",
+                "heartbeat",
+                format!("server={} alive={alive}", server.raw()),
+            );
             let mut core = core.lock();
             if alive {
                 misses.remove(&server);
@@ -391,6 +403,8 @@ mod tests {
                 n: 100,
                 bytes_in: 80_000,
                 bytes_out: 800,
+                trace_id: 0,
+                parent_span: 0,
             }),
             timeout(),
         )
@@ -488,6 +502,8 @@ mod tests {
                 n: 50,
                 bytes_in: 20_400,
                 bytes_out: 408,
+                trace_id: 0,
+                parent_span: 0,
             }),
             timeout(),
         )
@@ -531,6 +547,8 @@ mod tests {
                 n: 1,
                 bytes_in: 8,
                 bytes_out: 8,
+                trace_id: 0,
+                parent_span: 0,
             }),
             timeout(),
         )

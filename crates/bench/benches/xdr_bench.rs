@@ -51,6 +51,8 @@ fn bench_frame_path(c: &mut Criterion) {
         deadline_ms: 0,
         problem: "dgemm".into(),
         inputs: vec![m.clone().into(), m.into()],
+        trace_id: 0,
+        parent_span: 0,
     };
     let framed = frame_bytes(&msg).expect("bench payload under frame cap");
     group.throughput(Throughput::Bytes(framed.len() as u64));

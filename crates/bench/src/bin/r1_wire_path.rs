@@ -61,6 +61,8 @@ fn measure(payload_bytes: usize, repeats: usize) -> Row {
         deadline_ms: 0,
         problem: "bench".into(),
         inputs: vec![DataObject::Vector(values)],
+        trace_id: 0,
+        parent_span: 0,
     };
 
     let framed = frame_bytes(&msg).expect("bench payload under frame cap");

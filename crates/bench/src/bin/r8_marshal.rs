@@ -40,6 +40,8 @@ fn time_marshal(obj: &DataObject, repeats: usize) -> (u64, f64, f64, f64) {
         deadline_ms: 0,
         problem: "bench".into(),
         inputs: objs.to_vec(),
+        trace_id: 0,
+        parent_span: 0,
     };
     let framed = frame_bytes(&msg).expect("bench payload under frame cap");
     let start = Instant::now();

@@ -1,0 +1,212 @@
+//! R9 — Tracing-overhead experiment: the R1 wire path with phase spans
+//! recording vs a disabled tracer.
+//!
+//! Drives the full server-side request path — encode a `RequestSubmit`
+//! frame, parse it, dispatch through [`ServerCore::handle_message_at`]
+//! (which records queue and solve spans), encode the reply frame — twice:
+//!
+//! * **tracing on** — the core's default enabled [`Tracer`], every
+//!   request recording its queue/solve spans under a propagated trace id;
+//! * **tracing off** — [`Tracer::disabled`]: span starts return without
+//!   reading the clock or taking the lock.
+//!
+//! The claim under test: end-to-end tracing costs **under 5%** on the
+//! request path, because the hot-path work per span is one `Instant` read
+//! plus one short mutex push of `&'static str` names (no String
+//! allocation per event). Requests cycle through distinct trace ids so
+//! the tracer's per-trace storage and eviction run at realistic churn.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r9_trace_overhead`
+//! (writes `results/BENCH_r9_trace.json`); pass `--quick` for a tiny
+//! smoke run that skips the JSON artifact.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netsolve_bench::Table;
+use netsolve_core::units::fmt_bytes;
+use netsolve_core::DataObject;
+use netsolve_obs::Tracer;
+use netsolve_proto::{encode_frame_into, parse_frame, Message};
+use netsolve_server::ServerCore;
+
+/// Distinct trace ids cycled through per iteration, so the tracer sees
+/// many live traces and steady-state eviction instead of one hot bucket.
+const TRACE_CYCLE: usize = 64;
+
+struct Row {
+    payload_bytes: u64,
+    traced_secs: f64,
+    untraced_secs: f64,
+}
+
+impl Row {
+    fn overhead_percent(&self) -> f64 {
+        (self.traced_secs / self.untraced_secs - 1.0) * 100.0
+    }
+}
+
+/// Paired per-iteration seconds of two variants: alternate
+/// untraced/traced batches and keep the best of each, so slow clock
+/// drift (thermal throttling, frequency scaling) hits both sides alike
+/// instead of landing entirely on whichever ran second.
+fn time_pair(
+    repeats: usize,
+    rounds: usize,
+    mut untraced: impl FnMut(),
+    mut traced: impl FnMut(),
+) -> (f64, f64) {
+    for _ in 0..repeats.min(64) {
+        untraced(); // warmup: fault pages in, warm the scratch buffers
+        traced();
+    }
+    let mut best_untraced = f64::INFINITY;
+    let mut best_traced = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            untraced();
+        }
+        best_untraced = best_untraced.min(start.elapsed().as_secs_f64() / repeats as f64);
+        let start = Instant::now();
+        for _ in 0..repeats {
+            traced();
+        }
+        best_traced = best_traced.min(start.elapsed().as_secs_f64() / repeats as f64);
+    }
+    (best_untraced, best_traced)
+}
+
+/// The full wire path for one pre-built request: frame it, parse it back,
+/// dispatch it through the core, frame the reply.
+fn drive(core: &ServerCore, msg: &Message, scratch: &mut Vec<u8>, reply_scratch: &mut Vec<u8>) {
+    encode_frame_into(msg, scratch).unwrap();
+    let (decoded, _) = parse_frame(scratch).unwrap();
+    let reply = core.handle_message_at(&decoded, Instant::now());
+    encode_frame_into(&reply, reply_scratch).unwrap();
+    std::hint::black_box(reply_scratch.len());
+}
+
+fn measure(payload_bytes: usize, repeats: usize) -> Row {
+    // ddot over two n-vectors: real solve work, payload-dominated wire
+    // cost — the same regime R1 measures.
+    let n = payload_bytes / 16;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let msgs: Vec<Message> = (0..TRACE_CYCLE)
+        .map(|i| Message::RequestSubmit {
+            request_id: i as u64 + 1,
+            deadline_ms: 0,
+            problem: "ddot".into(),
+            inputs: vec![DataObject::Vector(x.clone()), DataObject::Vector(y.clone())],
+            trace_id: i as u128 + 1,
+            parent_span: 7,
+        })
+        .collect();
+
+    let traced_core = ServerCore::with_standard_catalogue();
+    let untraced_core =
+        ServerCore::with_standard_catalogue().with_tracer(Arc::new(Tracer::disabled()));
+
+    let mut scratch = Vec::new();
+    let mut reply_scratch = Vec::new();
+
+    let mut untraced_scratch = (Vec::new(), Vec::new());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let (untraced_secs, traced_secs) = time_pair(
+        repeats,
+        5,
+        || {
+            let (s, r) = &mut untraced_scratch;
+            drive(&untraced_core, &msgs[i % TRACE_CYCLE], s, r);
+            i += 1;
+        },
+        || {
+            drive(&traced_core, &msgs[j % TRACE_CYCLE], &mut scratch, &mut reply_scratch);
+            j += 1;
+        },
+    );
+    assert!(
+        traced_core.tracer().spans_recorded() > 0,
+        "traced run recorded no spans — the benchmark is not measuring tracing"
+    );
+
+    Row { payload_bytes: payload_bytes as u64, traced_secs, untraced_secs }
+}
+
+fn write_json(rows: &[Row], path: &str) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"r9_trace_overhead\",\n");
+    out.push_str(
+        "  \"description\": \"R1 wire path (encode+parse+dispatch+reply-encode) per-request \
+         seconds with the tracer enabled vs Tracer::disabled; overhead_percent = \
+         (traced/untraced - 1) * 100\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {}, \"traced_secs_per_request\": {:.9}, \
+             \"untraced_secs_per_request\": {:.9}, \"overhead_percent\": {:.3}}}{}\n",
+            r.payload_bytes,
+            r.traced_secs,
+            r.untraced_secs,
+            r.overhead_percent(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let max = rows.iter().map(Row::overhead_percent).fold(f64::MIN, f64::max);
+    out.push_str(&format!("  \"max_overhead_percent\": {max:.3},\n"));
+    out.push_str(&format!("  \"within_5_percent\": {}\n", max < 5.0));
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_r9_trace.json");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // (payload bytes, repeats) — small payloads are the worst case for
+    // tracing overhead (fixed span cost over the least real work), so the
+    // sweep leans small.
+    let sweep: &[(usize, usize)] = if quick {
+        &[(1 << 12, 5_000), (1 << 16, 800)]
+    } else {
+        &[
+            (1 << 12, 20_000),
+            (1 << 14, 10_000),
+            (1 << 16, 4_000),
+            (1 << 18, 1_000),
+            (1 << 20, 300),
+        ]
+    };
+
+    let mut table = Table::new(
+        "R9: request-path cost, tracing on vs off (lower overhead is better)",
+        &["payload", "traced/req", "untraced/req", "overhead"],
+    );
+    let mut rows = Vec::new();
+    for &(payload, repeats) in sweep {
+        let row = measure(payload, repeats);
+        table.row(vec![
+            fmt_bytes(row.payload_bytes),
+            format!("{:.2} us", row.traced_secs * 1e6),
+            format!("{:.2} us", row.untraced_secs * 1e6),
+            format!("{:+.2}%", row.overhead_percent()),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let max = rows.iter().map(Row::overhead_percent).fold(f64::MIN, f64::max);
+    println!("\nmax overhead across sweep: {max:+.2}% (target < 5%)");
+
+    if quick {
+        println!("--quick: smoke sizes only, JSON artifact not written");
+        return;
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_r9_trace.json");
+    write_json(&rows, path);
+    println!("wrote {path}");
+}

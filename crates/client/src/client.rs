@@ -12,7 +12,7 @@ use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::problem::{ProblemSpec, RequestShape};
 use netsolve_core::rng::Rng64;
 use netsolve_net::{call, Connection, Transport};
-use netsolve_obs::{MetricsRegistry, Tracer};
+use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
 use netsolve_proto::{Candidate, Message, QueryShape};
 use parking_lot::Mutex;
 
@@ -24,6 +24,9 @@ pub struct CallReport {
     /// The request id this call travelled under (correlates with trace
     /// events and server-side logs).
     pub request_id: u64,
+    /// The 128-bit trace identity the call's spans were recorded under
+    /// (propagated to agent and servers; feed it to `netsl-trace`).
+    pub trace_id: u128,
     /// The server that finally satisfied the request.
     pub server_id: u64,
     /// Its address.
@@ -200,6 +203,18 @@ impl NetSolveClient {
 
     /// Ask the agent for the ranked candidate list for a call.
     pub fn query_servers(&self, spec: &ProblemSpec, inputs: &[DataObject]) -> Result<Vec<Candidate>> {
+        self.query_servers_with(spec, inputs, SpanContext::NONE)
+    }
+
+    /// [`NetSolveClient::query_servers`] with a trace context: the trace
+    /// id and the client-side span the agent's `score` span nests under
+    /// ride along in the query.
+    fn query_servers_with(
+        &self,
+        spec: &ProblemSpec,
+        inputs: &[DataObject],
+        ctx: SpanContext,
+    ) -> Result<Vec<Candidate>> {
         let shape = RequestShape::from_call(spec, inputs);
         let reply = self.agent_call(&Message::ServerQuery(QueryShape {
             client_host: self.client_host,
@@ -207,12 +222,32 @@ impl NetSolveClient {
             n: shape.n,
             bytes_in: shape.bytes_in,
             bytes_out: shape.bytes_out,
+            trace_id: ctx.trace_id,
+            parent_span: ctx.parent_span,
         }))?;
         match reply {
             Message::ServerList { candidates } => Ok(candidates),
             Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Run `f` inside a fresh span: record it under `ctx` with the given
+    /// phase name, attaching the error as detail when `f` fails.
+    fn traced<T>(
+        &self,
+        ctx: SpanContext,
+        phase: &'static str,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let timer = self.tracer.start();
+        let result = f();
+        let detail = match &result {
+            Ok(_) => String::new(),
+            Err(e) => format!("err={e}"),
+        };
+        self.tracer.record(ctx, timer, "client", phase, detail);
+        result
     }
 
     /// Report a failed server back to the agent (best effort).
@@ -268,21 +303,53 @@ impl NetSolveClient {
     ) -> Result<(Vec<DataObject>, CallReport)> {
         let spec = self.describe(problem)?;
         spec.check_inputs(inputs)?;
-        let shape = RequestShape::from_call(&spec, inputs);
-        let candidates = self.query_servers(&spec, inputs)?;
-        if candidates.is_empty() {
-            return Err(NetSolveError::NoServerAvailable(problem.to_string()));
-        }
+        // Mint the request identity and the trace before ranking, so the
+        // rank span (and the agent's score span it nests) join the trace.
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         if !self.tracer.register_request(request_id) {
             self.metrics.counter("client.request_id_collisions").inc();
         }
-        self.tracer.emit(
-            request_id,
-            "client",
-            "call_start",
-            format!("problem={problem} candidates={}", candidates.len()),
+        let trace_id = self.tracer.mint_trace_id();
+        let root_ctx = SpanContext { trace_id, parent_span: 0, request_id };
+        let root_timer = self.tracer.start();
+        let ctx = root_ctx.child_of(root_timer.span_id());
+        let result = self.netsl_attempts(problem, inputs, &spec, request_id, ctx);
+        let detail = match &result {
+            Ok(_) => format!("problem={problem} ok"),
+            Err(e) => format!("problem={problem} err={e}"),
+        };
+        self.tracer.record(root_ctx, root_timer, "client", "call", detail);
+        result
+    }
+
+    /// The ranked-failover retry loop: everything between trace mint and
+    /// the root `call` span closing. `ctx` is the per-call trace context
+    /// whose parent is the root span.
+    fn netsl_attempts(
+        &self,
+        problem: &str,
+        inputs: &[DataObject],
+        spec: &ProblemSpec,
+        request_id: u64,
+        ctx: SpanContext,
+    ) -> Result<(Vec<DataObject>, CallReport)> {
+        let spec = spec.clone();
+        let shape = RequestShape::from_call(&spec, inputs);
+        let rank_timer = self.tracer.start();
+        let ranked = self.query_servers_with(
+            &spec,
+            inputs,
+            SpanContext { trace_id: ctx.trace_id, parent_span: rank_timer.span_id(), request_id },
         );
+        let rank_detail = match &ranked {
+            Ok(c) => format!("candidates={}", c.len()),
+            Err(e) => format!("err={e}"),
+        };
+        self.tracer.record(ctx, rank_timer, "client", "rank", rank_detail);
+        let candidates = ranked?;
+        if candidates.is_empty() {
+            return Err(NetSolveError::NoServerAvailable(problem.to_string()));
+        }
         let call_start = Instant::now();
         // The per-call deadline spans every attempt and backoff wait; its
         // remaining budget rides along in each RequestSubmit so servers
@@ -320,14 +387,16 @@ impl NetSolveClient {
                     self.metrics
                         .histogram("client.backoff_wait_secs")
                         .record_secs(pause.as_secs_f64());
+                    let backoff_timer = self.tracer.start();
                     std::thread::sleep(pause);
+                    self.tracer.record(ctx, backoff_timer, "client", "backoff", String::new());
                 }
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     self.metrics.counter("client.deadline_exhausted").inc();
-                    self.tracer.emit(
-                        request_id,
+                    self.tracer.point(
+                        ctx,
                         "client",
                         "deadline_exhausted",
                         format!("after {retry} attempt(s): {last_err}"),
@@ -340,18 +409,26 @@ impl NetSolveClient {
             }
             let attempts = retry as u32 + 1;
             self.metrics.counter("client.attempts").inc();
-            self.tracer.emit(
-                request_id,
-                "client",
-                "attempt",
-                format!("server={} address={}", candidate.server_id, candidate.address),
-            );
+            // Each attempt is its own span; its id rides in the
+            // RequestSubmit as the server-side spans' parent, so retries
+            // stay distinct children of one trace.
+            let attempt_timer = self.tracer.start();
+            let attempt_ctx = ctx.child_of(attempt_timer.span_id());
             let start = Instant::now();
-            match self.try_one(candidate, request_id, problem, inputs, &spec, deadline) {
+            let outcome = self.try_one(candidate, problem, inputs, &spec, deadline, attempt_ctx);
+            let attempt_detail = match &outcome {
+                Ok(_) => format!("server={} address={}", candidate.server_id, candidate.address),
+                Err(e) => format!(
+                    "server={} address={} err={e}",
+                    candidate.server_id, candidate.address
+                ),
+            };
+            self.tracer.record(ctx, attempt_timer, "client", "attempt", attempt_detail);
+            match outcome {
                 Ok((outputs, compute_secs)) => {
                     let total_secs = start.elapsed().as_secs_f64();
-                    self.tracer.emit(
-                        request_id,
+                    self.tracer.point(
+                        ctx,
                         "client",
                         "call_ok",
                         format!("server={} attempts={attempts}", candidate.server_id),
@@ -370,6 +447,7 @@ impl NetSolveClient {
                         outputs,
                         CallReport {
                             request_id,
+                            trace_id: ctx.trace_id,
                             server_id: candidate.server_id,
                             server_address: candidate.address.clone(),
                             predicted_secs: candidate.predicted_secs,
@@ -381,8 +459,8 @@ impl NetSolveClient {
                 }
                 Err(e) if e.is_retryable() => {
                     self.metrics.counter("client.attempt_failures").inc();
-                    self.tracer.emit(
-                        request_id,
+                    self.tracer.point(
+                        ctx,
                         "client",
                         "attempt_failed",
                         format!("server={} err={e}", candidate.server_id),
@@ -395,18 +473,13 @@ impl NetSolveClient {
                 }
                 Err(e) => {
                     // The request itself is bad; retrying elsewhere is futile.
-                    self.tracer.emit(
-                        request_id,
-                        "client",
-                        "call_failed",
-                        format!("non-retryable: {e}"),
-                    );
+                    self.tracer.point(ctx, "client", "call_failed", format!("non-retryable: {e}"));
                     return Err(e);
                 }
             }
         }
-        self.tracer.emit(
-            request_id,
+        self.tracer.point(
+            ctx,
             "client",
             "call_failed",
             format!("retry budget exhausted: {last_err}"),
@@ -417,12 +490,14 @@ impl NetSolveClient {
     fn try_one(
         &self,
         candidate: &Candidate,
-        request_id: u64,
         problem: &str,
         inputs: &[DataObject],
         spec: &ProblemSpec,
         deadline: Option<Instant>,
+        ctx: SpanContext,
     ) -> Result<(Vec<DataObject>, f64)> {
+        // The span context carries the protocol request id too.
+        let request_id = ctx.request_id;
         let mut attempt_timeout = Duration::from_secs_f64(self.retry.attempt_timeout_secs);
         let mut deadline_ms = 0u64;
         if let Some(d) = deadline {
@@ -433,17 +508,20 @@ impl NetSolveClient {
             attempt_timeout = attempt_timeout.min(remaining);
             deadline_ms = (remaining.as_millis() as u64).max(1);
         }
-        let mut conn = self.transport.connect(&candidate.address)?;
-        let reply = call(
-            conn.as_mut(),
-            &Message::RequestSubmit {
-                request_id,
-                deadline_ms,
-                problem: problem.to_string(),
-                inputs: inputs.to_vec(),
-            },
-            attempt_timeout,
-        )?;
+        let mut conn =
+            self.traced(ctx, "connect", || self.transport.connect(&candidate.address))?;
+        // `ctx.parent_span` is this attempt's span id; the server adopts
+        // it as the parent of its own queue/solve spans.
+        let msg = Message::RequestSubmit {
+            request_id,
+            deadline_ms,
+            problem: problem.to_string(),
+            inputs: inputs.to_vec(),
+            trace_id: ctx.trace_id,
+            parent_span: ctx.parent_span,
+        };
+        self.traced(ctx, "marshal", || conn.send(&msg))?;
+        let reply = self.traced(ctx, "wait", || conn.recv_timeout(attempt_timeout))?;
         match reply {
             Message::RequestReply { request_id: echoed, outputs, compute_secs } => {
                 if echoed != request_id {

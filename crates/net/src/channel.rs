@@ -378,6 +378,8 @@ mod tests {
             deadline_ms: 0,
             problem: "dnrm2".into(),
             inputs: vec![vec![0.0f64; 10_000].into()],
+            trace_id: 0,
+            parent_span: 0,
         })
         .unwrap();
         let (small, big) = handle.join().unwrap();

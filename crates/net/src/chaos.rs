@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::rng::Rng64;
-use netsolve_obs::MetricsRegistry;
+use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
 use netsolve_proto::{encode_frame_into, parse_frame, Message};
 use parking_lot::Mutex;
 
@@ -142,7 +142,7 @@ impl Tally {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Counters {
     connects: Tally,
     refused: Tally,
@@ -152,6 +152,19 @@ struct Counters {
     black_holes: Tally,
     delays: Tally,
     delivered_clean: Tally,
+    /// Optional tracer attached via [`ChaosTransport::with_tracer`]: each
+    /// injected fault becomes a traceless point span, so a stitched run's
+    /// tracer output shows *when* the chaos struck relative to the
+    /// requests it perturbed.
+    tracer: OnceLock<Arc<Tracer>>,
+}
+
+impl Counters {
+    fn fault_point(&self, phase: &'static str, detail: String) {
+        if let Some(t) = self.tracer.get() {
+            t.point(SpanContext::NONE, "chaos", phase, detail);
+        }
+    }
 }
 
 /// Snapshot of everything a [`ChaosTransport`] has injected so far.
@@ -214,6 +227,14 @@ impl ChaosTransport {
         self
     }
 
+    /// Record every injected fault as a point span in `tracer` (component
+    /// `chaos`), timestamped on the same epoch as real request spans.
+    /// Attach before traffic starts, like [`ChaosTransport::with_metrics`].
+    pub fn with_tracer(self, tracer: Arc<Tracer>) -> Self {
+        let _ = self.counters.tracer.set(tracer);
+        self
+    }
+
     /// Snapshot of the injected-fault counters.
     pub fn stats(&self) -> ChaosStats {
         let c = &self.counters;
@@ -251,6 +272,7 @@ impl Transport for ChaosTransport {
         };
         if rng.chance(self.policy.refuse_prob) {
             self.counters.refused.bump();
+            self.counters.fault_point("refused", format!("address={address}"));
             return Err(NetSolveError::ServerUnreachable(format!(
                 "chaos: connection to {address} refused"
             )));
@@ -292,6 +314,7 @@ impl ChaosConnection {
     fn maybe_reset(&mut self, during: &str) -> Result<()> {
         if self.rng.chance(self.policy.reset_prob) {
             self.counters.resets.bump();
+            self.counters.fault_point("reset", format!("during={during}"));
             return Err(NetSolveError::Transport(format!(
                 "chaos: connection reset during {during}"
             )));
@@ -318,6 +341,7 @@ impl ChaosConnection {
         let bit = 1u8 << self.rng.below(8);
         self.scratch[idx] ^= bit;
         self.counters.corruptions_injected.bump();
+        self.counters.fault_point("corrupt", format!("byte={idx}"));
         match parse_frame(&self.scratch) {
             Ok(_) => Err(NetSolveError::Internal(
                 "chaos: injected corruption escaped frame validation".into(),
@@ -341,6 +365,7 @@ impl Connection for ChaosConnection {
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
             self.counters.black_holes.bump();
+            self.counters.fault_point("black_hole", String::new());
             std::thread::sleep(self.policy.black_hole_cap);
             return Err(NetSolveError::Timeout("chaos: read black-holed".into()));
         }
@@ -353,6 +378,7 @@ impl Connection for ChaosConnection {
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
             self.counters.black_holes.bump();
+            self.counters.fault_point("black_hole", String::new());
             std::thread::sleep(timeout.min(self.policy.black_hole_cap));
             return Err(NetSolveError::Timeout("chaos: read black-holed".into()));
         }

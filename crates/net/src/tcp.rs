@@ -216,6 +216,8 @@ mod tests {
             deadline_ms: 0,
             problem: "dnrm2".into(),
             inputs: vec![vec![1.25f64; 100_000].into()],
+            trace_id: 0,
+            parent_span: 0,
         };
         conn.send(&payload).unwrap();
         let echoed = conn.recv_timeout(Duration::from_secs(10)).unwrap();

@@ -3,8 +3,10 @@
 //! The observability layer for the live NetSolve daemons: a lock-cheap
 //! [`MetricsRegistry`] (atomic counters, gauges and fixed-bucket
 //! log-scale histograms — hand-rolled, no external deps, matching the
-//! rest of the workspace) plus a [`Tracer`] recording structured
-//! per-request events keyed by the protocol's `request_id`.
+//! rest of the workspace) plus a [`Tracer`] recording typed
+//! distributed-tracing [`Span`]s keyed by a wire-propagated 128-bit
+//! `trace_id`, and the [`stitch`] module that merges span records
+//! scraped from many processes into causal per-trace timelines.
 //!
 //! Daemons hold one registry each and bump instruments on the hot path
 //! with single atomic operations; a [`StatsSnapshot`] is taken on demand
@@ -15,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod stitch;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot, HISTOGRAM_BUCKETS,
 };
-pub use trace::{TraceEvent, Tracer};
+pub use stitch::{render, stitch, PhaseShare, Timeline, TimelineEntry};
+pub use trace::{Span, SpanContext, SpanRecord, SpanTimer, Tracer};

@@ -164,6 +164,27 @@ impl HistogramSnapshot {
             self.sum_secs / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile in seconds from the log buckets: walk
+    /// the cumulative counts and report the upper bound of the bucket
+    /// holding the `q`-th sample. With doubling buckets the estimate is
+    /// within 2x of the true sample, which is what a log histogram can
+    /// promise. Returns 0 when empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= target {
+                return bucket_bound_secs(i);
+            }
+        }
+        bucket_bound_secs(self.buckets.len() - 1)
+    }
 }
 
 /// Everything one daemon's registry held at snapshot time.
@@ -319,6 +340,35 @@ mod tests {
         assert_eq!(snap.buckets[0], 1);
         assert_eq!(snap.buckets[2], 1);
         assert!((snap.mean_secs() - snap.sum_secs / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_the_log_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.secs");
+        // 90 samples at ~1 µs, 9 at ~1 ms, 1 at ~1 s.
+        for _ in 0..90 {
+            h.record_secs(0.9e-6);
+        }
+        for _ in 0..9 {
+            h.record_secs(1.0e-3);
+        }
+        h.record_secs(0.9);
+        let snap = h.snapshot("x.secs");
+        assert_eq!(snap.quantile_secs(0.5), bucket_bound_secs(0), "p50 in the 1 µs bucket");
+        let p95 = snap.quantile_secs(0.95);
+        assert!((0.5e-3..=2.1e-3).contains(&p95), "p95 near 1 ms, got {p95}");
+        let p99 = snap.quantile_secs(0.99);
+        assert!((0.5e-3..=2.1e-3).contains(&p99), "p99 is the 99th sample (1 ms), got {p99}");
+        assert!(snap.quantile_secs(1.0) >= 0.5, "p100 lands on the 1 s sample");
+        assert!(snap.quantile_secs(1.0) >= snap.quantile_secs(0.5));
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum_secs: 0.0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.quantile_secs(0.5), 0.0);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Stitch span records from many processes into causal timelines.
+//!
+//! `netsl-trace` scrapes [`SpanRecord`]s from the agent and every
+//! server (the `TraceQuery` wire message) and reads the client-side
+//! dump file, then calls [`stitch`] to group them by `trace_id`, order
+//! them causally (parents before children, siblings by start time) and
+//! compute the critical-path breakdown: how the trace's wall-clock
+//! time divides across phase self-times, e.g. "82% solve, 11% queue,
+//! 4% marshal". [`render`] turns one [`Timeline`] into the text the
+//! binary prints; the integration tests assert on the same structures.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::trace::SpanRecord;
+
+/// One phase's share of a trace's wall-clock window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Component that recorded the phase.
+    pub component: String,
+    /// Phase name.
+    pub phase: String,
+    /// Total self-time nanoseconds spent in this phase (span durations
+    /// minus the time covered by spans temporally nested inside them).
+    pub nanos: u64,
+    /// `nanos` over the trace's whole wall-clock window (0.0–1.0).
+    pub fraction: f64,
+}
+
+/// One span placed in the causal order, with its tree depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Nesting depth: 0 for roots, parent depth + 1 below.
+    pub depth: usize,
+    /// The span itself.
+    pub span: SpanRecord,
+}
+
+/// A stitched trace: every known span of one `trace_id`, causally
+/// ordered, plus the self-time breakdown of its wall-clock window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// The trace identity.
+    pub trace_id: u128,
+    /// Earliest span start in the trace (unix nanos).
+    pub start_nanos: u64,
+    /// Latest span end in the trace (unix nanos).
+    pub end_nanos: u64,
+    /// Spans in causal order: parents before children, siblings by
+    /// start time; orphans (parent never scraped) follow as extra
+    /// roots rather than being dropped.
+    pub entries: Vec<TimelineEntry>,
+    /// Self-time phase shares, largest first.
+    pub breakdown: Vec<PhaseShare>,
+}
+
+impl Timeline {
+    /// The trace's wall-clock window in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+/// Group `records` by trace, causally order each group and compute its
+/// breakdown. Traceless records (`trace_id` 0) are skipped — they
+/// belong to no request timeline. Duplicate span ids (the same span
+/// scraped twice) are kept once. Timelines come back oldest first.
+pub fn stitch(records: &[SpanRecord]) -> Vec<Timeline> {
+    let mut by_trace: BTreeMap<u128, Vec<SpanRecord>> = BTreeMap::new();
+    let mut seen: HashSet<(u128, u64)> = HashSet::new();
+    for r in records {
+        if r.trace_id == 0 {
+            continue;
+        }
+        if r.span_id != 0 && !seen.insert((r.trace_id, r.span_id)) {
+            continue;
+        }
+        by_trace.entry(r.trace_id).or_default().push(r.clone());
+    }
+    let mut timelines: Vec<Timeline> = by_trace.into_values().map(stitch_one).collect();
+    timelines.sort_by_key(|t| t.start_nanos);
+    timelines
+}
+
+fn stitch_one(mut spans: Vec<SpanRecord>) -> Timeline {
+    spans.sort_by_key(|s| (s.start_unix_nanos, s.end_unix_nanos, s.span_id));
+    let trace_id = spans[0].trace_id;
+    let start_nanos = spans.iter().map(|s| s.start_unix_nanos).min().unwrap_or(0);
+    let end_nanos = spans.iter().map(|s| s.end_unix_nanos).max().unwrap_or(0);
+
+    let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    // Children grouped by parent, already in start order because
+    // `spans` is sorted. A span whose parent was never scraped is an
+    // orphan root: still shown, just not nested.
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_span != 0 && ids.contains(&s.parent_span) && s.parent_span != s.span_id {
+            children.entry(s.parent_span).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+
+    let mut entries = Vec::with_capacity(spans.len());
+    let mut placed = vec![false; spans.len()];
+    // Iterative DFS so a deep (or cyclic, if ids were forged) trace
+    // cannot blow the stack.
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        if placed[i] {
+            continue;
+        }
+        placed[i] = true;
+        entries.push(TimelineEntry { depth, span: spans[i].clone() });
+        if let Some(kids) = children.get(&spans[i].span_id) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    // Anything a cycle kept unreached still gets shown as a root.
+    for (i, done) in placed.iter().enumerate() {
+        if !done {
+            entries.push(TimelineEntry { depth: 0, span: spans[i].clone() });
+        }
+    }
+
+    let breakdown = breakdown_of(&spans, end_nanos.saturating_sub(start_nanos));
+    Timeline { trace_id, start_nanos, end_nanos, entries, breakdown }
+}
+
+/// Each phase's share is its *self-time*: span duration minus the time
+/// covered by spans temporally nested inside it. Containment is by
+/// interval, not by the causal tree — the client's `wait` span encloses
+/// the server's queue/solve/encode in time even though they hang off
+/// the attempt span causally, so tree-leaf accounting would count the
+/// solve twice (once as itself, once inside `wait`). Self-times divide
+/// the window without double counting.
+fn breakdown_of(spans: &[SpanRecord], window_nanos: u64) -> Vec<PhaseShare> {
+    // Containers sort before the spans they contain.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| {
+        (spans[i].start_unix_nanos, std::cmp::Reverse(spans[i].end_unix_nanos))
+    });
+    // Sweep with a nesting stack: each span credits its duration to the
+    // innermost span whose interval contains it; grandchildren credit
+    // the child, which in turn credits the parent, so nothing is
+    // subtracted twice. Partially overlapping spans (clock skew across
+    // hosts) credit nobody rather than corrupting a container.
+    let mut covered = vec![0u64; spans.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = &spans[i];
+        while let Some(&top) = stack.last() {
+            if spans[top].end_unix_nanos <= s.start_unix_nanos {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&top) = stack.last() {
+            if spans[top].end_unix_nanos >= s.end_unix_nanos {
+                covered[top] += s.duration_nanos();
+            }
+        }
+        stack.push(i);
+    }
+    let mut acc: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let self_nanos = s.duration_nanos().saturating_sub(covered[i]);
+        if self_nanos == 0 {
+            continue; // instantaneous points carry no critical-path time
+        }
+        *acc.entry((s.component.clone(), s.phase.clone())).or_default() += self_nanos;
+    }
+    let mut shares: Vec<PhaseShare> = acc
+        .into_iter()
+        .map(|((component, phase), nanos)| PhaseShare {
+            component,
+            phase,
+            nanos,
+            fraction: if window_nanos == 0 { 0.0 } else { nanos as f64 / window_nanos as f64 },
+        })
+        .collect();
+    shares.sort_by_key(|s| std::cmp::Reverse(s.nanos));
+    shares
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Render one stitched timeline as the text `netsl-trace` prints:
+/// header, indented causal span tree with offsets from trace start,
+/// then the critical-path breakdown line.
+pub fn render(t: &Timeline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {:032x} · {} spans · total {}\n",
+        t.trace_id,
+        t.entries.len(),
+        fmt_nanos(t.total_nanos()),
+    ));
+    for e in &t.entries {
+        let s = &e.span;
+        let offset = s.start_unix_nanos.saturating_sub(t.start_nanos);
+        out.push_str(&format!(
+            "  +{:>9}  {:>9}  {}{}/{}",
+            fmt_nanos(offset),
+            fmt_nanos(s.duration_nanos()),
+            "  ".repeat(e.depth),
+            s.component,
+            s.phase,
+        ));
+        if s.request_id != 0 {
+            out.push_str(&format!("  req={}", s.request_id));
+        }
+        if !s.detail.is_empty() {
+            out.push_str(&format!("  [{}]", s.detail));
+        }
+        out.push('\n');
+    }
+    if !t.breakdown.is_empty() {
+        let parts: Vec<String> = t
+            .breakdown
+            .iter()
+            .take(8)
+            .map(|p| format!("{:.0}% {}/{}", p.fraction * 100.0, p.component, p.phase))
+            .collect();
+        out.push_str(&format!("  critical path: {}\n", parts.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        trace: u128,
+        span: u64,
+        parent: u64,
+        component: &str,
+        phase: &str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: span,
+            parent_span: parent,
+            request_id: 9,
+            component: component.into(),
+            phase: phase.into(),
+            start_unix_nanos: start,
+            end_unix_nanos: end,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn stitches_causal_order_across_components() {
+        let records = vec![
+            rec(1, 30, 20, "server", "solve", 820, 400_820),
+            rec(1, 10, 0, "client", "call", 0, 500_000),
+            rec(1, 20, 10, "client", "attempt", 500, 450_500),
+            rec(1, 31, 20, "server", "queue", 700, 820),
+            rec(1, 21, 10, "client", "rank", 100, 400),
+        ];
+        let timelines = stitch(&records);
+        assert_eq!(timelines.len(), 1);
+        let t = &timelines[0];
+        let order: Vec<(&str, usize)> =
+            t.entries.iter().map(|e| (e.span.phase.as_str(), e.depth)).collect();
+        assert_eq!(
+            order,
+            vec![("call", 0), ("rank", 1), ("attempt", 1), ("queue", 2), ("solve", 2)],
+            "parents precede children, siblings in start order"
+        );
+        assert_eq!(t.total_nanos(), 500_000);
+        // Self-times: solve 400k dominates; call and attempt keep only
+        // the ~50k each not covered by spans nested inside them.
+        assert_eq!(t.breakdown[0].phase, "solve");
+        assert!((t.breakdown[0].fraction - 0.8).abs() < 0.01);
+        let rendered = render(t);
+        assert!(rendered.contains("server/solve"));
+        assert!(rendered.contains("critical path:"));
+        assert!(rendered.contains("80% server/solve"));
+    }
+
+    #[test]
+    fn orphans_kept_as_roots_and_duplicates_dropped() {
+        let records = vec![
+            rec(1, 10, 0, "client", "call", 0, 100),
+            rec(1, 50, 9999, "server", "solve", 10, 90), // parent never scraped
+            rec(1, 10, 0, "client", "call", 0, 100),     // scraped twice
+        ];
+        let t = &stitch(&records)[0];
+        assert_eq!(t.entries.len(), 2);
+        assert!(t.entries.iter().all(|e| e.depth == 0));
+    }
+
+    #[test]
+    fn traceless_records_are_skipped_and_traces_split() {
+        let records = vec![
+            rec(0, 1, 0, "agent", "heartbeat", 0, 5),
+            rec(2, 2, 0, "client", "call", 200, 300),
+            rec(1, 3, 0, "client", "call", 0, 100),
+        ];
+        let timelines = stitch(&records);
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].trace_id, 1, "oldest trace first");
+        assert_eq!(timelines[1].trace_id, 2);
+    }
+
+    #[test]
+    fn empty_input_stitches_to_nothing() {
+        assert!(stitch(&[]).is_empty());
+    }
+}

@@ -50,8 +50,10 @@ pub const MAGIC: u32 = 0x4E53_5256;
 ///
 /// History: v1 — initial protocol; v2 — `RequestSubmit` carries a
 /// `deadline_ms` budget so servers can shed expired work, and the
-/// `StatsQuery`/`StatsReply` pair exists.
-pub const VERSION: u32 = 2;
+/// `StatsQuery`/`StatsReply` pair exists; v3 — `RequestSubmit` and
+/// `ServerQuery` carry a 128-bit `trace_id` plus parent span id for
+/// distributed tracing, and the `TraceQuery`/`TraceReply` pair exists.
+pub const VERSION: u32 = 3;
 /// Oldest protocol version this implementation still decodes.
 pub const MIN_VERSION: u32 = 1;
 /// Maximum payload size accepted (512 MiB), matching the largest
@@ -303,6 +305,8 @@ mod tests {
                 Message::RequestSubmit {
                     request_id: 77,
                     deadline_ms: 1_500,
+                    trace_id: 0x1111_2222_3333_4444_5555_6666_7777_8888,
+                    parent_span: 12,
                     problem: "dgesv".into(),
                     inputs: vec![vec![1.0f64, -2.0, 3.5].into()],
                 },
@@ -339,9 +343,14 @@ mod tests {
                     let flip = 1u8 << rng.below(8);
                     bytes[idx] ^= flip;
                     match parse_frame(&bytes) {
-                        // A flip can only be invisible if it never changed
-                        // the decoded message (impossible for xor != 0
-                        // within one frame, short of a CRC collision).
+                        // A flip may only be invisible if the decoded
+                        // message is unchanged. Payload flips can't get
+                        // here (CRC, short of a collision); a version-byte
+                        // flip can land inside the tolerance window
+                        // (3 → 2 or 1) where the header is legitimately
+                        // accepted, but then the payload must still decode
+                        // to the identical message or fail.
+                        Ok((got, _)) if got == msg => {}
                         Ok((got, _)) => panic!(
                             "flipped bit {flip:#04x} at byte {idx} escaped \
                              validation, decoded {got:?}"
@@ -432,6 +441,8 @@ mod tests {
             Message::RequestSubmit {
                 request_id: 77,
                 deadline_ms: 1_500,
+                trace_id: 0x9999_0000_0000_0001,
+                parent_span: 6,
                 problem: "dgesv".into(),
                 inputs: vec![
                     vec![1.0f64, -2.0, 3.5].into(),
@@ -462,6 +473,8 @@ mod tests {
         let big = Message::RequestSubmit {
             request_id: 1,
             deadline_ms: 0,
+            trace_id: 0,
+            parent_span: 0,
             problem: "dgemm".into(),
             inputs: vec![vec![0.5f64; 4096].into()],
         };
@@ -513,6 +526,8 @@ mod tests {
         let msg = Message::RequestSubmit {
             request_id: 42,
             deadline_ms: 9_999, // dropped by the v1 encoding
+            trace_id: 0xdead_beef, // likewise
+            parent_span: 17,
             problem: "dgesv".into(),
             inputs: vec![vec![1.0f64, 2.0].into()],
         };
@@ -522,9 +537,11 @@ mod tests {
         assert_eq!(used, v1.len());
         assert!(version_downgrades() > before, "downgrade not counted");
         match decoded {
-            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+            Message::RequestSubmit { request_id, deadline_ms, trace_id, parent_span, problem, inputs } => {
                 assert_eq!(request_id, 42);
                 assert_eq!(deadline_ms, 0, "v1 has no deadline; defaults to 0");
+                assert_eq!(trace_id, 0, "v1 has no trace context");
+                assert_eq!(parent_span, 0);
                 assert_eq!(problem, "dgesv");
                 assert_eq!(inputs, vec![vec![1.0f64, 2.0].into()]);
             }
@@ -535,18 +552,48 @@ mod tests {
         assert_eq!(parse_frame(&ping_v1).unwrap().0, Message::Ping);
     }
 
-    /// v2 frames still round-trip exactly (deadline preserved), and
-    /// versions outside `MIN_VERSION..=VERSION` are rejected.
+    /// Version tolerance one step back: a v2 peer's `RequestSubmit`
+    /// keeps its deadline but decodes with zeroed trace context, and
+    /// the downgrade is counted.
+    #[test]
+    fn v2_frames_decode_with_zeroed_trace_context() {
+        let msg = Message::RequestSubmit {
+            request_id: 43,
+            deadline_ms: 1_500,
+            trace_id: 0xfeed_f00d, // dropped by the v2 encoding
+            parent_span: 21,
+            problem: "ddot".into(),
+            inputs: vec![vec![4.0f64].into()],
+        };
+        let v2 = frame_bytes_versioned(&msg, 2).unwrap();
+        let before = version_downgrades();
+        let (decoded, _) = parse_frame(&v2).unwrap();
+        assert!(version_downgrades() > before, "downgrade not counted");
+        match decoded {
+            Message::RequestSubmit { deadline_ms, trace_id, parent_span, .. } => {
+                assert_eq!(deadline_ms, 1_500, "v2 keeps the deadline");
+                assert_eq!(trace_id, 0, "v2 has no trace context");
+                assert_eq!(parent_span, 0);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    /// v3 frames still round-trip exactly (deadline and trace context
+    /// preserved), and versions outside `MIN_VERSION..=VERSION` are
+    /// rejected.
     #[test]
     fn version_window_enforced() {
         let msg = Message::RequestSubmit {
             request_id: 7,
             deadline_ms: 1_234,
+            trace_id: 0xabc0_0000_0000_0000_0000_0000_0000_0007,
+            parent_span: 3,
             problem: "dgemm".into(),
             inputs: vec![],
         };
-        let v2 = frame_ok(&msg);
-        assert_eq!(parse_frame(&v2).unwrap().0, msg);
+        let v3 = frame_ok(&msg);
+        assert_eq!(parse_frame(&v3).unwrap().0, msg);
 
         for bad in [0u32, VERSION + 1, 99] {
             let mut bytes = frame_ok(&Message::Ping);

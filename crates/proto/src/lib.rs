@@ -35,15 +35,26 @@ mod proptests {
                 .prop_map(|(id, w)| Message::WorkloadReport { server_id: id, workload: w }),
             (any::<u32>(), "[ -~]{0,60}")
                 .prop_map(|(code, detail)| Message::Error { code, detail }),
-            ("[a-z]{1,12}", any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-                |(problem, n, bi, bo, client_host)| Message::ServerQuery(QueryShape {
-                    client_host,
-                    problem,
-                    n,
-                    bytes_in: bi,
-                    bytes_out: bo,
-                })
-            ),
+            (
+                "[a-z]{1,12}",
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u128>(),
+                any::<u64>()
+            )
+                .prop_map(|(problem, n, bi, bo, client_host, trace_id, parent_span)| {
+                    Message::ServerQuery(QueryShape {
+                        client_host,
+                        problem,
+                        n,
+                        bytes_in: bi,
+                        bytes_out: bo,
+                        trace_id,
+                        parent_span,
+                    })
+                }),
             prop::collection::vec(
                 (any::<u64>(), "[ -~]{0,20}", 0.0..1e6f64),
                 0..10
@@ -78,17 +89,58 @@ mod proptests {
                         pdl_source: pdl,
                     })
                 }),
-            (any::<u64>(), any::<u64>(), "[a-z]{1,10}", prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u128>(), any::<u64>(), "[a-z]{1,10}", prop::collection::vec(
                 prop::collection::vec(-1e9..1e9f64, 0..32).prop_map(netsolve_core::DataObject::Vector),
                 0..4
             ))
-                .prop_map(|(request_id, deadline_ms, problem, inputs)| Message::RequestSubmit {
+                .prop_map(|(request_id, deadline_ms, trace_id, parent_span, problem, inputs)| Message::RequestSubmit {
                     request_id,
                     deadline_ms,
+                    trace_id,
+                    parent_span,
                     problem,
                     inputs,
                 }),
             Just(Message::StatsQuery),
+            any::<u128>().prop_map(|trace_id| Message::TraceQuery { trace_id }),
+            (
+                "[a-z]{1,8}",
+                prop::collection::vec(
+                    (
+                        any::<u128>(),
+                        any::<u64>(),
+                        any::<u64>(),
+                        any::<u64>(),
+                        "[a-z]{1,8}",
+                        "[a-z_]{1,12}",
+                        any::<u64>(),
+                        any::<u64>(),
+                        "[ -~]{0,24}",
+                    ),
+                    0..6,
+                ),
+            )
+                .prop_map(|(component, spans)| Message::TraceReply {
+                    component,
+                    spans: spans
+                        .into_iter()
+                        .map(
+                            |(trace_id, span_id, parent_span, request_id, comp, phase, start, end, detail)| {
+                                netsolve_obs::SpanRecord {
+                                    trace_id,
+                                    span_id,
+                                    parent_span,
+                                    request_id,
+                                    component: comp,
+                                    phase,
+                                    start_unix_nanos: start,
+                                    end_unix_nanos: end,
+                                    detail,
+                                }
+                            },
+                        )
+                        .collect(),
+                }),
             (
                 "[a-z]{1,8}",
                 prop::collection::vec(("[a-z._]{1,16}", any::<u64>()), 0..6),

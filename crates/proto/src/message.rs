@@ -12,7 +12,7 @@
 
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_obs::{HistogramSnapshot, StatsSnapshot};
+use netsolve_obs::{HistogramSnapshot, SpanRecord, StatsSnapshot};
 use netsolve_xdr::{Decoder, Encoder};
 
 /// Description of one computational server, sent at registration and
@@ -82,6 +82,12 @@ pub struct QueryShape {
     pub bytes_in: u64,
     /// Estimated output payload bytes.
     pub bytes_out: u64,
+    /// Trace identity of the call this query ranks for (0 = untraced).
+    /// Additive in protocol version 3; older peers never see it.
+    pub trace_id: u128,
+    /// Client-side parent span id the agent's `score` span nests under
+    /// (0 = none). Additive in protocol version 3.
+    pub parent_span: u64,
 }
 
 /// Every message in the NetSolve protocol.
@@ -164,6 +170,16 @@ pub enum Message {
         /// budget is exhausted instead of computing results nobody will
         /// wait for.
         deadline_ms: u64,
+        /// 128-bit trace identity minted by the client, so spans this
+        /// request produces on the server join the client's trace
+        /// (0 = untraced). Additive in protocol version 3: v1/v2 frames
+        /// carry no trace context and decode with zeroes.
+        trace_id: u128,
+        /// Span id of the client-side attempt span this submission is a
+        /// child of (0 = none). Each retry attempt carries a fresh
+        /// parent, so attempts stay distinct spans under one trace.
+        /// Additive in protocol version 3.
+        parent_span: u64,
         /// Problem mnemonic.
         problem: String,
         /// Marshaled input objects.
@@ -205,6 +221,22 @@ pub enum Message {
     StatsQuery,
     /// daemon → any: the metrics snapshot ([`StatsSnapshot`]).
     StatsReply(StatsSnapshot),
+    /// any → daemon: dump your retained trace spans. `trace_id` 0 asks
+    /// for everything; otherwise only spans of that trace. Additive in
+    /// protocol version 3: older daemons answer with their generic
+    /// "cannot handle" `Error` reply, which `netsl-trace` reports as
+    /// *unsupported*, so mixed-version domains keep working.
+    TraceQuery {
+        /// Trace to select, or 0 for all retained spans.
+        trace_id: u128,
+    },
+    /// daemon → any: the retained span records.
+    TraceReply {
+        /// Which daemon answered (`"server"`, `"agent"`, …).
+        component: String,
+        /// The retained spans, oldest first.
+        spans: Vec<SpanRecord>,
+    },
     /// any → any: liveness probe.
     Ping,
     /// any → any: liveness answer.
@@ -241,6 +273,8 @@ impl Message {
             Message::ServerInfoList { .. } => 20,
             Message::StatsQuery => 21,
             Message::StatsReply(_) => 22,
+            Message::TraceQuery { .. } => 23,
+            Message::TraceReply { .. } => 24,
             Message::Ping => 13,
             Message::Pong => 14,
             Message::Error { .. } => 15,
@@ -269,6 +303,8 @@ impl Message {
             Message::CompletionReport { .. } => "CompletionReport",
             Message::StatsQuery => "StatsQuery",
             Message::StatsReply(_) => "StatsReply",
+            Message::TraceQuery { .. } => "TraceQuery",
+            Message::TraceReply { .. } => "TraceReply",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Error { .. } => "Error",
@@ -332,6 +368,11 @@ impl Message {
                 e.put_u64(q.n);
                 e.put_u64(q.bytes_in);
                 e.put_u64(q.bytes_out);
+                if version >= 3 {
+                    e.put_u64((q.trace_id >> 64) as u64);
+                    e.put_u64(q.trace_id as u64);
+                    e.put_u64(q.parent_span);
+                }
             }
             Message::ServerList { candidates } => {
                 e.put_u32(candidates.len() as u32);
@@ -369,10 +410,15 @@ impl Message {
                 e.put_u32(*code);
                 e.put_string(detail);
             }
-            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+            Message::RequestSubmit { request_id, deadline_ms, trace_id, parent_span, problem, inputs } => {
                 e.put_u64(*request_id);
                 if version >= 2 {
                     e.put_u64(*deadline_ms);
+                }
+                if version >= 3 {
+                    e.put_u64((*trace_id >> 64) as u64);
+                    e.put_u64(*trace_id as u64);
+                    e.put_u64(*parent_span);
                 }
                 e.put_string(problem);
                 netsolve_xdr::encode_objects(e, inputs);
@@ -419,6 +465,26 @@ impl Message {
                     for b in &h.buckets {
                         e.put_u64(*b);
                     }
+                }
+            }
+            Message::TraceQuery { trace_id } => {
+                e.put_u64((*trace_id >> 64) as u64);
+                e.put_u64(*trace_id as u64);
+            }
+            Message::TraceReply { component, spans } => {
+                e.put_string(component);
+                e.put_u32(spans.len() as u32);
+                for s in spans {
+                    e.put_u64((s.trace_id >> 64) as u64);
+                    e.put_u64(s.trace_id as u64);
+                    e.put_u64(s.span_id);
+                    e.put_u64(s.parent_span);
+                    e.put_u64(s.request_id);
+                    e.put_string(&s.component);
+                    e.put_string(&s.phase);
+                    e.put_u64(s.start_unix_nanos);
+                    e.put_u64(s.end_unix_nanos);
+                    e.put_string(&s.detail);
                 }
             }
             Message::Ping | Message::Pong => {}
@@ -474,20 +540,8 @@ impl Message {
             }
             2 => Message::RegisterAck { accepted: d.get_bool()?, detail: d.get_string()? },
             3 => Message::WorkloadReport { server_id: d.get_u64()?, workload: d.get_f64()? },
-            4 => Message::ServerQuery(QueryShape {
-                client_host: d.get_u64()?,
-                problem: d.get_string()?,
-                n: d.get_u64()?,
-                bytes_in: d.get_u64()?,
-                bytes_out: d.get_u64()?,
-            }),
-            17 => Message::ServerQueryForwarded(QueryShape {
-                client_host: d.get_u64()?,
-                problem: d.get_string()?,
-                n: d.get_u64()?,
-                bytes_in: d.get_u64()?,
-                bytes_out: d.get_u64()?,
-            }),
+            4 => Message::ServerQuery(Self::decode_query_shape(d, version)?),
+            17 => Message::ServerQueryForwarded(Self::decode_query_shape(d, version)?),
             5 => {
                 let count = d.get_u32()? as usize;
                 if count > d.remaining() / 20 + 1 {
@@ -547,6 +601,8 @@ impl Message {
             11 => Message::RequestSubmit {
                 request_id: d.get_u64()?,
                 deadline_ms: if version >= 2 { d.get_u64()? } else { 0 },
+                trace_id: if version >= 3 { Self::get_u128(d)? } else { 0 },
+                parent_span: if version >= 3 { d.get_u64()? } else { 0 },
                 problem: d.get_string()?,
                 inputs: netsolve_xdr::decode_objects(d)?,
             },
@@ -610,10 +666,54 @@ impl Message {
                 }
                 Message::StatsReply(StatsSnapshot { component, counters, gauges, histograms })
             }
+            23 => Message::TraceQuery { trace_id: Self::get_u128(d)? },
+            24 => {
+                let component = d.get_string()?;
+                let count = d.get_u32()? as usize;
+                // Minimum wire size of one span record: seven u64 words,
+                // three (possibly empty) strings.
+                if count > d.remaining() / 68 + 1 {
+                    return Err(NetSolveError::Protocol("span count too large".into()));
+                }
+                let mut spans = Vec::with_capacity(count);
+                for _ in 0..count {
+                    spans.push(SpanRecord {
+                        trace_id: Self::get_u128(d)?,
+                        span_id: d.get_u64()?,
+                        parent_span: d.get_u64()?,
+                        request_id: d.get_u64()?,
+                        component: d.get_string()?,
+                        phase: d.get_string()?,
+                        start_unix_nanos: d.get_u64()?,
+                        end_unix_nanos: d.get_u64()?,
+                        detail: d.get_string()?,
+                    });
+                }
+                Message::TraceReply { component, spans }
+            }
             15 => Message::Error { code: d.get_u32()?, detail: d.get_string()? },
             other => {
                 return Err(NetSolveError::Protocol(format!("unknown message tag {other}")))
             }
+        })
+    }
+
+    /// Two big-endian u64 words, high first, as one 128-bit id.
+    fn get_u128(d: &mut Decoder<'_>) -> Result<u128> {
+        let hi = d.get_u64()?;
+        let lo = d.get_u64()?;
+        Ok(((hi as u128) << 64) | lo as u128)
+    }
+
+    fn decode_query_shape(d: &mut Decoder<'_>, version: u32) -> Result<QueryShape> {
+        Ok(QueryShape {
+            client_host: d.get_u64()?,
+            problem: d.get_string()?,
+            n: d.get_u64()?,
+            bytes_in: d.get_u64()?,
+            bytes_out: d.get_u64()?,
+            trace_id: if version >= 3 { Self::get_u128(d)? } else { 0 },
+            parent_span: if version >= 3 { d.get_u64()? } else { 0 },
         })
     }
 }
@@ -642,6 +742,8 @@ mod tests {
                 n: 512,
                 bytes_in: 2_097_168,
                 bytes_out: 4104,
+                trace_id: 0xfeed_face_0000_0001_dead_beef_0000_0002,
+                parent_span: 71,
             }),
             Message::ServerList {
                 candidates: vec![
@@ -675,6 +777,8 @@ mod tests {
             Message::RequestSubmit {
                 request_id: 99,
                 deadline_ms: 1500,
+                trace_id: u128::MAX - 7,
+                parent_span: 41,
                 problem: "dgesv".into(),
                 inputs: vec![Matrix::identity(3).into(), vec![1.0, 2.0, 3.0].into()],
             },
@@ -697,6 +801,8 @@ mod tests {
                 n: 1024,
                 bytes_in: 16_400,
                 bytes_out: 16_400,
+                trace_id: 0,
+                parent_span: 0,
             }),
             Message::StatsQuery,
             Message::StatsReply(StatsSnapshot {
@@ -711,6 +817,26 @@ mod tests {
                 }],
             }),
             Message::StatsReply(StatsSnapshot::default()),
+            Message::TraceQuery { trace_id: 0 },
+            Message::TraceQuery { trace_id: u128::MAX },
+            Message::TraceReply {
+                component: "server".into(),
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 0xabcd_0000_0000_0001,
+                        span_id: 9,
+                        parent_span: 4,
+                        request_id: 99,
+                        component: "server".into(),
+                        phase: "solve".into(),
+                        start_unix_nanos: 1_700_000_000_000_000_000,
+                        end_unix_nanos: 1_700_000_000_000_400_000,
+                        detail: "dgesv n=512".into(),
+                    },
+                    SpanRecord::default(),
+                ],
+            },
+            Message::TraceReply { component: "agent".into(), spans: vec![] },
             Message::Ping,
             Message::Pong,
             Message::Error { code: 1, detail: "problem not found".into() },
@@ -732,8 +858,49 @@ mod tests {
         let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        // RegisterAck and StatsReply each appear twice in samples
-        assert_eq!(tags.len(), samples().len() - 2);
+        // RegisterAck, StatsReply, TraceQuery and TraceReply each appear
+        // twice in samples
+        assert_eq!(tags.len(), samples().len() - 4);
+    }
+
+    #[test]
+    fn v2_payloads_decode_with_zeroed_trace_context() {
+        let submit = Message::RequestSubmit {
+            request_id: 7,
+            deadline_ms: 900,
+            trace_id: 0x1234_5678_9abc_def0,
+            parent_span: 3,
+            problem: "ddot".into(),
+            inputs: vec![vec![1.0, 2.0].into()],
+        };
+        let back = Message::decode_versioned(&submit.encode_versioned(2), 2).unwrap();
+        match back {
+            Message::RequestSubmit { request_id, deadline_ms, trace_id, parent_span, .. } => {
+                assert_eq!(request_id, 7);
+                assert_eq!(deadline_ms, 900, "v2 still carries the deadline");
+                assert_eq!(trace_id, 0, "trace context defaults to untraced");
+                assert_eq!(parent_span, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let query = Message::ServerQuery(QueryShape {
+            client_host: 5,
+            problem: "ddot".into(),
+            n: 64,
+            bytes_in: 1024,
+            bytes_out: 8,
+            trace_id: 42,
+            parent_span: 9,
+        });
+        match Message::decode_versioned(&query.encode_versioned(2), 2).unwrap() {
+            Message::ServerQuery(q) => {
+                assert_eq!(q.n, 64);
+                assert_eq!(q.trace_id, 0);
+                assert_eq!(q.parent_span, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -782,6 +949,8 @@ mod tests {
         let msg = Message::RequestSubmit {
             request_id: 1,
             deadline_ms: 0,
+            trace_id: 3,
+            parent_span: 0,
             problem: "dgemm".into(),
             inputs: vec![m.clone().into(), m.into()],
         };

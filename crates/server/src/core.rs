@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_obs::MetricsRegistry;
+use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
 use netsolve_pdl::ProblemRegistry;
 use netsolve_proto::Message;
 use netsolve_solvers::execute;
@@ -31,6 +31,7 @@ pub struct ServerCore {
     problems: ProblemRegistry,
     mode: ExecutionMode,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 /// A computed reply plus how long the computation took.
@@ -45,7 +46,19 @@ pub struct Execution {
 impl ServerCore {
     /// Server offering the given problem catalogue.
     pub fn new(problems: ProblemRegistry, mode: ExecutionMode) -> Self {
-        ServerCore { problems, mode, metrics: Arc::new(MetricsRegistry::new()) }
+        ServerCore {
+            problems,
+            mode,
+            metrics: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(Tracer::new()),
+        }
+    }
+
+    /// Replace the tracer (e.g. [`Tracer::disabled`] for overhead-free
+    /// operation, or a shared tracer in tests).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Server offering the full standard catalogue with real execution.
@@ -68,6 +81,12 @@ impl ServerCore {
     /// snapshots it over the wire.
     pub fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The tracer holding this server's `server.*` phase spans.
+    /// [`Message::TraceQuery`] snapshots it over the wire.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     /// Validate and execute one request.
@@ -108,25 +127,60 @@ impl ServerCore {
     /// the request's deadline.
     pub fn handle_message_at(&self, msg: &Message, received_at: Instant) -> Message {
         match msg {
-            Message::RequestSubmit { request_id, deadline_ms, problem, inputs } => {
+            Message::RequestSubmit {
+                request_id,
+                deadline_ms,
+                problem,
+                inputs,
+                trace_id,
+                parent_span,
+            } => {
+                // Adopt the wire-propagated trace context: the parent span
+                // is the client's per-attempt span, so retries stitch as
+                // distinct subtrees of one trace.
+                let ctx = SpanContext {
+                    trace_id: *trace_id,
+                    parent_span: *parent_span,
+                    request_id: *request_id,
+                };
                 self.metrics.counter("server.requests").inc();
-                // Time spent queued between wire arrival and dispatch.
-                self.metrics
-                    .histogram("server.queue_secs")
-                    .record_secs(received_at.elapsed().as_secs_f64());
+                // One clock read serves as queue-span end, solve-span
+                // start and the queue histogram sample — keeping the
+                // traced path at two reads per request total.
+                let dispatched = Instant::now();
+                let queued = dispatched.saturating_duration_since(received_at);
+                let queue_timer = self.tracer.start_at(received_at);
+                self.metrics.histogram("server.queue_secs").record_secs(queued.as_secs_f64());
+                self.tracer.record_at(ctx, queue_timer, dispatched, "server", "queue", String::new());
                 // Shed expired work: if the client's remaining budget was
                 // already consumed before execution starts, nobody is
                 // waiting for this result.
                 if *deadline_ms > 0 {
                     let budget = std::time::Duration::from_millis(*deadline_ms);
-                    if received_at.elapsed() >= budget {
+                    if queued >= budget {
                         self.metrics.counter("server.deadline_shed").inc();
+                        self.tracer.point(
+                            ctx,
+                            "server",
+                            "deadline_shed",
+                            format!("budget={deadline_ms}ms"),
+                        );
                         return Message::from_error(&NetSolveError::Timeout(format!(
                             "request {request_id} deadline ({deadline_ms} ms) expired before execution"
                         )));
                     }
                 }
-                match self.run(problem, inputs) {
+                let solve_timer = self.tracer.start_at(dispatched);
+                let run = self.run(problem, inputs);
+                let solve_detail = match &run {
+                    // Success is the hot path: no allocation per event.
+                    // The problem name already rides on the client's
+                    // attempt span, so an empty detail loses nothing.
+                    Ok(_) => String::new(),
+                    Err(e) => format!("problem={problem} err={e}"),
+                };
+                self.tracer.record(ctx, solve_timer, "server", "solve", solve_detail);
+                match run {
                     Ok(exec) => {
                         self.metrics.counter("server.requests_ok").inc();
                         self.metrics
@@ -142,6 +196,20 @@ impl ServerCore {
                         self.metrics.counter("server.requests_failed").inc();
                         Message::from_error(&e)
                     }
+                }
+            }
+            Message::TraceQuery { trace_id } => {
+                // Same monotone downgrade catch-up as StatsQuery: a trace
+                // pull from an old peer still surfaces in the counter.
+                let c = self.metrics.counter("proto.version_downgrade");
+                let global = netsolve_proto::version_downgrades();
+                let seen = c.get();
+                if global > seen {
+                    c.add(global - seen);
+                }
+                Message::TraceReply {
+                    component: "server".to_string(),
+                    spans: self.tracer.snapshot_trace(*trace_id),
                 }
             }
             Message::StatsQuery => {
@@ -281,6 +349,8 @@ mod tests {
             deadline_ms: 0,
             problem: "ddot".into(),
             inputs: vec![vec![1.0, 2.0].into(), vec![3.0, 4.0].into()],
+            trace_id: 0,
+            parent_span: 0,
         });
         match reply {
             Message::RequestReply { request_id, outputs, .. } => {
@@ -317,6 +387,8 @@ mod tests {
             deadline_ms: 0,
             problem: "nope".into(),
             inputs: vec![],
+            trace_id: 0,
+            parent_span: 0,
         });
         match reply {
             Message::Error { code, .. } => {
@@ -334,6 +406,8 @@ mod tests {
             deadline_ms: 10,
             problem: "ddot".into(),
             inputs: vec![vec![1.0].into(), vec![1.0].into()],
+            trace_id: 0,
+            parent_span: 0,
         };
         // Received 50 ms ago with a 10 ms budget: shed with Timeout.
         let received = Instant::now() - std::time::Duration::from_millis(50);
@@ -355,6 +429,8 @@ mod tests {
             deadline_ms: 0,
             problem: "ddot".into(),
             inputs: vec![vec![1.0].into(), vec![1.0].into()],
+            trace_id: 0,
+            parent_span: 0,
         };
         assert!(matches!(
             core.handle_message_at(&no_deadline, received),

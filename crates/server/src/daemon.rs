@@ -121,6 +121,7 @@ impl ServerDaemon {
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&requests_served);
             let metrics = core.metrics();
+            let tracer = core.tracer();
             let max_conns = config.max_connections.max(1);
             let live_conns = Arc::new(AtomicU32::new(0));
             threads.push(
@@ -136,6 +137,14 @@ impl ServerDaemon {
                                     break;
                                 }
                                 metrics.counter("server.accepts").inc();
+                                // Traceless: no request context exists yet
+                                // at accept time (stitching skips trace 0).
+                                tracer.point(
+                                    netsolve_obs::SpanContext::NONE,
+                                    "server",
+                                    "accept",
+                                    String::new(),
+                                );
                                 // Admission control. The protocol is strictly
                                 // client-sends-then-recvs, so an unsolicited
                                 // Busy error is the first frame a rejected
@@ -312,13 +321,27 @@ fn serve_connection(
     served: Arc<AtomicU64>,
 ) {
     let metrics = core.metrics();
+    let tracer = core.tracer();
     loop {
         let msg = match conn.recv() {
             Ok(m) => m,
             Err(_) => return,
         };
         let received_at = std::time::Instant::now();
-        let is_request = matches!(msg, Message::RequestSubmit { .. });
+        // Trace context rides in the request; decode happened inside
+        // `conn.recv()` (the transport owns the frame parse), so the queue
+        // span the core records starts here, at wire arrival.
+        let request_ctx = match &msg {
+            Message::RequestSubmit { request_id, trace_id, parent_span, .. } => {
+                Some(netsolve_obs::SpanContext {
+                    trace_id: *trace_id,
+                    parent_span: *parent_span,
+                    request_id: *request_id,
+                })
+            }
+            _ => None,
+        };
+        let is_request = request_ctx.is_some();
         if is_request {
             active.fetch_add(1, Ordering::AcqRel);
             metrics.gauge("server.active_requests").inc();
@@ -333,10 +356,12 @@ fn serve_connection(
                 .record_secs(received_at.elapsed().as_secs_f64());
         }
         let send_start = std::time::Instant::now();
+        let encode_timer = tracer.start();
         if conn.send(&reply).is_err() {
             return;
         }
-        if is_request {
+        if let Some(ctx) = request_ctx {
+            tracer.record(ctx, encode_timer, "server", "encode", String::new());
             metrics
                 .histogram("server.reply_marshal_secs")
                 .record_secs(send_start.elapsed().as_secs_f64());
@@ -386,6 +411,8 @@ mod tests {
                 n: 10,
                 bytes_in: 880,
                 bytes_out: 88,
+                trace_id: 0,
+                parent_span: 0,
             }),
             Duration::from_secs(5),
         )
@@ -410,6 +437,8 @@ mod tests {
                 deadline_ms: 0,
                 problem: "dgesv".into(),
                 inputs: vec![a.into(), b.clone().into()],
+                trace_id: 0,
+                parent_span: 0,
             },
             Duration::from_secs(5),
         )
@@ -477,6 +506,8 @@ mod tests {
                     n: 4,
                     bytes_in: 100,
                     bytes_out: 8,
+                    trace_id: 0,
+                    parent_span: 0,
                 };
                 if c.query(&q, netsolve_core::SimTime::from_secs(1.0)).is_ok() {
                     break;

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 echo "=== build (release) ==="
 cargo build --release --workspace
 
-echo "=== build (all bins, incl. netsl-stats) ==="
+echo "=== build (all bins, incl. netsl-stats and netsl-trace) ==="
 cargo build --bins
 
 echo "=== tests ==="
@@ -18,10 +18,39 @@ cargo test --workspace -q
 echo "=== regression tests (retry cap, request ids, accept-loop cap, stats) ==="
 cargo test --test observability -q
 cargo test --test chaos_soak -q
+cargo test --test tracing -q
+
+echo "=== netsl-trace smoke (live TCP trio, stitched timeline) ==="
+# Boot a real agent + server on loopback, run one traced call, then pull
+# and stitch the request timeline exactly as an operator would.
+AGENT_PORT=19751
+SERVER_PORT=19752
+TRACE_DUMP=$(mktemp)
+./target/debug/ns-agent --listen 127.0.0.1:${AGENT_PORT} &
+AGENT_PID=$!
+trap 'kill ${AGENT_PID} ${SERVER_PID:-} 2>/dev/null || true; rm -f "${TRACE_DUMP}"' EXIT
+sleep 0.3
+./target/debug/ns-server --agent 127.0.0.1:${AGENT_PORT} --listen 127.0.0.1:${SERVER_PORT} &
+SERVER_PID=$!
+sleep 0.3
+./target/debug/ns-client --agent 127.0.0.1:${AGENT_PORT} \
+    --trace-dump "${TRACE_DUMP}" demo dnrm2 256
+TIMELINE=$(./target/debug/netsl-trace --dump "${TRACE_DUMP}" \
+    127.0.0.1:${AGENT_PORT} 127.0.0.1:${SERVER_PORT})
+echo "${TIMELINE}"
+echo "${TIMELINE}" | grep -q "server/solve" || {
+    echo "netsl-trace smoke: no server/solve span in stitched timeline"; exit 1; }
+echo "${TIMELINE}" | grep -q "critical path:" || {
+    echo "netsl-trace smoke: no critical-path breakdown"; exit 1; }
+kill ${AGENT_PID} ${SERVER_PID} 2>/dev/null || true
 
 echo "=== wire-path bench smoke (single-pass writer vs legacy) ==="
 cargo build --release -p netsolve-bench --bin r1_wire_path
 ./target/release/r1_wire_path --quick
+
+echo "=== trace-overhead bench smoke (tracing on vs off) ==="
+cargo build --release -p netsolve-bench --bin r9_trace_overhead
+./target/release/r9_trace_overhead --quick
 
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -225,4 +225,6 @@ tuple_strategy! {
     (A, B, C, D, E, F)
     (A, B, C, D, E, F, G)
     (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
 }

@@ -84,6 +84,16 @@ fn print_snapshot(address: &str, s: &StatsSnapshot) {
             h.mean_secs(),
             h.sum_secs
         );
+        if h.count > 0 {
+            // Log-bucketed, so each quantile is exact to within one 2x
+            // bucket — plenty for spotting tail blowups.
+            println!(
+                "    p50 {:.6}s  p95 {:.6}s  p99 {:.6}s",
+                h.quantile_secs(0.50),
+                h.quantile_secs(0.95),
+                h.quantile_secs(0.99)
+            );
+        }
         for (i, n) in h.buckets.iter().enumerate() {
             if *n == 0 {
                 continue;

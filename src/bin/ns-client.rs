@@ -9,6 +9,10 @@
 //!
 //! `demo` generates a random well-posed instance of size `N` (default 100)
 //! for the classic problems and prints where it ran and how long it took.
+//!
+//! With `--trace-dump PATH`, the client's own phase spans are written to
+//! `PATH` (one span per line) on exit; feed that file to `netsl-trace`
+//! via `--dump` to stitch the client side into the request timeline.
 
 use std::sync::Arc;
 
@@ -25,18 +29,22 @@ fn usage() -> ! {
          \x20 servers\n\
          \x20 describe PROBLEM\n\
          \x20 demo PROBLEM [N]   (dgesv dposv dgels dgetri dgemm fft vsort dnrm2 cg)\n\
-         \x20 quad FNAME A B TOL"
+         \x20 quad FNAME A B TOL\n\
+         options:\n\
+         \x20 --trace-dump PATH  write the client's phase spans to PATH"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut agent: Option<String> = None;
+    let mut trace_dump: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--agent" => agent = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-dump" => trace_dump = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => rest.push(a),
         }
@@ -68,6 +76,17 @@ fn main() {
         }
         _ => usage(),
     };
+    if let Some(path) = trace_dump {
+        let lines: String = client
+            .tracer()
+            .snapshot_trace(0)
+            .iter()
+            .map(|r| r.to_line() + "\n")
+            .collect();
+        if let Err(e) = std::fs::write(&path, lines) {
+            eprintln!("ns-client: writing trace dump {path}: {e}");
+        }
+    }
     if let Err(e) = outcome {
         eprintln!("ns-client: {e}");
         std::process::exit(1);
@@ -152,6 +171,7 @@ fn demo(client: &NetSolveClient, problem: &str, n: usize) -> netsolve::core::Res
     println!("  compute   {}", fmt_secs(report.compute_secs));
     println!("  attempts  {}", report.attempts);
     println!("  outputs   {}", outputs.len());
+    println!("  trace     {:032x}", report.trace_id);
     Ok(())
 }
 

@@ -28,6 +28,7 @@ struct SoakOutcome {
     failed_retryable: u64,
     stats: ChaosStats,
     metrics: StatsSnapshot,
+    tracer: Arc<Tracer>,
     elapsed: Duration,
 }
 
@@ -74,8 +75,11 @@ fn run_soak(seed: u64) -> SoakOutcome {
     // injected == detected invariant is assertable purely from metrics.
     let metrics = Arc::new(MetricsRegistry::new());
     let tracer = Arc::new(Tracer::new());
-    let chaos =
-        Arc::new(ChaosTransport::new(Arc::clone(&clean), policy, seed).with_metrics(&metrics));
+    let chaos = Arc::new(
+        ChaosTransport::new(Arc::clone(&clean), policy, seed)
+            .with_metrics(&metrics)
+            .with_tracer(Arc::clone(&tracer)),
+    );
 
     let retry = RetryPolicy {
         max_attempts: 5,
@@ -146,6 +150,7 @@ fn run_soak(seed: u64) -> SoakOutcome {
         failed_retryable: failed_retryable.load(Ordering::Relaxed),
         stats: chaos.stats(),
         metrics: metrics.snapshot("soak"),
+        tracer,
         elapsed,
     }
 }
@@ -212,6 +217,25 @@ fn assert_soak_invariants(seed: u64, outcome: &SoakOutcome) {
         m.counter("client.calls_ok")
     );
     assert_eq!(m.counter("client.request_id_collisions"), 0, "seed {seed}");
+    // Tracing rode along with the whole soak: every call records at least
+    // its root and rank spans (successes add attempt subtrees on top),
+    // the retained window still holds client attempt spans, and the
+    // injected faults appear as traceless chaos points — never stitched
+    // into any request's timeline but visible to an operator.
+    let spans = outcome.tracer.spans_recorded();
+    assert!(
+        spans >= total * 2,
+        "seed {seed}: only {spans} spans recorded across {total} calls"
+    );
+    let retained = outcome.tracer.spans();
+    assert!(
+        retained.iter().any(|s| s.component == "client" && s.phase == "attempt"),
+        "seed {seed}: no attempt spans retained"
+    );
+    assert!(
+        retained.iter().any(|s| s.component == "chaos" && s.trace_id == 0),
+        "seed {seed}: injected faults left no traceless chaos spans"
+    );
     // No hangs: bounded attempt timeouts and backoffs keep the whole soak
     // far from pathological wall-clock.
     assert!(

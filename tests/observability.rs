@@ -413,6 +413,13 @@ fn live_trio_exposes_counters_after_chaos_run() {
     assert!(m.counter("client.attempt_failures") > 0);
     assert!(m.counter("chaos.refused") > 0, "chaos never bit");
 
+    // Phase spans rode along with every call: the retained window holds
+    // a successful call's terminal point and its attempt spans.
+    assert!(tracer.spans_recorded() >= 40 * 2, "tracing went missing mid-soak");
+    let retained = tracer.spans();
+    assert!(retained.iter().any(|s| s.phase == "call_ok"));
+    assert!(retained.iter().any(|s| s.phase == "attempt"));
+
     for s in &mut servers {
         s.stop();
     }

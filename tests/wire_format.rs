@@ -11,11 +11,11 @@ use netsolve::xdr::{crc32, Encoder};
 #[test]
 fn ping_frame_is_pinned() {
     let bytes = frame_bytes(&Message::Ping).unwrap();
-    // magic "NSRV", version 2 (deadline-bearing RequestSubmit), length 4,
-    // payload = tag 13, crc
+    // magic "NSRV", version 3 (trace-bearing RequestSubmit/ServerQuery),
+    // length 4, payload = tag 13, crc
     let mut expect = Vec::new();
     expect.extend_from_slice(&0x4E53_5256u32.to_be_bytes());
-    expect.extend_from_slice(&2u32.to_be_bytes());
+    expect.extend_from_slice(&3u32.to_be_bytes());
     expect.extend_from_slice(&4u32.to_be_bytes());
     expect.extend_from_slice(&13u32.to_be_bytes());
     expect.extend_from_slice(&crc32(&13u32.to_be_bytes()).to_be_bytes());
@@ -30,6 +30,8 @@ fn server_query_payload_is_pinned() {
         n: 512,
         bytes_in: 1000,
         bytes_out: 64,
+        trace_id: (11u128 << 64) | 22,
+        parent_span: 33,
     });
     let payload = msg.encode();
     let mut expect = Encoder::new();
@@ -39,6 +41,11 @@ fn server_query_payload_is_pinned() {
     expect.put_u64(512);
     expect.put_u64(1000);
     expect.put_u64(64);
+    // v3 trace context: trace id as two big-endian words, high first,
+    // then the parent span id.
+    expect.put_u64(11);
+    expect.put_u64(22);
+    expect.put_u64(33);
     assert_eq!(payload, expect.into_bytes());
 }
 
