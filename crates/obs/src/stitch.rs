@@ -143,11 +143,15 @@ fn breakdown_of(spans: &[SpanRecord], window_nanos: u64) -> Vec<PhaseShare> {
     order.sort_by_key(|&i| {
         (spans[i].start_unix_nanos, std::cmp::Reverse(spans[i].end_unix_nanos))
     });
-    // Sweep with a nesting stack: each span credits its duration to the
-    // innermost span whose interval contains it; grandchildren credit
-    // the child, which in turn credits the parent, so nothing is
-    // subtracted twice. Partially overlapping spans (clock skew across
-    // hosts) credit nobody rather than corrupting a container.
+    // Sweep with a nesting stack: each span credits the innermost span
+    // whose interval overlaps it with the overlapping portion of its
+    // duration; grandchildren credit the child, which in turn credits
+    // the parent, so nothing is subtracted twice. Partially overlapping
+    // spans (clock skew across hosts) credit only the overlap and never
+    // join the stack themselves — a skewed span on the stack would
+    // absorb credit for later fully-contained spans while its own time
+    // is never subtracted from the enclosing span, inflating the
+    // breakdown past the trace window.
     let mut covered = vec![0u64; spans.len()];
     let mut stack: Vec<usize> = Vec::new();
     for &i in &order {
@@ -159,12 +163,17 @@ fn breakdown_of(spans: &[SpanRecord], window_nanos: u64) -> Vec<PhaseShare> {
                 break;
             }
         }
-        if let Some(&top) = stack.last() {
-            if spans[top].end_unix_nanos >= s.end_unix_nanos {
-                covered[top] += s.duration_nanos();
+        match stack.last() {
+            Some(&top) => {
+                let top_end = spans[top].end_unix_nanos;
+                covered[top] +=
+                    top_end.min(s.end_unix_nanos).saturating_sub(s.start_unix_nanos);
+                if top_end >= s.end_unix_nanos {
+                    stack.push(i);
+                }
             }
+            None => stack.push(i),
         }
-        stack.push(i);
     }
     let mut acc: BTreeMap<(String, String), u64> = BTreeMap::new();
     for (i, s) in spans.iter().enumerate() {
@@ -325,5 +334,32 @@ mod tests {
     #[test]
     fn empty_input_stitches_to_nothing() {
         assert!(stitch(&[]).is_empty());
+    }
+
+    #[test]
+    fn skewed_span_cannot_become_a_credit_sink() {
+        // Regression: a partially overlapping span (cross-host clock
+        // skew) used to join the nesting stack, absorb credit for later
+        // fully-contained spans, and never be subtracted from its own
+        // container — A=[0,100], B=[50,150], C=[60,70] credited
+        // 100+90+10 = 200ns of self-time against a 150ns window.
+        let records = vec![
+            rec(1, 10, 0, "client", "call", 0, 100),
+            rec(1, 20, 10, "server", "solve", 50, 150),
+            rec(1, 30, 20, "server", "encode", 60, 70),
+        ];
+        let t = &stitch(&records)[0];
+        let total: u64 = t.breakdown.iter().map(|p| p.nanos).sum();
+        assert_eq!(t.total_nanos(), 150);
+        assert!(total <= t.total_nanos(), "self-times fit the window, got {total}");
+        // The skewed solve span credits call with only the 50ns overlap
+        // and encode's 10ns is subtracted from call (the established
+        // container), not absorbed by solve.
+        let nanos_of = |phase: &str| {
+            t.breakdown.iter().find(|p| p.phase == phase).map(|p| p.nanos).unwrap_or(0)
+        };
+        assert_eq!(nanos_of("solve"), 100);
+        assert_eq!(nanos_of("call"), 40);
+        assert_eq!(nanos_of("encode"), 10);
     }
 }

@@ -314,10 +314,31 @@ impl TraceInner {
 
     /// Evict oldest unpinned traces (never `keep`, the trace just
     /// written to) until the span budget holds again.
+    ///
+    /// The traceless bucket (trace 0) gets no such protection — every
+    /// traceless span (heartbeats, accepts, chaos fault points) shares
+    /// it, so shielding it as the most-recently-written trace would let
+    /// an idle daemon recording only heartbeats grow without bound.
+    /// Instead it is trimmed as a ring: oldest spans dropped first,
+    /// newest retained.
     fn enforce_budget(&mut self, keep: u128) {
         let mut spare = None;
+        let mut requeue_traceless = false;
         while self.total_spans > self.capacity {
             match self.order.pop_front() {
+                Some(0) => {
+                    let excess = self.total_spans - self.capacity;
+                    if let Some(buf) = self.traces.get_mut(&0) {
+                        let n = excess.min(buf.spans.len());
+                        buf.spans.drain(..n);
+                        self.total_spans -= n;
+                        if buf.spans.is_empty() {
+                            self.traces.remove(&0);
+                        } else {
+                            requeue_traceless = true;
+                        }
+                    }
+                }
                 Some(id) if id == keep => spare = Some(id),
                 Some(id) => {
                     if self.traces.get(&id).is_some_and(|b| !b.pinned) {
@@ -331,6 +352,11 @@ impl TraceInner {
         }
         if let Some(id) = spare {
             self.order.push_front(id);
+        }
+        if requeue_traceless {
+            // Back to the front: traceless spans are the least valuable,
+            // so the next over-budget call trims them first.
+            self.order.push_front(0);
         }
     }
 }
@@ -675,6 +701,35 @@ mod tests {
         assert_eq!(t.spans_recorded(), 10);
         assert!(t.spans_for_request(2).is_empty(), "evicted trace leaves no index entry");
         assert_eq!(t.spans_for_request(8).len(), 1);
+    }
+
+    #[test]
+    fn traceless_bucket_is_ring_bounded() {
+        // Regression: all traceless spans share trace 0, so the "never
+        // evict the trace just written to" protection used to let an
+        // idle daemon recording only heartbeats grow without bound.
+        let t = Tracer::with_capacity(4);
+        for _ in 0..100 {
+            t.point(SpanContext::NONE, "agent", "heartbeat", String::new());
+        }
+        let kept = t.spans();
+        assert_eq!(kept.len(), 4, "traceless bucket trimmed as a ring");
+        assert!(kept.iter().all(|s| s.seq >= 96), "newest spans retained");
+        assert_eq!(t.spans_recorded(), 100);
+    }
+
+    #[test]
+    fn traceless_spans_do_not_starve_real_traces() {
+        let t = Tracer::with_capacity(4);
+        for _ in 0..10 {
+            t.point(SpanContext::NONE, "agent", "heartbeat", String::new());
+        }
+        t.point(ctx(7, 7), "client", "attempt", String::new());
+        for _ in 0..10 {
+            t.point(SpanContext::NONE, "agent", "heartbeat", String::new());
+        }
+        assert_eq!(t.spans_for_request(7).len(), 1, "real trace survives heartbeat flood");
+        assert!(t.spans().len() <= 4, "budget holds across both buckets");
     }
 
     #[test]
