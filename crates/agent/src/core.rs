@@ -15,11 +15,11 @@ use netsolve_core::ids::{HostId, ServerId};
 use netsolve_core::problem::RequestShape;
 use netsolve_net::NetworkView;
 use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
-use netsolve_proto::{Candidate, Message, QueryShape};
+use netsolve_proto::{Candidate, GossipEntry, Message, QueryShape};
 
 use crate::balance::{rank, BalancerState, Policy, Ranked, ServerSnapshot};
 use crate::fault::FaultTracker;
-use crate::registry::ServerRegistry;
+use crate::registry::{MergeOutcome, ServerRegistry};
 use crate::workload::WorkloadManager;
 
 /// How long an unconfirmed assignment keeps counting against a server.
@@ -42,6 +42,11 @@ pub struct AgentCore {
     /// between two workload reports, the agent itself is the only one who
     /// knows it just sent a server three jobs.
     pending: HashMap<ServerId, Vec<SimTime>>,
+    /// This agent's own listen address, the identity stamped on gossip
+    /// entries it originates (and used to drop echoes of its own entries
+    /// arriving back through a peer cycle). Set by the daemon once the
+    /// listener is bound; unset in simulator/unit use.
+    self_address: Option<String>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -59,6 +64,7 @@ impl AgentCore {
             network,
             balancer: BalancerState::default(),
             pending: HashMap::new(),
+            self_address: None,
             metrics: Arc::new(MetricsRegistry::new()),
             tracer: Arc::new(Tracer::new()),
         }
@@ -116,11 +122,125 @@ impl AgentCore {
         desc: &netsolve_proto::ServerDescriptor,
         now: SimTime,
     ) -> Result<ServerId> {
-        let id = self.registry.register(desc)?;
+        let id = self.registry.register_at(desc, now)?;
         self.metrics.counter("agent.registrations").inc();
         // A fresh server is assumed idle until its first report.
         self.workloads.record(id, 0.0, now);
         Ok(id)
+    }
+
+    /// Record this agent's own listen address: the origin identity its
+    /// gossip entries carry. The daemon calls this right after binding.
+    pub fn set_self_address(&mut self, address: &str) {
+        self.self_address = Some(address.to_string());
+    }
+
+    /// This agent's listen address, if the daemon registered one.
+    pub fn self_address(&self) -> Option<&str> {
+        self.self_address.as_deref()
+    }
+
+    /// The full registration view this agent pushes to a peer in one
+    /// gossip round: every live server it knows, local ones vouched for
+    /// with age 0 (their liveness is this agent's heartbeat prober's
+    /// responsibility), gossip-learned ones with their accumulated age so
+    /// staleness survives transitive hops. Local servers currently marked
+    /// down are withheld — an agent never vouches for a server it
+    /// believes dead.
+    pub fn gossip_digest(&self, now: SimTime) -> Vec<GossipEntry> {
+        let me = self.self_address.clone().unwrap_or_default();
+        self.registry
+            .all_servers()
+            .into_iter()
+            .filter_map(|s| {
+                let local = s.origin.is_none();
+                if local && self.faults.is_down(s.server_id, now) {
+                    return None;
+                }
+                let mut problems: Vec<String> = s.problems.iter().cloned().collect();
+                problems.sort();
+                // The registry holds parsed specs, not the registration's
+                // original PDL text; re-render the advertised subset so
+                // receivers can validate it exactly like a registration.
+                let pdl_source = problems
+                    .iter()
+                    .filter_map(|p| self.registry.spec(p))
+                    .map(netsolve_pdl::render)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                Some(GossipEntry {
+                    origin_agent: s.origin.clone().unwrap_or_else(|| me.clone()),
+                    host: s.host_name.clone(),
+                    address: s.address.clone(),
+                    mflops: s.mflops,
+                    problems,
+                    pdl_source,
+                    workload: self.workloads.effective(s.server_id, now),
+                    age_secs: if local { 0.0 } else { now.since(s.refreshed).max(0.0) },
+                })
+            })
+            .collect()
+    }
+
+    /// Merge one incoming gossip round. Returns `(merged, refreshed,
+    /// conflicts)` — the numbers the `GossipAck` reply carries back.
+    /// Entries originating from this agent itself (its address echoed
+    /// back through a peer cycle) are dropped, which keeps arbitrary peer
+    /// topologies loop-safe.
+    pub fn merge_gossip(
+        &mut self,
+        entries: &[GossipEntry],
+        now: SimTime,
+    ) -> (u32, u32, u32) {
+        let (mut merged, mut refreshed, mut conflicts) = (0u32, 0u32, 0u32);
+        for entry in entries {
+            if self.self_address.as_deref() == Some(entry.origin_agent.as_str()) {
+                continue;
+            }
+            let fresh_at =
+                SimTime::from_secs((now.as_secs() - entry.age_secs.max(0.0)).max(0.0));
+            match self.registry.merge_remote(entry, fresh_at) {
+                Ok(MergeOutcome::Merged(id)) => {
+                    merged += 1;
+                    self.metrics.counter("agent.gossip_merges").inc();
+                    self.workloads.record(id, entry.workload, fresh_at);
+                }
+                Ok(MergeOutcome::Refreshed(id)) => {
+                    refreshed += 1;
+                    self.workloads.record(id, entry.workload, fresh_at);
+                }
+                Ok(MergeOutcome::Stale) => {}
+                Err(_) => {
+                    conflicts += 1;
+                    self.metrics.counter("agent.gossip_merge_conflicts").inc();
+                }
+            }
+        }
+        (merged, refreshed, conflicts)
+    }
+
+    /// Expire gossip-learned registrations that have not been
+    /// re-confirmed within the configured TTL, dropping their workload,
+    /// fault and pending state with them. Returns how many were dropped.
+    pub fn expire_gossip(&mut self, now: SimTime) -> usize {
+        let expired = self
+            .registry
+            .expire_remote(now, self.config.gossip.entry_ttl_secs);
+        for id in &expired {
+            self.workloads.forget(*id);
+            self.faults.forget(*id);
+            self.pending.remove(id);
+            self.metrics.counter("agent.gossip_expired").inc();
+        }
+        if !expired.is_empty() {
+            self.refresh_pending_gauge();
+        }
+        expired.len()
+    }
+
+    /// The gossip policy in force (the daemon's gossip loop reads it).
+    pub fn gossip_policy(&self) -> netsolve_core::config::GossipPolicy {
+        self.config.gossip
     }
 
     /// Store a workload report.
@@ -412,6 +532,25 @@ impl AgentCore {
                 }
                 Message::Pong
             }
+            Message::GossipSync { from_agent, entries } => {
+                self.metrics.counter("agent.gossip_syncs_received").inc();
+                let sync_timer = self.tracer.start();
+                let (merged, refreshed, conflicts) = self.merge_gossip(entries, now);
+                self.expire_gossip(now);
+                // Traceless: gossip rounds belong to no client request.
+                self.tracer.record(
+                    SpanContext::NONE,
+                    sync_timer,
+                    "agent",
+                    "gossip_merge",
+                    format!(
+                        "from={from_agent} entries={} merged={merged} \
+                         refreshed={refreshed} conflicts={conflicts}",
+                        entries.len()
+                    ),
+                );
+                Message::GossipAck { merged, refreshed, conflicts }
+            }
             Message::Ping => Message::Pong,
             Message::StatsQuery => {
                 // Mirror the process-wide protocol downgrade count into
@@ -699,6 +838,85 @@ mod tests {
         }
         let after = agent.query(&query(200), now).unwrap()[0].predicted_secs;
         assert!((after - before).abs() < before * 0.05, "{before} vs {after}");
+    }
+
+    #[test]
+    fn gossip_digest_vouches_for_live_local_servers_only() {
+        let mut agent = agent_with_servers(&[("a", 100.0), ("b", 200.0)]);
+        agent.set_self_address("agent-1");
+        let now = SimTime::from_secs(10.0);
+        let digest = agent.gossip_digest(now);
+        assert_eq!(digest.len(), 2);
+        for e in &digest {
+            assert_eq!(e.origin_agent, "agent-1");
+            assert_eq!(e.age_secs, 0.0, "local entries are vouched fresh");
+            assert!(e.problems.contains(&"dgesv".to_string()));
+        }
+        // A down-marked server is withheld from the digest.
+        agent.failure_report(ServerId(1), now);
+        agent.failure_report(ServerId(1), now);
+        assert_eq!(agent.gossip_digest(now).len(), 1);
+    }
+
+    #[test]
+    fn merged_gossip_servers_become_rankable_and_expire() {
+        let mut agent = AgentCore::with_defaults();
+        agent.set_self_address("agent-2");
+        let mut donor = agent_with_servers(&[("remoteH", 150.0)]);
+        donor.set_self_address("agent-1");
+        let now = SimTime::from_secs(1.0);
+
+        let digest = donor.gossip_digest(now);
+        let (merged, refreshed, conflicts) = agent.merge_gossip(&digest, now);
+        assert_eq!((merged, refreshed, conflicts), (1, 0, 0));
+
+        // The learned server answers queries like a direct registration.
+        let candidates = agent.query(&query(100), now).unwrap();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].address, "srv0");
+
+        // Re-merging the same round is a no-op (anti-entropy idempotence).
+        assert_eq!(agent.merge_gossip(&digest, now), (0, 0, 0));
+
+        // A later round refreshes; without rounds the entry expires.
+        let later = SimTime::from_secs(5.0);
+        assert_eq!(agent.merge_gossip(&donor.gossip_digest(later), later), (0, 1, 0));
+        let long_after = SimTime::from_secs(5.0 + 61.0);
+        assert_eq!(agent.expire_gossip(long_after), 1);
+        assert!(agent.query(&query(100), long_after).is_err());
+    }
+
+    #[test]
+    fn gossip_echo_of_own_entries_is_dropped() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        agent.set_self_address("agent-1");
+        let now = SimTime::from_secs(1.0);
+        // Simulate our own digest coming back through a peer cycle.
+        let echo = agent.gossip_digest(now);
+        assert_eq!(agent.merge_gossip(&echo, now), (0, 0, 0));
+        assert_eq!(agent.registry().server_count(), 1, "no duplicate minted");
+    }
+
+    #[test]
+    fn gossip_sync_message_round_trips_through_dispatch() {
+        let mut donor = agent_with_servers(&[("remoteH", 150.0)]);
+        donor.set_self_address("agent-1");
+        let now = SimTime::from_secs(2.0);
+        let mut agent = AgentCore::with_defaults();
+        agent.set_self_address("agent-2");
+        let reply = agent.handle_message(
+            &Message::GossipSync {
+                from_agent: "agent-1".into(),
+                entries: donor.gossip_digest(now),
+            },
+            now,
+        );
+        assert_eq!(
+            reply,
+            Message::GossipAck { merged: 1, refreshed: 0, conflicts: 0 }
+        );
+        assert_eq!(agent.metrics().counter("agent.gossip_syncs_received").get(), 1);
+        assert_eq!(agent.metrics().counter("agent.gossip_merges").get(), 1);
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //! each registered server with a `Ping` and feeds the outcome into the
 //! core's fault tracker, so dead servers drop out of rankings even when no
 //! client ever reports them, and recovered servers are re-admitted.
+//!
+//! Federated daemons additionally run a gossip loop: every gossip interval
+//! the agent pushes its full registration view (`GossipSync`) to each
+//! peer, merges nothing itself on the send side (merging happens when
+//! peers' rounds arrive), and treats the round as a peer liveness probe —
+//! a peer that misses enough consecutive rounds is marked down (skipped by
+//! the one-hop query widening path) and re-probed every round until it
+//! answers again.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +38,8 @@ pub struct AgentDaemon {
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     heartbeat_thread: Option<std::thread::JoinHandle<()>>,
+    gossip_thread: Option<std::thread::JoinHandle<()>>,
+    peers: Arc<Mutex<Vec<String>>>,
     transport: Arc<dyn Transport>,
 }
 
@@ -96,15 +106,18 @@ impl AgentDaemon {
     fn start_inner(
         transport: Arc<dyn Transport>,
         hint: &str,
-        core: AgentCore,
+        mut core: AgentCore,
         clock: Arc<dyn Clock>,
         peers: Vec<String>,
         heartbeat: HeartbeatPolicy,
     ) -> Result<AgentDaemon> {
         let listener = transport.listen(hint)?;
         let address = listener.address();
+        core.set_self_address(&address);
         let core = Arc::new(Mutex::new(core));
         let stop = Arc::new(AtomicBool::new(false));
+        let peers = Arc::new(Mutex::new(peers));
+        let peer_down: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
 
         let heartbeat_thread = {
             let core = Arc::clone(&core);
@@ -117,10 +130,29 @@ impl AgentDaemon {
                 .expect("spawn agent heartbeat thread")
         };
 
+        // The gossip loop runs even when the peer list starts empty:
+        // peers can arrive later via `set_peers` (live demos bind
+        // ephemeral ports first, then wire the mesh).
+        let gossip_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let transport = Arc::clone(&transport);
+            let clock = Arc::clone(&clock);
+            let peers = Arc::clone(&peers);
+            let peer_down = Arc::clone(&peer_down);
+            let self_address = address.clone();
+            std::thread::Builder::new()
+                .name("agent-gossip".into())
+                .spawn(move || {
+                    run_gossip(transport, core, clock, stop, self_address, peers, peer_down)
+                })
+                .expect("spawn agent gossip thread")
+        };
+
         let accept_core = Arc::clone(&core);
         let accept_stop = Arc::clone(&stop);
         let accept_transport = Arc::clone(&transport);
-        let peers = Arc::new(peers);
+        let accept_peers = Arc::clone(&peers);
         let accept_thread = std::thread::Builder::new()
             .name("agent-accept".into())
             .spawn(move || {
@@ -133,11 +165,15 @@ impl AgentDaemon {
                             let core = Arc::clone(&accept_core);
                             let clock = Arc::clone(&clock);
                             let transport = Arc::clone(&accept_transport);
-                            let peers = Arc::clone(&peers);
+                            let peers = Arc::clone(&accept_peers);
+                            let peer_down = Arc::clone(&peer_down);
+                            let stop = Arc::clone(&accept_stop);
                             std::thread::Builder::new()
                                 .name("agent-conn".into())
                                 .spawn(move || {
-                                    serve_connection(conn, core, clock, transport, peers)
+                                    serve_connection(
+                                        conn, core, clock, transport, peers, peer_down, stop,
+                                    )
                                 })
                                 .expect("spawn agent connection thread");
                         }
@@ -158,6 +194,8 @@ impl AgentDaemon {
             stop,
             accept_thread: Some(accept_thread),
             heartbeat_thread: Some(heartbeat_thread),
+            gossip_thread: Some(gossip_thread),
+            peers,
             transport,
         })
     }
@@ -172,8 +210,19 @@ impl AgentDaemon {
         Arc::clone(&self.core)
     }
 
+    /// Replace the peer agent list. Live TCP deployments bind ephemeral
+    /// ports first and only then know each other's addresses; the gossip
+    /// loop and the query-widening path both read the list per use, so
+    /// the new mesh takes effect on the next round/request.
+    pub fn set_peers(&self, peers: Vec<String>) {
+        *self.peers.lock() = peers;
+    }
+
     /// Stop accepting connections and join the accept thread. Existing
-    /// per-connection threads finish when their peers hang up.
+    /// per-connection threads drop their connection at the next request
+    /// boundary without replying — a stopped agent goes silent the way a
+    /// crashed one does, so pinned clients fail over instead of talking
+    /// to a zombie.
     pub fn stop(&mut self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
@@ -183,6 +232,9 @@ impl AgentDaemon {
             let _ = t.join();
         }
         if let Some(t) = self.heartbeat_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.gossip_thread.take() {
             let _ = t.join();
         }
     }
@@ -275,13 +327,21 @@ fn serve_connection(
     core: Arc<Mutex<AgentCore>>,
     clock: Arc<dyn Clock>,
     transport: Arc<dyn Transport>,
-    peers: Arc<Vec<String>>,
+    peers: Arc<Mutex<Vec<String>>>,
+    peer_down: Arc<Mutex<HashSet<String>>>,
+    stop: Arc<AtomicBool>,
 ) {
     loop {
         let msg = match conn.recv() {
             Ok(m) => m,
             Err(_) => return, // peer hung up or stream corrupted
         };
+        // A stopped daemon answers nothing: dropping the connection
+        // without a reply is what a crashed agent looks like on the
+        // wire, and it is what pushes a pinned client into failover.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
         let mut reply = {
             let mut core = core.lock();
             let now = clock.now();
@@ -290,16 +350,27 @@ fn serve_connection(
         // Federation: client requests that found nothing locally are
         // widened to the peer agents (outside the core lock — peers may be
         // slow). Forwarded variants are answered locally only, so
-        // federation is one hop deep and loop-free.
-        if !peers.is_empty() && matches!(reply, netsolve_proto::Message::Error { .. }) {
+        // federation is one hop deep and loop-free. Peers the gossip loop
+        // has marked down are skipped; the widening path must not pay
+        // connect timeouts to a known-dead agent on the client's clock.
+        let live_peers: Vec<String> = {
+            let peers = peers.lock();
+            if peers.is_empty() {
+                Vec::new()
+            } else {
+                let down = peer_down.lock();
+                peers.iter().filter(|p| !down.contains(*p)).cloned().collect()
+            }
+        };
+        if !live_peers.is_empty() && matches!(reply, netsolve_proto::Message::Error { .. }) {
             match &msg {
                 netsolve_proto::Message::ServerQuery(q) => {
-                    if let Some(candidates) = query_peers(&transport, &peers, q) {
+                    if let Some(candidates) = query_peers(&transport, &live_peers, q) {
                         reply = netsolve_proto::Message::ServerList { candidates };
                     }
                 }
                 netsolve_proto::Message::DescribeProblem { problem } => {
-                    if let Some(pdl) = describe_via_peers(&transport, &peers, problem) {
+                    if let Some(pdl) = describe_via_peers(&transport, &live_peers, problem) {
                         reply = netsolve_proto::Message::ProblemDescription { pdl };
                     }
                 }
@@ -309,6 +380,149 @@ fn serve_connection(
         if conn.send(&reply).is_err() {
             return;
         }
+    }
+}
+
+/// Outcome of one gossip push to one peer.
+enum GossipOutcome {
+    /// Peer merged the digest (it is alive and speaks v4).
+    Acked { merged: u32, refreshed: u32, conflicts: u32 },
+    /// Peer answered but does not know `GossipSync` (a v3 agent replied
+    /// with its generic `Error`). It is alive; it just cannot gossip.
+    Unsupported,
+    /// Dial or round-trip failed: the peer looks dead.
+    Unreachable,
+}
+
+/// Gossip loop: every gossip interval, push the full local registration
+/// view to each peer and treat the answer as a liveness signal. Expiry of
+/// stale gossip-learned entries also runs here, so a dead peer's servers
+/// age out even when no further gossip arrives to trigger merge-side
+/// expiry.
+fn run_gossip(
+    transport: Arc<dyn Transport>,
+    core: Arc<Mutex<AgentCore>>,
+    clock: Arc<dyn Clock>,
+    stop: Arc<AtomicBool>,
+    self_address: String,
+    peers: Arc<Mutex<Vec<String>>>,
+    peer_down: Arc<Mutex<HashSet<String>>>,
+) {
+    let (metrics, tracer, policy) = {
+        let core = core.lock();
+        (core.metrics(), core.tracer(), core.gossip_policy())
+    };
+    let interval = Duration::from_secs_f64(policy.interval_secs.max(0.001));
+    let round_timeout = Duration::from_secs_f64(policy.round_timeout_secs.max(0.001));
+    // Sleep in short ticks so stop() never waits long for this thread.
+    let tick = (interval / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let mut misses: HashMap<String, u32> = HashMap::new();
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let step = tick.min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        let round_peers: Vec<String> = peers.lock().clone();
+        if round_peers.is_empty() {
+            continue;
+        }
+        metrics.counter("agent.gossip_rounds").inc();
+        let now = clock.now();
+        let digest = {
+            let mut core = core.lock();
+            core.expire_gossip(now);
+            core.gossip_digest(now)
+        };
+        let sync = netsolve_proto::Message::GossipSync {
+            from_agent: self_address.clone(),
+            entries: digest,
+        };
+        for peer in &round_peers {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            // Push outside the core lock — a black-holed peer may cost the
+            // full round timeout. Gossip is traceless (no request context).
+            let push_timer = tracer.start();
+            let outcome = gossip_once(&transport, peer, &sync, round_timeout);
+            let alive = match outcome {
+                GossipOutcome::Acked { merged, refreshed, conflicts } => {
+                    metrics.counter("agent.gossip_sends").inc();
+                    tracer.record(
+                        netsolve_obs::SpanContext::NONE,
+                        push_timer,
+                        "agent",
+                        "gossip_push",
+                        format!("peer={peer} merged={merged} refreshed={refreshed} conflicts={conflicts}"),
+                    );
+                    true
+                }
+                GossipOutcome::Unsupported => {
+                    metrics.counter("agent.gossip_peer_unsupported").inc();
+                    tracer.record(
+                        netsolve_obs::SpanContext::NONE,
+                        push_timer,
+                        "agent",
+                        "gossip_push",
+                        format!("peer={peer} unsupported"),
+                    );
+                    true
+                }
+                GossipOutcome::Unreachable => {
+                    metrics.counter("agent.gossip_send_failures").inc();
+                    tracer.record(
+                        netsolve_obs::SpanContext::NONE,
+                        push_timer,
+                        "agent",
+                        "gossip_push",
+                        format!("peer={peer} unreachable"),
+                    );
+                    false
+                }
+            };
+            if alive {
+                misses.remove(peer);
+                if peer_down.lock().remove(peer) {
+                    metrics.counter("agent.peer_recoveries").inc();
+                }
+            } else {
+                let count = misses.entry(peer.clone()).or_insert(0);
+                *count = count.saturating_add(1);
+                if *count >= policy.peer_miss_threshold
+                    && peer_down.lock().insert(peer.clone())
+                {
+                    metrics.counter("agent.peer_down_marks").inc();
+                }
+            }
+        }
+        let down_now = peer_down.lock().len();
+        metrics
+            .gauge("agent.peers_up")
+            .set(round_peers.len().saturating_sub(down_now) as i64);
+    }
+}
+
+/// One gossip push: dial, send the digest, classify the reply.
+fn gossip_once(
+    transport: &Arc<dyn Transport>,
+    peer: &str,
+    sync: &netsolve_proto::Message,
+    timeout: Duration,
+) -> GossipOutcome {
+    let Ok(mut conn) = transport.connect(peer) else {
+        return GossipOutcome::Unreachable;
+    };
+    match netsolve_net::call(conn.as_mut(), sync, timeout) {
+        Ok(netsolve_proto::Message::GossipAck { merged, refreshed, conflicts }) => {
+            GossipOutcome::Acked { merged, refreshed, conflicts }
+        }
+        Ok(netsolve_proto::Message::Error { .. }) => GossipOutcome::Unsupported,
+        _ => GossipOutcome::Unreachable,
     }
 }
 
@@ -653,6 +867,223 @@ mod tests {
         assert!(!core_handle.lock().is_down(sid, clock.now()));
 
         daemon.stop();
+    }
+
+    /// An AgentConfig with gossip fast enough for tests: rounds every
+    /// 30 ms, entries expire after `ttl` seconds, one missed round marks
+    /// a peer down.
+    fn fast_gossip_config(ttl: f64) -> netsolve_core::config::AgentConfig {
+        netsolve_core::config::AgentConfig {
+            gossip: netsolve_core::config::GossipPolicy {
+                interval_secs: 0.03,
+                entry_ttl_secs: ttl,
+                peer_miss_threshold: 1,
+                round_timeout_secs: 0.5,
+            },
+            ..netsolve_core::config::AgentConfig::default()
+        }
+    }
+
+    fn fast_gossip_core(ttl: f64) -> AgentCore {
+        use crate::balance::Policy;
+        use netsolve_net::NetworkView;
+        AgentCore::new(fast_gossip_config(ttl), Policy::MinimumCompletionTime, NetworkView::lan_defaults())
+    }
+
+    fn wait_for(what: &str, cond: &dyn Fn() -> bool) {
+        use std::time::Instant;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn query_dgesv(net: &ChannelNetwork, agent: &str) -> Message {
+        let mut conn = net.connect(agent).unwrap();
+        call(
+            conn.as_mut(),
+            &Message::ServerQuery(QueryShape {
+                client_host: 0,
+                problem: "dgesv".into(),
+                n: 50,
+                bytes_in: 20_400,
+                bytes_out: 408,
+                trace_id: 0,
+                parent_span: 0,
+            }),
+            timeout(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gossip_replicates_registrations_to_peers() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        // B gossips to A; the server registers with B only. A must be able
+        // to answer the query from its *own* registry (no widening: A has
+        // no peers configured, so the answer can only come from gossip).
+        let mut agent_a = AgentDaemon::start(
+            Arc::clone(&transport),
+            "agent-a",
+            fast_gossip_core(60.0),
+        )
+        .unwrap();
+        let mut agent_b = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-b",
+            fast_gossip_core(60.0),
+            vec!["agent-a".into()],
+        )
+        .unwrap();
+
+        let mut conn = net.connect("agent-b").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("hb", "srvb", 150.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+
+        wait_for("gossip to replicate srvb to agent-a", &|| {
+            matches!(query_dgesv(&net, "agent-a"), Message::ServerList { .. })
+        });
+        match query_dgesv(&net, "agent-a") {
+            Message::ServerList { candidates } => {
+                assert_eq!(candidates[0].address, "srvb");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The replica is marked with its origin, not adopted as local.
+        let core = agent_a.core();
+        let core = core.lock();
+        let servers = core.registry().all_servers();
+        assert_eq!(servers.len(), 1);
+        assert_eq!(servers[0].origin.as_deref(), Some("agent-b"));
+        drop(core);
+
+        agent_a.stop();
+        agent_b.stop();
+    }
+
+    #[test]
+    fn dead_peer_is_down_marked_and_its_entries_expire() {
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        // Mutual federation; B owns the only server. Short TTL so B's
+        // entries age out of A quickly once B stops vouching for them.
+        let mut agent_a = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-a",
+            fast_gossip_core(0.3),
+            vec!["agent-b".into()],
+        )
+        .unwrap();
+        let mut agent_b = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-b",
+            fast_gossip_core(0.3),
+            vec!["agent-a".into()],
+        )
+        .unwrap();
+
+        let mut conn = net.connect("agent-b").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("hb", "srvb", 150.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+        wait_for("replication to agent-a", &|| {
+            !agent_a.core().lock().registry().all_servers().is_empty()
+        });
+
+        // Kill B (a real stop: its listener drops and its gossip loop
+        // dies, so it stops vouching for srvb). A must mark the peer down
+        // and expire B's replica, so a query at A fails *fast* (widening
+        // skips the dead peer) instead of returning a ghost server.
+        agent_b.stop();
+        let a_metrics = agent_a.core().lock().metrics();
+        wait_for("peer down-mark at agent-a", &|| {
+            a_metrics.snapshot("agent").counter("agent.peer_down_marks") >= 1
+        });
+        wait_for("ghost entries to expire at agent-a", &|| {
+            agent_a.core().lock().registry().all_servers().is_empty()
+        });
+        assert!(matches!(query_dgesv(&net, "agent-a"), Message::Error { .. }));
+        assert_eq!(a_metrics.snapshot("agent").gauge("agent.peers_up"), 0);
+
+        // Restart B under the same name (the stop freed the listener) and
+        // re-register the server with it: A re-admits the peer on its
+        // next answered round and the replica comes back.
+        let mut agent_b = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-b",
+            fast_gossip_core(0.3),
+            vec!["agent-a".into()],
+        )
+        .unwrap();
+        let mut conn = net.connect("agent-b").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(standard_descriptor("hb", "srvb", 150.0)),
+            timeout(),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+        wait_for("peer recovery at agent-a", &|| {
+            a_metrics.snapshot("agent").counter("agent.peer_recoveries") >= 1
+        });
+        wait_for("re-replication after recovery", &|| {
+            matches!(query_dgesv(&net, "agent-a"), Message::ServerList { .. })
+        });
+        assert_eq!(a_metrics.snapshot("agent").gauge("agent.peers_up"), 1);
+
+        agent_a.stop();
+        agent_b.stop();
+    }
+
+    #[test]
+    fn gossip_tolerates_a_pre_gossip_peer() {
+        // A "v3 agent" stand-in: answers every message with the generic
+        // Error reply, like a peer that predates GossipSync. The gossiping
+        // agent must count it unsupported and keep treating it as alive.
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let listener = net.listen("agent-old").unwrap();
+        std::thread::spawn(move || {
+            while let Ok(mut conn) = listener.accept() {
+                std::thread::spawn(move || {
+                    while conn.recv().is_ok() {
+                        let reply = Message::Error {
+                            code: 1,
+                            detail: "unknown message".into(),
+                        };
+                        if conn.send(&reply).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut agent = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-new",
+            fast_gossip_core(60.0),
+            vec!["agent-old".into()],
+        )
+        .unwrap();
+        let metrics = agent.core().lock().metrics();
+        wait_for("unsupported-peer tally", &|| {
+            metrics.snapshot("agent").counter("agent.gossip_peer_unsupported") >= 2
+        });
+        let snap = metrics.snapshot("agent");
+        assert_eq!(snap.counter("agent.peer_down_marks"), 0, "old peer is alive, not down");
+        agent.stop();
     }
 
     #[test]

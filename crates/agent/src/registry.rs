@@ -9,11 +9,12 @@
 
 use std::collections::{HashMap, HashSet};
 
+use netsolve_core::clock::SimTime;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::ids::{HostId, ServerId};
 use netsolve_core::problem::ProblemSpec;
 use netsolve_pdl::parse;
-use netsolve_proto::ServerDescriptor;
+use netsolve_proto::{GossipEntry, ServerDescriptor};
 
 /// One registered server as the agent sees it.
 #[derive(Debug, Clone)]
@@ -30,6 +31,28 @@ pub struct RegisteredServer {
     pub mflops: f64,
     /// Problems this server advertises.
     pub problems: HashSet<String>,
+    /// Where this entry came from: `None` means the server registered with
+    /// this agent directly (authoritative — gossip can never override it);
+    /// `Some(agent_address)` means it was learned through federation
+    /// gossip and ages out unless peers keep re-confirming it.
+    pub origin: Option<String>,
+    /// Last time this entry was confirmed fresh. Direct registrations
+    /// carry their registration time (their liveness is the heartbeat
+    /// prober's job, not this field's); gossip entries carry the origin
+    /// agent's last-heard time, reconstructed from the entry's wire age.
+    pub refreshed: SimTime,
+}
+
+/// What merging one gossip entry did to the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// A new remote registration was created.
+    Merged(ServerId),
+    /// An existing remote entry was re-confirmed with a fresher timestamp.
+    Refreshed(ServerId),
+    /// Nothing changed: we already hold a fresher view of this server, or
+    /// it is registered here directly and the local view is authoritative.
+    Stale,
 }
 
 /// The domain's server and problem index.
@@ -55,6 +78,12 @@ impl ServerRegistry {
     ///
     /// Returns the assigned [`ServerId`].
     pub fn register(&mut self, desc: &ServerDescriptor) -> Result<ServerId> {
+        self.register_at(desc, SimTime::ZERO)
+    }
+
+    /// [`ServerRegistry::register`] with an explicit registration time,
+    /// recorded as the entry's initial freshness.
+    pub fn register_at(&mut self, desc: &ServerDescriptor, now: SimTime) -> Result<ServerId> {
         // NaN falls to the is_finite arm.
         if desc.mflops <= 0.0 || !desc.mflops.is_finite() {
             return Err(NetSolveError::Registration(format!(
@@ -104,9 +133,81 @@ impl ServerRegistry {
                 address: desc.address.clone(),
                 mflops: desc.mflops,
                 problems: desc.problems.iter().cloned().collect(),
+                origin: None,
+                refreshed: now,
             },
         );
         Ok(server_id)
+    }
+
+    /// Merge one gossip-learned registration. The entry is keyed by its
+    /// connect address — the only identity that survives crossing agents
+    /// (each agent mints its own `ServerId`s). Rules, in order:
+    ///
+    /// * a direct (local) registration at that address is authoritative
+    ///   and never overridden by gossip;
+    /// * a known remote entry adopts the incoming view only if
+    ///   `refreshed` is strictly fresher than what we hold (anti-entropy:
+    ///   rounds can arrive through any peer path, in any order);
+    /// * an unknown address is validated exactly like a direct
+    ///   registration (PDL parse, catalogue-conflict check) and inserted
+    ///   with the gossip origin recorded.
+    ///
+    /// Catalogue conflicts surface as `Err` so the caller can count them.
+    pub fn merge_remote(
+        &mut self,
+        entry: &GossipEntry,
+        refreshed: SimTime,
+    ) -> Result<MergeOutcome> {
+        let existing_id = self
+            .servers
+            .values()
+            .find(|s| s.address == entry.address)
+            .map(|s| s.server_id);
+        if let Some(id) = existing_id {
+            let existing = self.servers.get_mut(&id).expect("id just found");
+            if existing.origin.is_none() {
+                return Ok(MergeOutcome::Stale);
+            }
+            if refreshed.as_secs() <= existing.refreshed.as_secs() {
+                return Ok(MergeOutcome::Stale);
+            }
+            existing.refreshed = refreshed;
+            existing.origin = Some(entry.origin_agent.clone());
+            existing.mflops = entry.mflops;
+            return Ok(MergeOutcome::Refreshed(id));
+        }
+        let desc = ServerDescriptor {
+            server_id: 0,
+            host: entry.host.clone(),
+            address: entry.address.clone(),
+            mflops: entry.mflops,
+            problems: entry.problems.clone(),
+            pdl_source: entry.pdl_source.clone(),
+        };
+        let id = self.register_at(&desc, refreshed)?;
+        self.servers.get_mut(&id).expect("just registered").origin =
+            Some(entry.origin_agent.clone());
+        Ok(MergeOutcome::Merged(id))
+    }
+
+    /// Drop every gossip-learned entry whose freshness is older than
+    /// `ttl_secs` — the mechanism by which a dead peer's servers age out
+    /// of surviving agents instead of lingering as ghosts. Direct
+    /// registrations are never expired here (the heartbeat prober owns
+    /// their liveness). Returns the removed ids so the caller can clean
+    /// up per-server state (workloads, faults, pending assignments).
+    pub fn expire_remote(&mut self, now: SimTime, ttl_secs: f64) -> Vec<ServerId> {
+        let expired: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| s.origin.is_some() && now.since(s.refreshed) > ttl_secs)
+            .map(|s| s.server_id)
+            .collect();
+        for id in &expired {
+            self.servers.remove(id);
+        }
+        expired
     }
 
     /// Remove a server. Its problems stay in the domain index (other
@@ -266,6 +367,86 @@ mod tests {
         reg.register(&standard_descriptor("h1", "a:1", 10.0)).unwrap();
         reg.register(&standard_descriptor("h2", "a:2", 20.0)).unwrap();
         assert_eq!(reg.server_count(), 2);
+    }
+
+    fn gossip_entry(origin: &str, host: &str, address: &str, mflops: f64) -> GossipEntry {
+        let desc = standard_descriptor(host, address, mflops);
+        GossipEntry {
+            origin_agent: origin.into(),
+            host: desc.host,
+            address: desc.address,
+            mflops: desc.mflops,
+            problems: desc.problems,
+            pdl_source: desc.pdl_source,
+            workload: 0.0,
+            age_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn merge_creates_refreshes_and_expires_remote_entries() {
+        let mut reg = ServerRegistry::new();
+        let e = gossip_entry("peer-a", "remoteH", "r:1", 80.0);
+        let id = match reg.merge_remote(&e, SimTime::from_secs(1.0)).unwrap() {
+            MergeOutcome::Merged(id) => id,
+            other => panic!("expected merge, got {other:?}"),
+        };
+        assert_eq!(reg.get(id).unwrap().origin.as_deref(), Some("peer-a"));
+
+        // Stale re-announcement (same or older freshness) changes nothing.
+        assert_eq!(
+            reg.merge_remote(&e, SimTime::from_secs(1.0)).unwrap(),
+            MergeOutcome::Stale
+        );
+        assert_eq!(
+            reg.merge_remote(&e, SimTime::from_secs(0.5)).unwrap(),
+            MergeOutcome::Stale
+        );
+
+        // A fresher view (possibly via a different peer path) refreshes.
+        let mut via_b = e.clone();
+        via_b.origin_agent = "peer-b".into();
+        assert_eq!(
+            reg.merge_remote(&via_b, SimTime::from_secs(5.0)).unwrap(),
+            MergeOutcome::Refreshed(id)
+        );
+        assert_eq!(reg.get(id).unwrap().origin.as_deref(), Some("peer-b"));
+
+        // Unrefreshed remote entries expire after the TTL; fresh ones stay.
+        assert!(reg.expire_remote(SimTime::from_secs(30.0), 60.0).is_empty());
+        assert_eq!(reg.expire_remote(SimTime::from_secs(66.0), 60.0), vec![id]);
+        assert_eq!(reg.server_count(), 0);
+    }
+
+    #[test]
+    fn local_registration_is_authoritative_over_gossip() {
+        let mut reg = ServerRegistry::new();
+        let id = reg.register(&standard_descriptor("h", "srv:1", 100.0)).unwrap();
+        let e = gossip_entry("peer-a", "h", "srv:1", 999.0);
+        assert_eq!(
+            reg.merge_remote(&e, SimTime::from_secs(50.0)).unwrap(),
+            MergeOutcome::Stale
+        );
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.mflops, 100.0, "gossip must not override local facts");
+        assert!(s.origin.is_none());
+        // Direct registrations never expire via the gossip TTL.
+        assert!(reg.expire_remote(SimTime::from_secs(1e6), 60.0).is_empty());
+        assert_eq!(reg.server_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_gossip_catalogue_rejected() {
+        let mut reg = ServerRegistry::new();
+        reg.register(&standard_descriptor("h1", "a:1", 10.0)).unwrap();
+        let mut evil = gossip_entry("peer-x", "h2", "a:2", 10.0);
+        evil.problems = vec!["dgesv".into()];
+        evil.pdl_source = "\
+@PROBLEM dgesv\n@DESCRIPTION \"fake\"\n@INPUT a : matrix\n@INPUT b : vector\n\
+@OUTPUT x : vector\n@COMPLEXITY 99 1\n@END\n"
+            .into();
+        assert!(reg.merge_remote(&evil, SimTime::from_secs(1.0)).is_err());
+        assert_eq!(reg.server_count(), 1, "conflicting entry must not commit");
     }
 
     #[test]

@@ -89,6 +89,7 @@ fn main() {
     );
 
     backoff_sweep_live();
+    agent_failure_live();
 }
 
 /// R5b: the same fault-tolerance story on the live RPC stack. A real
@@ -211,5 +212,169 @@ fn backoff_sweep_live() {
     println!(
         "\nshape check R5b: failover keeps success near 100% under live chaos for every\n\
          backoff policy; backoff mainly shapes the retry pacing, not the success rate."
+    );
+}
+
+/// R5c: the fault mix now includes the *agent itself*. A three-agent
+/// federation (gossip replication on) serves four servers; the agent the
+/// client is pinned to is killed a third of the way through the run. A
+/// client that only knows the dead agent loses every remaining request;
+/// a client holding the full agent list pays one failover hop and keeps
+/// a 100% success rate — and zero extra *server* attempts, because the
+/// crash is absorbed inside the agent RPC layer.
+fn agent_failure_live() {
+    use netsolve_core::config::GossipPolicy;
+
+    const REQUESTS: usize = 120;
+    const KILL_AT: usize = 40;
+    const CHAOS_SEED: u64 = 77;
+    const AGENTS: [&str; 3] = ["agent-1", "agent-2", "agent-3"];
+
+    let mut table = Table::new(
+        "R5c: agent failure in the fault mix (pinned agent killed at request 40 of 120)",
+        &[
+            "client agent list",
+            "success rate",
+            "attempts/call",
+            "agent failovers",
+            "failed solves",
+        ],
+    );
+
+    for (label, all_agents) in [("one agent (the victim)", false), ("all three agents", true)] {
+        let agent_config = AgentConfig {
+            fault: FaultPolicy { failures_to_mark_down: 3, down_cooldown_secs: 0.5 },
+            gossip: GossipPolicy { interval_secs: 0.05, ..GossipPolicy::default() },
+            ..AgentConfig::default()
+        };
+        let net = ChannelNetwork::new();
+        let clean: Arc<dyn Transport> = Arc::new(net.clone());
+        let mut agents: Vec<AgentDaemon> = AGENTS
+            .iter()
+            .map(|name| {
+                let peers = AGENTS
+                    .iter()
+                    .filter(|a| *a != name)
+                    .map(|a| a.to_string())
+                    .collect();
+                let core = AgentCore::new(
+                    agent_config.clone(),
+                    Policy::MinimumCompletionTime,
+                    NetworkView::lan_defaults(),
+                );
+                AgentDaemon::start_federated(Arc::clone(&clean), name, core, peers)
+                    .expect("agent starts")
+            })
+            .collect();
+        let mut servers: Vec<ServerDaemon> = (0..4)
+            .map(|i| {
+                ServerDaemon::start(
+                    Arc::clone(&clean),
+                    AGENTS[i % AGENTS.len()],
+                    ServerCore::with_standard_catalogue(),
+                    ServerConfig::quick(
+                        &format!("host{i}"),
+                        &format!("srv{i}"),
+                        100.0 + 50.0 * i as f64,
+                    ),
+                )
+                .expect("server starts")
+            })
+            .collect();
+        // Gossip convergence: every agent must know all four servers
+        // before the clock starts, or the sweep measures replication lag.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let done = agents
+                .iter()
+                .all(|a| a.core().lock().registry().all_servers().len() == servers.len());
+            if done {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "gossip never converged");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let chaos = Arc::new(
+            ChaosTransport::new(Arc::clone(&clean), ChaosPolicy::calm(), CHAOS_SEED)
+                .with_metrics(&metrics),
+        );
+        // Both rows must kill the agent the client actually uses, so the
+        // single-agent row pins first and then adopts that agent alone.
+        let mut client = NetSolveClient::new_multi(
+            Arc::clone(&chaos) as Arc<dyn Transport>,
+            &AGENTS.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+        )
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            attempt_timeout_secs: 5.0,
+            backoff: Backoff::ExponentialJitter { base_secs: 0.002, cap_secs: 0.02 },
+            deadline_secs: 0.0,
+            report_failures: true,
+        })
+        .with_jitter_seed(CHAOS_SEED)
+        .with_observability(Arc::clone(&metrics), Arc::new(Tracer::new()));
+
+        let mut failed = 0usize;
+        let mut victim = String::new();
+        for i in 0..REQUESTS {
+            if i == 1 && !all_agents {
+                // Re-home the single-agent client onto its pinned agent
+                // only: same transport and instruments, shorter roster.
+                let pinned = client.current_agent();
+                client = NetSolveClient::new_multi(
+                    Arc::clone(&chaos) as Arc<dyn Transport>,
+                    &[pinned],
+                )
+                .with_retry(RetryPolicy {
+                    max_attempts: 4,
+                    attempt_timeout_secs: 0.2,
+                    backoff: Backoff::ExponentialJitter { base_secs: 0.002, cap_secs: 0.02 },
+                    deadline_secs: 0.0,
+                    report_failures: true,
+                })
+                .with_jitter_seed(CHAOS_SEED)
+                .with_observability(Arc::clone(&metrics), Arc::new(Tracer::new()));
+            }
+            if i == KILL_AT {
+                victim = client.current_agent();
+                chaos.kill(&victim);
+                if let Some(pos) = AGENTS.iter().position(|a| *a == victim) {
+                    agents[pos].stop();
+                }
+            }
+            let x: Vec<f64> = (0..32).map(|k| ((i * 7 + k) % 13) as f64).collect();
+            let y: Vec<f64> = (0..32).map(|k| ((i * 3 + k) % 5) as f64).collect();
+            if client.netsl("ddot", &[x.into(), y.into()]).is_err() {
+                failed += 1;
+            }
+        }
+
+        let m = metrics.snapshot("r5c");
+        let ok = m.counter("client.calls_ok");
+        let calls = m.counter("client.calls").max(1);
+        table.row(vec![
+            label.to_string(),
+            pct(ok as f64 / REQUESTS as f64),
+            format!("{:.2}", m.counter("client.attempts") as f64 / calls as f64),
+            format!("{}", m.counter("client.agent_failovers")),
+            format!("{failed}"),
+        ]);
+
+        for s in &mut servers {
+            s.stop();
+        }
+        for (i, a) in agents.iter_mut().enumerate() {
+            if AGENTS[i] != victim {
+                a.stop();
+            }
+        }
+    }
+    table.print();
+
+    println!(
+        "\nshape check R5c: with the full agent list the crash costs one failover hop and no\n\
+         failed solves; a client that only knows the dead agent loses every request after it."
     );
 }

@@ -41,10 +41,18 @@ pub struct CallReport {
     pub attempts: u32,
 }
 
-/// A NetSolve client bound to one agent.
+/// A NetSolve client bound to one or more agents.
+///
+/// With several agents configured the client ranks them once (by `Ping`
+/// round-trip, unreachable last) and sticks to the best one; any agent
+/// request that fails at the transport level (refused, timeout, reset)
+/// retries once against the same agent and then fails over to the next,
+/// under the same backoff schedule used for server failover. The agent
+/// that answers becomes the preferred one for subsequent requests, so a
+/// mid-session agent crash costs at most one retried request.
 pub struct NetSolveClient {
     transport: Arc<dyn Transport>,
-    agent_address: String,
+    agents: Mutex<AgentRoster>,
     client_host: u64,
     retry: RetryPolicy,
     agent_conn: Mutex<Option<Box<dyn Connection>>>,
@@ -53,6 +61,14 @@ pub struct NetSolveClient {
     jitter: Mutex<Rng64>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+}
+
+/// The client's view of its agents: the address list in preference order
+/// (after the lazy rank pass) and which entry is currently preferred.
+struct AgentRoster {
+    addresses: Vec<String>,
+    ranked: bool,
+    current: usize,
 }
 
 /// Seed for a client's request-id counter: a unique 32-bit lane in the
@@ -88,9 +104,21 @@ fn splitmix64(x: u64) -> u64 {
 impl NetSolveClient {
     /// Connect a client to the agent at `agent_address`.
     pub fn new(transport: Arc<dyn Transport>, agent_address: &str) -> Self {
+        Self::new_multi(transport, &[agent_address.to_string()])
+    }
+
+    /// Connect a client to a federated domain: any of the `agents` can
+    /// answer queries, and the client fails over between them. Panics on
+    /// an empty list — a client needs at least one agent.
+    pub fn new_multi(transport: Arc<dyn Transport>, agents: &[String]) -> Self {
+        assert!(!agents.is_empty(), "a client needs at least one agent address");
         NetSolveClient {
             transport,
-            agent_address: agent_address.to_string(),
+            agents: Mutex::new(AgentRoster {
+                addresses: agents.to_vec(),
+                ranked: false,
+                current: 0,
+            }),
             client_host: 0,
             retry: RetryPolicy::default(),
             agent_conn: Mutex::new(None),
@@ -144,26 +172,126 @@ impl NetSolveClient {
         Duration::from_secs_f64(self.retry.attempt_timeout_secs)
     }
 
-    /// Send a message to the agent and await the reply, transparently
-    /// reconnecting once if the cached connection died.
+    /// The agent currently preferred by this client (the last one that
+    /// answered; the rank winner before any request has gone out).
+    pub fn current_agent(&self) -> String {
+        let roster = self.agents.lock();
+        roster.addresses[roster.current].clone()
+    }
+
+    /// Rank the agent list once, by `Ping` round-trip time with
+    /// unreachable agents last, so the first request already prefers the
+    /// closest live agent. Single-agent rosters skip the probe.
+    fn ensure_ranked(&self, roster: &mut AgentRoster) {
+        if roster.ranked {
+            return;
+        }
+        roster.ranked = true;
+        if roster.addresses.len() <= 1 {
+            return;
+        }
+        let probe_timeout = self.agent_timeout().min(Duration::from_secs(2));
+        let mut scored: Vec<(f64, String)> = roster
+            .addresses
+            .iter()
+            .map(|address| {
+                let start = Instant::now();
+                let rtt = match self.transport.connect(address) {
+                    Ok(mut conn) => {
+                        match call(conn.as_mut(), &Message::Ping, probe_timeout) {
+                            Ok(Message::Pong) => start.elapsed().as_secs_f64(),
+                            _ => f64::INFINITY,
+                        }
+                    }
+                    Err(_) => f64::INFINITY,
+                };
+                (rtt, address.clone())
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let order: Vec<String> = scored.iter().map(|(_, a)| a.clone()).collect();
+        self.tracer.point(
+            SpanContext::NONE,
+            "client",
+            "agent_rank",
+            format!("order={}", order.join(",")),
+        );
+        roster.addresses = order;
+        roster.current = 0;
+    }
+
+    /// Send a message to the (preferred) agent and await the reply,
+    /// transparently reconnecting once if the cached connection died.
     fn agent_call(&self, msg: &Message) -> Result<Message> {
+        self.agent_call_ctx(msg, SpanContext::NONE)
+    }
+
+    /// [`NetSolveClient::agent_call`] with a trace context, so agent
+    /// failovers that happen under a live request show up in its stitched
+    /// timeline. After two transport-level failures against one agent the
+    /// call moves to the next agent in ranked order (with the same
+    /// backoff schedule the server-failover path uses) until the roster
+    /// is exhausted; the agent that answers becomes the preferred one.
+    fn agent_call_ctx(&self, msg: &Message, ctx: SpanContext) -> Result<Message> {
         let mut guard = self.agent_conn.lock();
-        for attempt in 0..2 {
-            if guard.is_none() {
-                *guard = Some(self.transport.connect(&self.agent_address)?);
+        let (order, start_idx) = {
+            let mut roster = self.agents.lock();
+            self.ensure_ranked(&mut roster);
+            (roster.addresses.clone(), roster.current)
+        };
+        let mut last_err: Option<NetSolveError> = None;
+        for hop in 0..order.len() {
+            let idx = (start_idx + hop) % order.len();
+            let address = &order[idx];
+            if hop > 0 {
+                // Moving on means abandoning the cached connection; the
+                // hop is counted, traced, and backoff-paced exactly like
+                // a server failover attempt.
+                *guard = None;
+                self.metrics.counter("client.agent_failovers").inc();
+                let err_detail = last_err
+                    .as_ref()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default();
+                self.tracer.point(
+                    ctx,
+                    "client",
+                    "agent_failover",
+                    format!("to={address} after err={err_detail}"),
+                );
+                let jitter = self.jitter.lock().next_f64();
+                let wait = self.retry.backoff.delay_secs(hop as u32 - 1, jitter);
+                if wait > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(wait));
+                }
             }
-            let conn = guard.as_mut().expect("connection present");
-            match call(conn.as_mut(), msg, self.agent_timeout()) {
-                Ok(reply) => return Ok(reply),
-                Err(e) => {
-                    *guard = None;
-                    if attempt == 1 {
-                        return Err(e);
+            for attempt in 0..2 {
+                if guard.is_none() {
+                    match self.transport.connect(address) {
+                        Ok(c) => *guard = Some(c),
+                        Err(e) => {
+                            last_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let conn = guard.as_mut().expect("connection present");
+                match call(conn.as_mut(), msg, self.agent_timeout()) {
+                    Ok(reply) => {
+                        self.agents.lock().current = idx;
+                        return Ok(reply);
+                    }
+                    Err(e) => {
+                        *guard = None;
+                        last_err = Some(e);
+                        if attempt == 1 {
+                            break;
+                        }
                     }
                 }
             }
         }
-        unreachable!("loop returns");
+        Err(last_err.expect("roster is never empty"))
     }
 
     /// Names of every problem the domain offers.
@@ -216,7 +344,7 @@ impl NetSolveClient {
         ctx: SpanContext,
     ) -> Result<Vec<Candidate>> {
         let shape = RequestShape::from_call(spec, inputs);
-        let reply = self.agent_call(&Message::ServerQuery(QueryShape {
+        let reply = self.agent_call_ctx(&Message::ServerQuery(QueryShape {
             client_host: self.client_host,
             problem: shape.problem.clone(),
             n: shape.n,
@@ -224,7 +352,7 @@ impl NetSolveClient {
             bytes_out: shape.bytes_out,
             trace_id: ctx.trace_id,
             parent_span: ctx.parent_span,
-        }))?;
+        }), ctx)?;
         match reply {
             Message::ServerList { candidates } => Ok(candidates),
             Message::Error { code, detail } => Err(NetSolveError::from_code(code, detail)),
@@ -250,17 +378,25 @@ impl NetSolveClient {
         result
     }
 
-    /// Report a failed server back to the agent (best effort).
-    fn report_failure(&self, candidate: &Candidate, problem: &str, err: &NetSolveError) {
+    /// Report a failed server back to the agent (best effort). Carries
+    /// the request's trace context so an agent failover triggered by the
+    /// report RPC itself still stitches into the request's timeline.
+    fn report_failure(
+        &self,
+        candidate: &Candidate,
+        problem: &str,
+        err: &NetSolveError,
+        ctx: SpanContext,
+    ) {
         if !self.retry.report_failures {
             return;
         }
-        let _ = self.agent_call(&Message::FailureReport {
+        let _ = self.agent_call_ctx(&Message::FailureReport {
             server_id: candidate.server_id,
             problem: problem.to_string(),
             code: err.code(),
             detail: err.detail().to_string(),
-        });
+        }, ctx);
     }
 
     /// Blocking call: solve `problem` on the best available server.
@@ -435,14 +571,16 @@ impl NetSolveClient {
                     );
                     // Best-effort completion report: clears the agent's
                     // pending-assignment and fault state for this server.
-                    let _ = self.agent_call(&Message::CompletionReport {
+                    // Carries the trace context so a failover provoked by
+                    // the report leg still lands in this request's trace.
+                    let _ = self.agent_call_ctx(&Message::CompletionReport {
                         server_id: candidate.server_id,
                         client_host: self.client_host,
                         problem: problem.to_string(),
                         total_secs,
                         compute_secs,
                         bytes: shape.total_bytes(),
-                    });
+                    }, ctx);
                     return Ok((
                         outputs,
                         CallReport {
@@ -465,7 +603,7 @@ impl NetSolveClient {
                         "attempt_failed",
                         format!("server={} err={e}", candidate.server_id),
                     );
-                    self.report_failure(candidate, problem, &e);
+                    self.report_failure(candidate, problem, &e, ctx);
                     if matches!(e, NetSolveError::ExecutionFailed(_)) {
                         spent.push(candidate.server_id);
                     }
@@ -778,6 +916,127 @@ mod tests {
             .netsl("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
             .unwrap();
         assert_eq!(outputs[0].as_double().unwrap(), 11.0);
+        domain.shutdown();
+    }
+
+    /// Two federated agents with fast gossip, one server registered with
+    /// the first; returns once both agents can answer dgesv/ddot queries.
+    fn bring_up_federated() -> (ChannelNetwork, AgentDaemon, AgentDaemon, ServerDaemon) {
+        use netsolve_core::config::{AgentConfig, GossipPolicy};
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let config = AgentConfig {
+            gossip: GossipPolicy {
+                interval_secs: 0.03,
+                entry_ttl_secs: 60.0,
+                peer_miss_threshold: 2,
+                round_timeout_secs: 0.5,
+            },
+            ..AgentConfig::default()
+        };
+        let core = |cfg: &AgentConfig| {
+            netsolve_agent::AgentCore::new(
+                cfg.clone(),
+                netsolve_agent::Policy::MinimumCompletionTime,
+                netsolve_net::NetworkView::lan_defaults(),
+            )
+        };
+        let agent1 = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-1",
+            core(&config),
+            vec!["agent-2".into()],
+        )
+        .unwrap();
+        let agent2 = AgentDaemon::start_federated(
+            Arc::clone(&transport),
+            "agent-2",
+            core(&config),
+            vec!["agent-1".into()],
+        )
+        .unwrap();
+        let server = ServerDaemon::start(
+            Arc::clone(&transport),
+            "agent-1",
+            ServerCore::with_standard_catalogue(),
+            ServerConfig::quick("hostA", "srv0", 200.0),
+        )
+        .unwrap();
+        // Wait for gossip to replicate the registration to agent-2.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while agent2.core().lock().registry().all_servers().is_empty() {
+            assert!(Instant::now() < deadline, "gossip never replicated to agent-2");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        (net, agent1, agent2, server)
+    }
+
+    #[test]
+    fn client_fails_over_to_surviving_agent() {
+        let (net, mut agent1, mut agent2, mut server) = bring_up_federated();
+        let client = NetSolveClient::new_multi(
+            Arc::new(net.clone()),
+            &["agent-1".into(), "agent-2".into()],
+        );
+        // Warm call: ranks the agents and pins the winner.
+        let (out, _) = client
+            .netsl_timed("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
+            .unwrap();
+        assert_eq!(out[0].as_double().unwrap(), 11.0);
+        let first = client.current_agent();
+
+        // Kill whichever agent the client is talking to. Both agents know
+        // the server (gossip), so the next call must fail over and solve.
+        net.set_down(&first);
+        let (out, report) = client
+            .netsl_timed("ddot", &[vec![1.0, 1.0].into(), vec![2.0, 2.0].into()])
+            .unwrap();
+        assert_eq!(out[0].as_double().unwrap(), 4.0);
+        let snap = client.metrics().snapshot("client");
+        assert!(
+            snap.counter("client.agent_failovers") >= 1,
+            "no agent failover counted"
+        );
+        assert_ne!(client.current_agent(), first, "client still pinned to dead agent");
+        assert_eq!(snap.counter("client.calls_failed"), 0);
+        // The failover hop is visible in the request's stitched trace.
+        let spans = client.tracer().snapshot_trace(report.trace_id);
+        assert!(
+            spans.iter().any(|s| s.phase == "agent_failover"),
+            "agent_failover point missing from trace"
+        );
+
+        // And the client sticks with the survivor: the next call costs no
+        // further failover.
+        let before = snap.counter("client.agent_failovers");
+        client
+            .netsl("ddot", &[vec![1.0].into(), vec![1.0].into()])
+            .unwrap();
+        let snap = client.metrics().snapshot("client");
+        assert_eq!(snap.counter("client.agent_failovers"), before);
+
+        net.set_up(&first);
+        server.stop();
+        agent1.stop();
+        agent2.stop();
+    }
+
+    #[test]
+    fn agent_ranking_puts_unreachable_agents_last() {
+        let domain = bring_up(&[("hostA", 100.0)]);
+        // "agent-ghost" never listens: ranking must demote it so the
+        // first call goes straight to the live agent, no failover burned.
+        let client = NetSolveClient::new_multi(
+            Arc::new(domain.net.clone()),
+            &["agent-ghost".into(), "agent".into()],
+        );
+        let out = client
+            .netsl("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
+            .unwrap();
+        assert_eq!(out[0].as_double().unwrap(), 11.0);
+        assert_eq!(client.current_agent(), "agent");
+        let snap = client.metrics().snapshot("client");
+        assert_eq!(snap.counter("client.agent_failovers"), 0);
         domain.shutdown();
     }
 

@@ -153,6 +153,40 @@ impl Default for HeartbeatPolicy {
     }
 }
 
+/// Agent federation (gossip replication) knobs.
+///
+/// Federated agents push their full registration view to each peer every
+/// `interval_secs` (anti-entropy). Entries learned from gossip carry a
+/// freshness timestamp; one that has not been re-confirmed within
+/// `entry_ttl_secs` is expired, so a dead peer's servers age out of every
+/// surviving agent's registry instead of lingering as ghosts. A peer that
+/// misses `peer_miss_threshold` consecutive rounds is marked down (gauge
+/// `agent.peers_up` drops) and keeps being re-probed each round, so a
+/// restarted peer rejoins on its first answered sync.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipPolicy {
+    /// Seconds between gossip rounds.
+    pub interval_secs: f64,
+    /// Seconds a gossip-learned registration stays valid without being
+    /// re-confirmed by another round mentioning it fresher.
+    pub entry_ttl_secs: f64,
+    /// Consecutive unanswered rounds before a peer is marked down.
+    pub peer_miss_threshold: u32,
+    /// Seconds to wait for a peer's `GossipAck`.
+    pub round_timeout_secs: f64,
+}
+
+impl Default for GossipPolicy {
+    fn default() -> Self {
+        GossipPolicy {
+            interval_secs: 10.0,
+            entry_ttl_secs: 60.0,
+            peer_miss_threshold: 2,
+            round_timeout_secs: 2.0,
+        }
+    }
+}
+
 /// Everything configurable about one agent.
 #[derive(Debug, Clone)]
 pub struct AgentConfig {
@@ -160,6 +194,8 @@ pub struct AgentConfig {
     pub workload: WorkloadPolicy,
     /// Fault tracking policy.
     pub fault: FaultPolicy,
+    /// Federation gossip policy.
+    pub gossip: GossipPolicy,
     /// How many ranked servers to return per query (NetSolve returned a
     /// short ordered candidate list for client-side failover).
     pub candidates_returned: CandidateCount,
@@ -174,6 +210,7 @@ impl Default for AgentConfig {
         AgentConfig {
             workload: WorkloadPolicy::default(),
             fault: FaultPolicy::default(),
+            gossip: GossipPolicy::default(),
             candidates_returned: CandidateCount::default(),
             pending_tracking: true,
         }
@@ -215,6 +252,15 @@ mod tests {
         assert!(h.probe_interval_secs > 0.0);
         assert!(h.miss_threshold >= 1);
         assert!(h.probe_timeout_secs > 0.0);
+
+        let g = GossipPolicy::default();
+        assert!(g.interval_secs > 0.0);
+        assert!(
+            g.entry_ttl_secs > g.interval_secs,
+            "a live peer must be able to refresh entries before they expire"
+        );
+        assert!(g.peer_miss_threshold >= 1);
+        assert!(g.round_timeout_secs > 0.0);
 
         let a = AgentConfig::default();
         assert!(a.candidates_returned.0 >= 1);

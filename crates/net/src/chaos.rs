@@ -28,6 +28,7 @@
 //! snapshot (including one scraped over the wire) rather than only from
 //! a test-local handle.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -152,6 +153,7 @@ struct Counters {
     black_holes: Tally,
     delays: Tally,
     delivered_clean: Tally,
+    kill_faults: Tally,
     /// Optional tracer attached via [`ChaosTransport::with_tracer`]: each
     /// injected fault becomes a traceless point span, so a stitched run's
     /// tracer output shows *when* the chaos struck relative to the
@@ -187,6 +189,9 @@ pub struct ChaosStats {
     pub delays: u64,
     /// Messages delivered untouched.
     pub delivered_clean: u64,
+    /// Dials, sends, and receives failed because the target was in the
+    /// killed set (see [`ChaosTransport::kill`]).
+    pub kill_faults: u64,
 }
 
 /// A [`Transport`] decorator injecting seeded faults on outbound
@@ -196,6 +201,11 @@ pub struct ChaosTransport {
     policy: ChaosPolicy,
     rng: Mutex<Rng64>,
     counters: Arc<Counters>,
+    /// Addresses currently "killed": dials are refused and established
+    /// connections to them die with a reset, which is what a SIGKILLed
+    /// daemon looks like from the dialing side. Shared with every
+    /// connection so a kill takes effect mid-stream.
+    dead: Arc<Mutex<HashSet<String>>>,
 }
 
 impl ChaosTransport {
@@ -206,7 +216,24 @@ impl ChaosTransport {
             policy,
             rng: Mutex::new(Rng64::new(seed)),
             counters: Arc::new(Counters::default()),
+            dead: Arc::new(Mutex::new(HashSet::new())),
         }
+    }
+
+    /// Kill `address`: from now on every dial to it is refused and every
+    /// send/receive on an existing connection to it dies with a reset —
+    /// the process-crash fault, deterministic rather than probabilistic.
+    /// The daemon behind the address keeps running; only this transport's
+    /// view of it dies, so [`ChaosTransport::revive`] models a restart.
+    pub fn kill(&self, address: &str) {
+        self.dead.lock().insert(address.to_string());
+        self.counters.fault_point("kill", format!("address={address}"));
+    }
+
+    /// Undo a [`ChaosTransport::kill`]: the address accepts dials again.
+    pub fn revive(&self, address: &str) {
+        self.dead.lock().remove(address);
+        self.counters.fault_point("revive", format!("address={address}"));
     }
 
     /// Mirror every fault count into `registry` under `chaos.*` names
@@ -224,6 +251,7 @@ impl ChaosTransport {
         c.black_holes.attach(registry, "chaos.black_holes");
         c.delays.attach(registry, "chaos.delays");
         c.delivered_clean.attach(registry, "chaos.delivered_clean");
+        c.kill_faults.attach(registry, "chaos.kill_faults");
         self
     }
 
@@ -247,6 +275,7 @@ impl ChaosTransport {
             black_holes: c.black_holes.get(),
             delays: c.delays.get(),
             delivered_clean: c.delivered_clean.get(),
+            kill_faults: c.kill_faults.get(),
         }
     }
 
@@ -270,6 +299,13 @@ impl Transport for ChaosTransport {
             let stream = parent.next_u64();
             parent.fork(stream)
         };
+        if self.dead.lock().contains(address) {
+            self.counters.kill_faults.bump();
+            self.counters.fault_point("kill_refused", format!("address={address}"));
+            return Err(NetSolveError::ServerUnreachable(format!(
+                "chaos: {address} is killed"
+            )));
+        }
         if rng.chance(self.policy.refuse_prob) {
             self.counters.refused.bump();
             self.counters.fault_point("refused", format!("address={address}"));
@@ -285,6 +321,8 @@ impl Transport for ChaosTransport {
             rng,
             counters: Arc::clone(&self.counters),
             scratch: Vec::new(),
+            address: address.to_string(),
+            dead: Arc::clone(&self.dead),
         }))
     }
 
@@ -300,9 +338,27 @@ struct ChaosConnection {
     counters: Arc<Counters>,
     /// Reused buffer for re-framing messages under corruption injection.
     scratch: Vec<u8>,
+    /// Who this connection dials, for mid-stream kill checks.
+    address: String,
+    dead: Arc<Mutex<HashSet<String>>>,
 }
 
 impl ChaosConnection {
+    /// A connection to a killed address dies with a reset on its next
+    /// send or receive, like a TCP stream whose process was SIGKILLed.
+    fn check_killed(&mut self, during: &str) -> Result<()> {
+        if self.dead.lock().contains(&self.address) {
+            self.counters.kill_faults.bump();
+            self.counters
+                .fault_point("kill_reset", format!("address={} during={during}", self.address));
+            return Err(NetSolveError::Transport(format!(
+                "chaos: {} killed during {during}",
+                self.address
+            )));
+        }
+        Ok(())
+    }
+
     fn maybe_delay(&mut self) {
         if self.policy.delay_prob > 0.0 && self.rng.chance(self.policy.delay_prob) {
             self.counters.delays.bump();
@@ -356,12 +412,14 @@ impl ChaosConnection {
 
 impl Connection for ChaosConnection {
     fn send(&mut self, msg: &Message) -> Result<()> {
+        self.check_killed("send")?;
         self.maybe_delay();
         self.maybe_reset("send")?;
         self.inner.send(msg)
     }
 
     fn recv(&mut self) -> Result<Message> {
+        self.check_killed("recv")?;
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
             self.counters.black_holes.bump();
@@ -375,6 +433,7 @@ impl Connection for ChaosConnection {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Message> {
+        self.check_killed("recv")?;
         self.maybe_delay();
         if self.rng.chance(self.policy.black_hole_prob) {
             self.counters.black_holes.bump();
@@ -498,6 +557,46 @@ mod tests {
         assert!(waited < Duration::from_secs(5), "cap not applied: {waited:?}");
         assert_eq!(chaos.stats().black_holes, 1);
         net.set_down("echo");
+    }
+
+    #[test]
+    fn kill_severs_dials_and_live_connections_until_revived() {
+        let net = ChannelNetwork::new();
+        let _echo = spawn_echo(&net, "echo");
+        let chaos = chaotic(&net, ChaosPolicy::calm(), 7);
+
+        // A healthy connection, established before the kill.
+        let mut conn = chaos.connect("echo").unwrap();
+        let reply = call(conn.as_mut(), &Message::Ping, Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, Message::Pong);
+
+        chaos.kill("echo");
+        // The established stream dies with a reset...
+        let err = conn.send(&Message::Ping).unwrap_err();
+        assert!(matches!(err, NetSolveError::Transport(ref m) if m.contains("killed")), "{err}");
+        assert!(err.is_retryable());
+        // ...and new dials are refused.
+        let err = match chaos.connect("echo") {
+            Err(e) => e,
+            Ok(_) => panic!("dial to killed address succeeded"),
+        };
+        assert!(matches!(err, NetSolveError::ServerUnreachable(_)), "{err}");
+        assert!(err.is_retryable());
+        // Other addresses are untouched by the kill.
+        let _other = spawn_echo(&net, "other");
+        let mut conn2 = chaos.connect("other").unwrap();
+        assert_eq!(
+            call(conn2.as_mut(), &Message::Ping, Duration::from_secs(2)).unwrap(),
+            Message::Pong
+        );
+
+        chaos.revive("echo");
+        let mut conn3 = chaos.connect("echo").unwrap();
+        let reply = call(conn3.as_mut(), &Message::Ping, Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, Message::Pong);
+        assert_eq!(chaos.stats().kill_faults, 2);
+        net.set_down("echo");
+        net.set_down("other");
     }
 
     #[test]

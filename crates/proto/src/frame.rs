@@ -52,8 +52,12 @@ pub const MAGIC: u32 = 0x4E53_5256;
 /// `deadline_ms` budget so servers can shed expired work, and the
 /// `StatsQuery`/`StatsReply` pair exists; v3 — `RequestSubmit` and
 /// `ServerQuery` carry a 128-bit `trace_id` plus parent span id for
-/// distributed tracing, and the `TraceQuery`/`TraceReply` pair exists.
-pub const VERSION: u32 = 3;
+/// distributed tracing, and the `TraceQuery`/`TraceReply` pair exists;
+/// v4 — the `GossipSync`/`GossipAck` pair exists for agent federation
+/// (anti-entropy replication of server registrations between peer
+/// agents). v3 agents reject the unknown tag with their generic `Error`
+/// reply, which gossiping peers count as *unsupported* and tolerate.
+pub const VERSION: u32 = 4;
 /// Oldest protocol version this implementation still decodes.
 pub const MIN_VERSION: u32 = 1;
 /// Maximum payload size accepted (512 MiB), matching the largest

@@ -19,7 +19,7 @@ pub use frame::{
     version_downgrades, write_message, write_message_into, MAX_FRAME_PAYLOAD, MIN_VERSION,
     VERSION,
 };
-pub use message::{Candidate, Message, QueryShape, ServerDescriptor, ServerInfo};
+pub use message::{Candidate, GossipEntry, Message, QueryShape, ServerDescriptor, ServerInfo};
 
 #[cfg(test)]
 mod proptests {
@@ -100,6 +100,45 @@ mod proptests {
                     parent_span,
                     problem,
                     inputs,
+                }),
+            (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(merged, refreshed, conflicts)| {
+                Message::GossipAck { merged, refreshed, conflicts }
+            }),
+            (
+                "[ -~]{0,24}",
+                prop::collection::vec(
+                    (
+                        "[ -~]{0,24}",
+                        "[ -~]{0,16}",
+                        "[ -~]{0,24}",
+                        0.0..1e4f64,
+                        prop::collection::vec("[a-z]{1,10}", 0..4),
+                        "[ -~\\n]{0,80}",
+                        0.0..200.0f64,
+                        0.0..1e5f64,
+                    ),
+                    0..4,
+                ),
+            )
+                .prop_map(|(from_agent, entries)| Message::GossipSync {
+                    from_agent,
+                    entries: entries
+                        .into_iter()
+                        .map(
+                            |(origin, host, address, mflops, problems, pdl, workload, age)| {
+                                GossipEntry {
+                                    origin_agent: origin,
+                                    host,
+                                    address,
+                                    mflops,
+                                    problems,
+                                    pdl_source: pdl,
+                                    workload,
+                                    age_secs: age,
+                                }
+                            },
+                        )
+                        .collect(),
                 }),
             Just(Message::StatsQuery),
             any::<u128>().prop_map(|trace_id| Message::TraceQuery { trace_id }),

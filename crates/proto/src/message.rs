@@ -90,6 +90,32 @@ pub struct QueryShape {
     pub parent_span: u64,
 }
 
+/// One server registration as carried by agent-to-agent gossip: the full
+/// descriptor a server registered with, plus where it registered and how
+/// stale the entry already was when the gossiping agent sent it. Receivers
+/// subtract `age_secs` from their own clock to keep a freshness timestamp
+/// that is comparable across agents without any clock synchronisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipEntry {
+    /// Address of the agent the server originally registered with.
+    pub origin_agent: String,
+    /// Server host name.
+    pub host: String,
+    /// Address clients dial to reach the server.
+    pub address: String,
+    /// Benchmarked performance in Mflop/s.
+    pub mflops: f64,
+    /// Problem mnemonics the server advertises.
+    pub problems: Vec<String>,
+    /// Rendered PDL of the server's catalogue.
+    pub pdl_source: String,
+    /// Last workload percentage the origin agent knew.
+    pub workload: f64,
+    /// Seconds since the origin agent last heard from this server, as of
+    /// the moment the gossiping agent encoded this entry.
+    pub age_secs: f64,
+}
+
 /// Every message in the NetSolve protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -237,6 +263,30 @@ pub enum Message {
         /// The retained spans, oldest first.
         spans: Vec<SpanRecord>,
     },
+    /// agent → peer agent: anti-entropy round. The sender pushes every
+    /// registration it knows (its own and ones learned from gossip, with
+    /// accumulated age) so registrations replicate transitively across any
+    /// connected peer topology. Additive in protocol version 4: a v3 agent
+    /// rejects the unknown tag with its generic `Error` reply, which the
+    /// sender counts as *unsupported* and tolerates, so mixed-version
+    /// federations keep serving queries.
+    GossipSync {
+        /// Address of the sending agent (its listen address, which is how
+        /// peers and origin labels refer to it).
+        from_agent: String,
+        /// Every registration the sender knows, freshest view.
+        entries: Vec<GossipEntry>,
+    },
+    /// agent → peer agent: gossip merge outcome, closing the round.
+    GossipAck {
+        /// Entries that created a new remote registration.
+        merged: u32,
+        /// Entries that refreshed or updated an existing registration.
+        refreshed: u32,
+        /// Entries rejected because they conflict with local state (e.g. a
+        /// different catalogue already registered at the same address).
+        conflicts: u32,
+    },
     /// any → any: liveness probe.
     Ping,
     /// any → any: liveness answer.
@@ -275,6 +325,8 @@ impl Message {
             Message::StatsReply(_) => 22,
             Message::TraceQuery { .. } => 23,
             Message::TraceReply { .. } => 24,
+            Message::GossipSync { .. } => 25,
+            Message::GossipAck { .. } => 26,
             Message::Ping => 13,
             Message::Pong => 14,
             Message::Error { .. } => 15,
@@ -305,6 +357,8 @@ impl Message {
             Message::StatsReply(_) => "StatsReply",
             Message::TraceQuery { .. } => "TraceQuery",
             Message::TraceReply { .. } => "TraceReply",
+            Message::GossipSync { .. } => "GossipSync",
+            Message::GossipAck { .. } => "GossipAck",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Error { .. } => "Error",
@@ -486,6 +540,28 @@ impl Message {
                     e.put_u64(s.end_unix_nanos);
                     e.put_string(&s.detail);
                 }
+            }
+            Message::GossipSync { from_agent, entries } => {
+                e.put_string(from_agent);
+                e.put_u32(entries.len() as u32);
+                for g in entries {
+                    e.put_string(&g.origin_agent);
+                    e.put_string(&g.host);
+                    e.put_string(&g.address);
+                    e.put_f64(g.mflops);
+                    e.put_u32(g.problems.len() as u32);
+                    for p in &g.problems {
+                        e.put_string(p);
+                    }
+                    e.put_string(&g.pdl_source);
+                    e.put_f64(g.workload);
+                    e.put_f64(g.age_secs);
+                }
+            }
+            Message::GossipAck { merged, refreshed, conflicts } => {
+                e.put_u32(*merged);
+                e.put_u32(*refreshed);
+                e.put_u32(*conflicts);
             }
             Message::Ping | Message::Pong => {}
             Message::Error { code, detail } => {
@@ -691,6 +767,48 @@ impl Message {
                 }
                 Message::TraceReply { component, spans }
             }
+            25 => {
+                let from_agent = d.get_string()?;
+                let count = d.get_u32()? as usize;
+                // Minimum wire size of one entry: five 8-byte words plus
+                // four (possibly empty) strings.
+                if count > d.remaining() / 56 + 1 {
+                    return Err(NetSolveError::Protocol("gossip entry count too large".into()));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let origin_agent = d.get_string()?;
+                    let host = d.get_string()?;
+                    let address = d.get_string()?;
+                    let mflops = d.get_f64()?;
+                    let pcount = d.get_u32()? as usize;
+                    if pcount > d.remaining() / 4 + 1 {
+                        return Err(NetSolveError::Protocol(
+                            "gossip problem count too large".into(),
+                        ));
+                    }
+                    let mut problems = Vec::with_capacity(pcount);
+                    for _ in 0..pcount {
+                        problems.push(d.get_string()?);
+                    }
+                    entries.push(GossipEntry {
+                        origin_agent,
+                        host,
+                        address,
+                        mflops,
+                        problems,
+                        pdl_source: d.get_string()?,
+                        workload: d.get_f64()?,
+                        age_secs: d.get_f64()?,
+                    });
+                }
+                Message::GossipSync { from_agent, entries }
+            }
+            26 => Message::GossipAck {
+                merged: d.get_u32()?,
+                refreshed: d.get_u32()?,
+                conflicts: d.get_u32()?,
+            },
             15 => Message::Error { code: d.get_u32()?, detail: d.get_string()? },
             other => {
                 return Err(NetSolveError::Protocol(format!("unknown message tag {other}")))
@@ -837,6 +955,21 @@ mod tests {
                 ],
             },
             Message::TraceReply { component: "agent".into(), spans: vec![] },
+            Message::GossipSync {
+                from_agent: "127.0.0.1:9000".into(),
+                entries: vec![GossipEntry {
+                    origin_agent: "127.0.0.1:9001".into(),
+                    host: "fermi.cs.utk.edu".into(),
+                    address: "127.0.0.1:9021".into(),
+                    mflops: 120.5,
+                    problems: vec!["dgesv".into(), "fft".into()],
+                    pdl_source: "@PROBLEM dgesv\n@END".into(),
+                    workload: 37.5,
+                    age_secs: 4.25,
+                }],
+            },
+            Message::GossipSync { from_agent: "agent-b".into(), entries: vec![] },
+            Message::GossipAck { merged: 2, refreshed: 5, conflicts: 1 },
             Message::Ping,
             Message::Pong,
             Message::Error { code: 1, detail: "problem not found".into() },
@@ -858,9 +991,9 @@ mod tests {
         let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        // RegisterAck, StatsReply, TraceQuery and TraceReply each appear
-        // twice in samples
-        assert_eq!(tags.len(), samples().len() - 4);
+        // RegisterAck, StatsReply, TraceQuery, TraceReply and GossipSync
+        // each appear twice in samples
+        assert_eq!(tags.len(), samples().len() - 5);
     }
 
     #[test]

@@ -1,111 +1,134 @@
-//! Agent federation demo: two NetSolve agents, each with its own server
-//! pool, peered so a client of either agent can reach every server —
-//! the multi-agent domain topology the original NetSolve ran.
+//! Live federation demo over real TCP sockets: three NetSolve agents
+//! gossip their server registries to each other, a client holds the
+//! whole agent list, and when the agent the client is pinned to is
+//! killed mid-run the client fails over to a survivor — solves keep
+//! completing with zero failures.
 //!
 //! Run with: `cargo run --example federation`
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use netsolve::agent::{AgentCore, AgentDaemon};
-use netsolve::client::NetSolveClient;
-use netsolve::core::DataObject;
-use netsolve::net::{ChannelNetwork, Transport};
+use netsolve::agent::{AgentCore, AgentDaemon, Policy};
+use netsolve::core::config::{AgentConfig, GossipPolicy};
+use netsolve::net::{NetworkView, TcpTransport, Transport};
+use netsolve::obs::{MetricsRegistry, Tracer};
 use netsolve::server::{ServerConfig, ServerCore, ServerDaemon};
 
 fn main() -> netsolve::core::Result<()> {
-    let net = ChannelNetwork::new();
-    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
 
-    // Site A: an agent with one general-purpose server.
-    let mut agent_a = AgentDaemon::start_federated(
-        Arc::clone(&transport),
-        "agent-site-a",
-        AgentCore::with_defaults(),
-        vec!["agent-site-b".into()],
-    )?;
-    let mut srv_a = ServerDaemon::start(
-        Arc::clone(&transport),
-        "agent-site-a",
-        ServerCore::with_standard_catalogue(),
-        ServerConfig::quick("siteA-ws", "srv-a", 150.0),
-    )?;
+    // Three agents on OS-assigned ports, gossiping fast enough to watch.
+    let config = AgentConfig {
+        gossip: GossipPolicy { interval_secs: 0.1, ..GossipPolicy::default() },
+        ..AgentConfig::default()
+    };
+    let make_core = |cfg: &AgentConfig| {
+        AgentCore::new(cfg.clone(), Policy::MinimumCompletionTime, NetworkView::lan_defaults())
+    };
+    let mut agents: Vec<AgentDaemon> = (0..3)
+        .map(|_| {
+            AgentDaemon::start_federated(
+                Arc::clone(&transport),
+                "127.0.0.1:0",
+                make_core(&config),
+                Vec::new(),
+            )
+        })
+        .collect::<netsolve::core::Result<_>>()?;
+    let addrs: Vec<String> = agents.iter().map(|a| a.address().to_string()).collect();
+    // Ports are OS-assigned, so the peer lists are wired after binding.
+    for (i, agent) in agents.iter().enumerate() {
+        let peers = addrs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, a)| a.clone())
+            .collect();
+        agent.set_peers(peers);
+    }
+    for (i, a) in addrs.iter().enumerate() {
+        println!("agent {i} listening on tcp://{a}");
+    }
 
-    // Site B: a second agent with a specialist server that ONLY advertises
-    // the quadrature problems (a restricted catalogue, like a site whose
-    // license/library only covers one package).
-    let mut agent_b = AgentDaemon::start_federated(
-        Arc::clone(&transport),
-        "agent-site-b",
-        AgentCore::with_defaults(),
-        vec!["agent-site-a".into()],
-    )?;
-    let mut quad_registry = netsolve::pdl::ProblemRegistry::new();
-    let quad_only: String = netsolve::pdl::standard_catalogue()?
-        .iter()
-        .filter(|p| p.name.starts_with("quad"))
-        .map(netsolve::pdl::render)
-        .collect::<Vec<_>>()
-        .join("\n");
-    quad_registry.register_source(&quad_only)?;
-    let mut srv_b = ServerDaemon::start(
-        Arc::clone(&transport),
-        "agent-site-b",
-        ServerCore::new(quad_registry, netsolve::server::ExecutionMode::Real),
-        ServerConfig::quick("siteB-quadbox", "srv-b", 400.0),
-    )?;
-
-    println!("site A agent: general server (21 problems)");
-    println!("site B agent: quadrature specialist\n");
-
-    // A client at site B wants a dense solve — only site A has it.
-    let client_b = NetSolveClient::new(Arc::new(net.clone()), "agent-site-b");
-    let a = netsolve::core::Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0])?;
-    let (out, report) = client_b.netsl_timed("dgesv", &[a.into(), vec![3.0, 5.0].into()])?;
-    println!(
-        "site-B client solved dgesv via federation on {} -> x = {:?}",
-        report.server_address,
-        out[0].as_vector()?
-    );
-    assert_eq!(report.server_address, "srv-a");
-
-    // A client at site A integrates — site B's specialist is known to B
-    // only, but A's own server also advertises quad; the agent prefers
-    // its local answer. Ask for something only B can do by taking srv-a
-    // down first.
-    net.set_down("srv-a");
-    let client_a = NetSolveClient::new(Arc::new(net.clone()), "agent-site-a");
-    // two failures mark srv-a down at agent A
-    for _ in 0..2 {
-        let _ = client_a.netsl(
-            "quad",
-            &[
-                "sin".into(),
-                DataObject::Double(0.0),
-                DataObject::Double(1.0),
-                DataObject::Double(1e-9),
-            ],
+    // Two servers, registered at DIFFERENT agents: only gossip makes
+    // each server visible at the other two.
+    let mut servers = Vec::new();
+    for (i, mflops) in [300.0, 150.0].into_iter().enumerate() {
+        servers.push(ServerDaemon::start(
+            Arc::clone(&transport),
+            &addrs[i],
+            ServerCore::with_standard_catalogue(),
+            ServerConfig::quick(&format!("fed-host-{i}"), "127.0.0.1:0", mflops),
+        )?);
+        println!(
+            "server {i} ({mflops} Mflop/s) on tcp://{} registered at agent {i}",
+            servers[i].address()
         );
     }
-    let (out, report) = client_a.netsl_timed(
-        "quad",
-        &[
-            "sin".into(),
-            DataObject::Double(0.0),
-            DataObject::Double(std::f64::consts::PI),
-            DataObject::Double(1e-10),
-        ],
-    )?;
-    println!(
-        "site-A client (its own server down) integrated sin over [0, π] = {:.9} on {}",
-        out[0].as_double()?,
-        report.server_address
-    );
-    assert_eq!(report.server_address, "srv-b");
 
-    println!("\nfederation: every site can reach every capability.");
-    srv_a.stop();
-    srv_b.stop();
-    agent_a.stop();
-    agent_b.stop();
+    // Wait until gossip has replicated both servers to every agent.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let converged = agents
+            .iter()
+            .all(|a| a.core().lock().registry().all_servers().len() == servers.len());
+        if converged {
+            break;
+        }
+        assert!(Instant::now() < deadline, "gossip never converged");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("\ngossip converged: every agent sees all {} servers\n", servers.len());
+
+    // A client holding the whole agent list.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let client = netsolve::client::NetSolveClient::new_multi(Arc::clone(&transport), &addrs)
+        .with_observability(Arc::clone(&metrics), Arc::new(Tracer::new()));
+
+    let solve = |i: usize| -> netsolve::core::Result<()> {
+        let x: Vec<f64> = (0..64).map(|k| ((i * 7 + k) % 13) as f64).collect();
+        let y: Vec<f64> = (0..64).map(|k| ((i * 3 + k) % 11) as f64).collect();
+        let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let out = client.netsl("ddot", &[x.into(), y.into()])?;
+        assert_eq!(out[0].as_double()?, expect);
+        Ok(())
+    };
+
+    for i in 0..5 {
+        solve(i)?;
+    }
+    let pinned = client.current_agent();
+    println!("5 solves done; client is pinned to agent tcp://{pinned}");
+
+    // Kill the pinned agent mid-run: its listener dies for real.
+    let victim = addrs.iter().position(|a| *a == pinned).expect("pin is a known agent");
+    agents[victim].stop();
+    println!("killed agent {victim} (tcp://{pinned}) — solves continue:\n");
+
+    for i in 5..15 {
+        solve(i)?;
+    }
+    let snap = metrics.snapshot("demo");
+    println!("10 more solves completed after the kill");
+    println!("  now pinned to     : tcp://{}", client.current_agent());
+    println!("  agent failovers   : {}", snap.counter("client.agent_failovers"));
+    println!("  calls / ok / fail : {} / {} / {}",
+        snap.counter("client.calls"),
+        snap.counter("client.calls_ok"),
+        snap.counter("client.calls_failed"));
+    assert_eq!(snap.counter("client.calls_failed"), 0);
+    assert!(snap.counter("client.agent_failovers") >= 1);
+    assert_ne!(client.current_agent(), pinned);
+
+    println!("\nfederation: an agent crash costs one failover hop, never a failed solve.");
+    for s in &mut servers {
+        s.stop();
+    }
+    for (i, a) in agents.iter_mut().enumerate() {
+        if i != victim {
+            a.stop();
+        }
+    }
     Ok(())
 }

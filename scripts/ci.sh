@@ -44,6 +44,48 @@ echo "${TIMELINE}" | grep -q "critical path:" || {
     echo "netsl-trace smoke: no critical-path breakdown"; exit 1; }
 kill ${AGENT_PID} ${SERVER_PID} 2>/dev/null || true
 
+echo "=== federation smoke (three agents, SIGKILL one, batch still completes) ==="
+# A full-mesh three-agent federation with two servers registered at
+# different agents. Gossip replicates both registrations everywhere,
+# then one agent is SIGKILLed — the scripted client batch (roster lists
+# the dead agent FIRST) must complete with zero failed solves.
+FA1=19761; FA2=19762; FA3=19763
+FS1=19764; FS2=19765
+./target/debug/ns-agent --listen 127.0.0.1:${FA1} --gossip-interval 0.2 \
+    --peer 127.0.0.1:${FA2} --peer 127.0.0.1:${FA3} &
+FED_A1=$!
+./target/debug/ns-agent --listen 127.0.0.1:${FA2} --gossip-interval 0.2 \
+    --peer 127.0.0.1:${FA1} --peer 127.0.0.1:${FA3} &
+FED_A2=$!
+./target/debug/ns-agent --listen 127.0.0.1:${FA3} --gossip-interval 0.2 \
+    --peer 127.0.0.1:${FA1} --peer 127.0.0.1:${FA2} &
+FED_A3=$!
+trap 'kill -9 ${FED_A1} ${FED_A2} ${FED_A3} ${FED_S1:-} ${FED_S2:-} 2>/dev/null || true; \
+      rm -f "${TRACE_DUMP}"' EXIT
+sleep 0.3
+./target/debug/ns-server --agent 127.0.0.1:${FA1} --listen 127.0.0.1:${FS1} --mflops 250 &
+FED_S1=$!
+./target/debug/ns-server --agent 127.0.0.1:${FA2} --listen 127.0.0.1:${FS2} --mflops 150 &
+FED_S2=$!
+sleep 1   # a few gossip rounds: both servers replicate to all three agents
+# Agent 3 learned both servers purely from gossip; it must answer for them.
+./target/debug/ns-client --agent 127.0.0.1:${FA3} servers | grep -q "${FS1}" || {
+    echo "federation smoke: agent 3 never learned server 1 via gossip"; exit 1; }
+kill -9 ${FED_A1}
+for problem in "demo dnrm2 256" "demo dgesv 120" "demo dposv 100" "demo vsort 400"; do
+    ./target/debug/ns-client \
+        --agent 127.0.0.1:${FA1} --agent 127.0.0.1:${FA2} --agent 127.0.0.1:${FA3} \
+        ${problem} || {
+        echo "federation smoke: solve '${problem}' failed after agent SIGKILL"; exit 1; }
+done
+FED_STATS=$(./target/debug/netsl-stats 127.0.0.1:${FA2})
+echo "${FED_STATS}" | grep -q "federation" || {
+    echo "federation smoke: no federation section in netsl-stats output"; exit 1; }
+echo "${FED_STATS}" | grep -q "agent.gossip_rounds" || {
+    echo "federation smoke: no gossip_rounds counter in netsl-stats output"; exit 1; }
+kill -9 ${FED_A2} ${FED_A3} ${FED_S1} ${FED_S2} 2>/dev/null || true
+echo "federation smoke passed: batch completed with zero failed solves"
+
 echo "=== wire-path bench smoke (single-pass writer vs legacy) ==="
 cargo build --release -p netsolve-bench --bin r1_wire_path
 ./target/release/r1_wire_path --quick

@@ -68,13 +68,56 @@ fn scrape(
     }
 }
 
+/// Counters that make up the federation story; pulled out of the generic
+/// listing into their own block so a multi-agent domain's health (gossip
+/// flow, peer liveness, client failovers) reads at a glance.
+const FEDERATION_COUNTERS: &[&str] = &[
+    "agent.gossip_rounds",
+    "agent.gossip_sends",
+    "agent.gossip_send_failures",
+    "agent.gossip_syncs_received",
+    "agent.gossip_merges",
+    "agent.gossip_merge_conflicts",
+    "agent.gossip_expired",
+    "agent.gossip_peer_unsupported",
+    "agent.peer_down_marks",
+    "agent.peer_recoveries",
+    "client.agent_failovers",
+];
+const FEDERATION_GAUGES: &[&str] = &["agent.peers_up"];
+
 fn print_snapshot(address: &str, s: &StatsSnapshot) {
     println!("{address} [{}]", s.component);
     for (name, value) in &s.counters {
+        if FEDERATION_COUNTERS.contains(&name.as_str()) {
+            continue;
+        }
         println!("  {name:<32} {value}");
     }
     for (name, value) in &s.gauges {
+        if FEDERATION_GAUGES.contains(&name.as_str()) {
+            continue;
+        }
         println!("  {name:<32} {value}");
+    }
+    let fed_counters: Vec<_> = s
+        .counters
+        .iter()
+        .filter(|(n, _)| FEDERATION_COUNTERS.contains(&n.as_str()))
+        .collect();
+    let fed_gauges: Vec<_> = s
+        .gauges
+        .iter()
+        .filter(|(n, _)| FEDERATION_GAUGES.contains(&n.as_str()))
+        .collect();
+    if !fed_counters.is_empty() || !fed_gauges.is_empty() {
+        println!("  federation");
+        for (name, value) in fed_counters {
+            println!("    {name:<30} {value}");
+        }
+        for (name, value) in fed_gauges {
+            println!("    {name:<30} {value}");
+        }
     }
     for h in &s.histograms {
         println!(

@@ -7,6 +7,10 @@
 //! ns-client --agent HOST:PORT quad FNAME A B TOL
 //! ```
 //!
+//! `--agent` may be repeated: the client ranks the agents by ping
+//! round-trip and fails over to the next one when the current agent
+//! refuses, times out, or resets mid-request.
+//!
 //! `demo` generates a random well-posed instance of size `N` (default 100)
 //! for the classic problems and prints where it ran and how long it took.
 //!
@@ -23,7 +27,7 @@ use netsolve::net::{TcpTransport, Transport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ns-client --agent HOST:PORT COMMAND\n\
+        "usage: ns-client --agent HOST:PORT [--agent HOST:PORT ...] COMMAND\n\
          commands:\n\
          \x20 list\n\
          \x20 servers\n\
@@ -31,31 +35,31 @@ fn usage() -> ! {
          \x20 demo PROBLEM [N]   (dgesv dposv dgels dgetri dgemm fft vsort dnrm2 cg)\n\
          \x20 quad FNAME A B TOL\n\
          options:\n\
+         \x20 --agent HOST:PORT  repeatable; extra agents are failover targets\n\
          \x20 --trace-dump PATH  write the client's phase spans to PATH"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut agent: Option<String> = None;
+    let mut agents: Vec<String> = Vec::new();
     let mut trace_dump: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--agent" => agent = Some(args.next().unwrap_or_else(|| usage())),
+            "--agent" => agents.push(args.next().unwrap_or_else(|| usage())),
             "--trace-dump" => trace_dump = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => rest.push(a),
         }
     }
-    let Some(agent) = agent else { usage() };
-    if rest.is_empty() {
+    if agents.is_empty() || rest.is_empty() {
         usage();
     }
 
     let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
-    let client = NetSolveClient::new(transport, &agent);
+    let client = NetSolveClient::new_multi(transport, &agents);
 
     let outcome = match rest[0].as_str() {
         "list" => list(&client),

@@ -245,6 +245,257 @@ fn assert_soak_invariants(seed: u64, outcome: &SoakOutcome) {
     );
 }
 
+/// Agent-crash soak: a three-agent federation (gossip replication on)
+/// serving four servers, hammered by multi-agent clients while one agent
+/// — one that at least one client is actively pinned to — is killed
+/// mid-run and later restarted. The contract under test is the
+/// federation robustness story end to end:
+///
+/// * every one of the 100 solves completes (zero failed calls);
+/// * no solve needs a second *server* attempt — the crash costs at most
+///   the client-internal agent failover hop, never a re-run request;
+/// * the failover hop is stitched into the affected request's trace;
+/// * the restarted agent relearns the registry via gossip.
+fn run_agent_crash_soak(seed: u64) {
+    use netsolve::core::config::GossipPolicy;
+    use std::sync::Mutex;
+
+    const AGENTS: [&str; 3] = ["agent-1", "agent-2", "agent-3"];
+
+    let net = ChannelNetwork::new();
+    let clean: Arc<dyn Transport> = Arc::new(net.clone());
+    let agent_config = AgentConfig {
+        fault: FaultPolicy { failures_to_mark_down: 3, down_cooldown_secs: 0.5 },
+        gossip: GossipPolicy {
+            interval_secs: 0.05,
+            entry_ttl_secs: 60.0,
+            peer_miss_threshold: 2,
+            round_timeout_secs: 0.5,
+        },
+        ..AgentConfig::default()
+    };
+    let start_agent = |name: &str| {
+        let peers = AGENTS
+            .iter()
+            .filter(|a| *a != &name)
+            .map(|a| a.to_string())
+            .collect();
+        let core = AgentCore::new(
+            agent_config.clone(),
+            Policy::MinimumCompletionTime,
+            NetworkView::lan_defaults(),
+        );
+        AgentDaemon::start_federated(Arc::clone(&clean), name, core, peers).unwrap()
+    };
+    // Slot per agent so the killer thread can stop one and restart it.
+    let agents: Arc<Mutex<Vec<Option<AgentDaemon>>>> =
+        Arc::new(Mutex::new(AGENTS.iter().map(|n| Some(start_agent(n))).collect()));
+
+    // Spread registrations across the agents: every agent is authoritative
+    // for at least one server and learns the rest from gossip.
+    let mut servers = Vec::new();
+    for i in 0..4 {
+        servers.push(
+            ServerDaemon::start(
+                Arc::clone(&clean),
+                AGENTS[i % AGENTS.len()],
+                ServerCore::with_standard_catalogue(),
+                ServerConfig::quick(&format!("host{i}"), &format!("srv{i}"), 100.0 + 50.0 * i as f64),
+            )
+            .unwrap(),
+        );
+    }
+    // Wait for gossip convergence: every agent sees all four servers.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let all = agents.lock().unwrap().iter().all(|a| {
+            a.as_ref()
+                .map(|a| a.core().lock().registry().all_servers().len() == 4)
+                .unwrap_or(false)
+        });
+        if all {
+            break;
+        }
+        assert!(Instant::now() < deadline, "seed {seed}: gossip never converged");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Calm chaos policy: the *only* fault in this scenario is the agent
+    // kill, so any extra server attempt is attributable to the crash.
+    let metrics = Arc::new(MetricsRegistry::new());
+    // A roomy span budget: the failover hop fires mid-run and its trace
+    // must survive the spans of every later solve plus gossip chatter.
+    let tracer = Arc::new(Tracer::with_capacity(65_536));
+    let chaos = Arc::new(
+        ChaosTransport::new(Arc::clone(&clean), ChaosPolicy::calm(), seed)
+            .with_metrics(&metrics)
+            .with_tracer(Arc::clone(&tracer)),
+    );
+    let retry = RetryPolicy {
+        max_attempts: 5,
+        attempt_timeout_secs: 5.0,
+        backoff: Backoff::ExponentialJitter { base_secs: 0.002, cap_secs: 0.02 },
+        deadline_secs: 0.0,
+        report_failures: true,
+    };
+
+    let solved = Arc::new(AtomicU64::new(0));
+    // Each client reports which agent it pinned after its first solve, so
+    // the killer can pick a victim that is actually in use.
+    let pins: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+
+    let killer = {
+        let chaos = Arc::clone(&chaos);
+        let agents = Arc::clone(&agents);
+        let solved = Arc::clone(&solved);
+        let pins = Arc::clone(&pins);
+        std::thread::spawn(move || {
+            let wait_until = |cond: &dyn Fn() -> bool| {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while !cond() {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                true
+            };
+            // Mid-run (at least one pin known, ~40% of solves done), kill
+            // a pinned agent: sever client connections AND stop the
+            // daemon, so peers see it dead too.
+            if !wait_until(&|| !pins.lock().unwrap().is_empty() && solved.load(Ordering::Relaxed) >= 2 * total / 5) {
+                return String::new();
+            }
+            let victim = pins.lock().unwrap()[0].clone();
+            let slot = AGENTS.iter().position(|a| *a == victim).expect("pin is a known agent");
+            chaos.kill(&victim);
+            if let Some(mut daemon) = agents.lock().unwrap()[slot].take() {
+                daemon.stop();
+            }
+            // Let the survivors carry more of the run, then restart the
+            // victim (same name, empty registry) and reconnect clients.
+            wait_until(&|| solved.load(Ordering::Relaxed) >= 4 * total / 5);
+            let peers = AGENTS
+                .iter()
+                .filter(|a| **a != victim)
+                .map(|a| a.to_string())
+                .collect();
+            let core = AgentCore::new(
+                agent_config.clone(),
+                Policy::MinimumCompletionTime,
+                NetworkView::lan_defaults(),
+            );
+            let restarted =
+                AgentDaemon::start_federated(Arc::clone(&clean), &victim, core, peers).unwrap();
+            agents.lock().unwrap()[slot] = Some(restarted);
+            chaos.revive(&victim);
+            victim
+        })
+    };
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let transport: Arc<dyn Transport> = Arc::clone(&chaos) as Arc<dyn Transport>;
+            let metrics = Arc::clone(&metrics);
+            let tracer = Arc::clone(&tracer);
+            let solved = Arc::clone(&solved);
+            let pins = Arc::clone(&pins);
+            std::thread::spawn(move || {
+                let agent_list: Vec<String> = AGENTS.iter().map(|a| a.to_string()).collect();
+                let client = NetSolveClient::new_multi(transport, &agent_list)
+                    .with_retry(retry)
+                    .with_jitter_seed(seed.wrapping_mul(37).wrapping_add(c as u64))
+                    .with_observability(metrics, tracer);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let x: Vec<f64> = (0..16).map(|k| ((c * 31 + i * 7 + k) % 11) as f64).collect();
+                    let y: Vec<f64> = (0..16).map(|k| ((c * 13 + i * 3 + k) % 7) as f64).collect();
+                    let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                    let out = client
+                        .netsl("ddot", &[x.into(), y.into()])
+                        .unwrap_or_else(|e| {
+                            panic!("seed {seed} client {c} request {i}: solve failed mid-crash: {e}")
+                        });
+                    assert_eq!(out[0].as_double().unwrap().to_bits(), expect.to_bits());
+                    if i == 0 {
+                        pins.lock().unwrap().push(client.current_agent());
+                    }
+                    solved.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("a soak client panicked");
+    }
+    let victim = killer.join().expect("killer thread panicked");
+    assert!(!victim.is_empty(), "seed {seed}: the kill never happened");
+
+    // The restarted agent relearns the registry from its peers' gossip.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let relearned = {
+            let agents = agents.lock().unwrap();
+            let slot = AGENTS.iter().position(|a| *a == victim).unwrap();
+            agents[slot]
+                .as_ref()
+                .map(|a| !a.core().lock().registry().all_servers().is_empty())
+                .unwrap_or(false)
+        };
+        if relearned {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: restarted {victim} never relearned the registry"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let m = metrics.snapshot("soak");
+    // Every solve completed, and the crash cost no re-run requests: each
+    // of the 100 calls took exactly one server attempt. The failover
+    // happened inside the client's agent RPC layer.
+    assert_eq!(m.counter("client.calls"), total, "seed {seed}");
+    assert_eq!(m.counter("client.calls_ok"), total, "seed {seed}: solves failed during crash");
+    assert_eq!(m.counter("client.calls_failed"), 0, "seed {seed}");
+    assert_eq!(
+        m.counter("client.attempts"),
+        total,
+        "seed {seed}: the agent crash must not cost server-side retries"
+    );
+    assert!(
+        m.counter("client.agent_failovers") >= 1,
+        "seed {seed}: the killed agent was pinned, so at least one failover must fire"
+    );
+    // The failover hop is part of a real request's stitched trace.
+    let retained = tracer.spans();
+    let failover = retained
+        .iter()
+        .find(|s| s.phase == "agent_failover" && s.trace_id != 0)
+        .unwrap_or_else(|| panic!("seed {seed}: no traced agent_failover point"));
+    assert!(
+        retained
+            .iter()
+            .any(|s| s.trace_id == failover.trace_id && s.component == "client" && s.phase == "call"),
+        "seed {seed}: failover hop not stitched under its request's root span"
+    );
+
+    for s in &mut servers {
+        s.stop();
+    }
+    for slot in agents.lock().unwrap().iter_mut() {
+        if let Some(mut a) = slot.take() {
+            a.stop();
+        }
+    }
+}
+
+#[test]
+fn chaos_soak_agent_crash_seed_1() {
+    run_agent_crash_soak(1);
+}
+
 #[test]
 fn chaos_soak_seed_1() {
     let outcome = run_soak(1);
