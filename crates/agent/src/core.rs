@@ -251,6 +251,25 @@ impl AgentCore {
         }
     }
 
+    /// Resolve the server a completion/failure report is about. The
+    /// address is authoritative: ids are per-agent, and after a client
+    /// fails over from a dead agent its cached ids were minted by someone
+    /// else, so crediting by raw id would corrupt a random server's fault
+    /// and network estimates. The raw id is only trusted when the peer
+    /// predates the address field (v4 frames decode it empty) or names an
+    /// address this agent has not learned yet.
+    fn resolve_report_server(&mut self, server_id: u64, server_address: &str) -> ServerId {
+        if !server_address.is_empty() {
+            if let Some(sid) = self.registry.id_by_address(server_address) {
+                if sid.raw() != server_id {
+                    self.metrics.counter("agent.report_id_remaps").inc();
+                }
+                return sid;
+            }
+        }
+        ServerId(server_id)
+    }
+
     /// Record a client failure report. Returns whether the server was
     /// marked down by this report. Also clears one pending assignment —
     /// the failed request is no longer heading for that server.
@@ -500,19 +519,21 @@ impl AgentCore {
                 Some(spec) => Message::ProblemDescription { pdl: netsolve_pdl::render(spec) },
                 None => Message::from_error(&NetSolveError::ProblemNotFound(problem.clone())),
             },
-            Message::FailureReport { server_id, .. } => {
-                self.failure_report(ServerId(*server_id), now);
+            Message::FailureReport { server_id, server_address, .. } => {
+                let sid = self.resolve_report_server(*server_id, server_address);
+                self.failure_report(sid, now);
                 Message::Pong
             }
             Message::CompletionReport {
                 server_id,
+                server_address,
                 client_host,
                 total_secs,
                 compute_secs,
                 bytes,
                 ..
             } => {
-                let sid = ServerId(*server_id);
+                let sid = self.resolve_report_server(*server_id, server_address);
                 self.success_report(sid);
                 // Refresh the network estimate for this pair: the
                 // non-compute part of the call moved `bytes` across the
@@ -795,6 +816,7 @@ mod tests {
             let reply = agent.handle_message(
                 &Message::CompletionReport {
                     server_id: 1,
+                    server_address: String::new(),
                     client_host: 0,
                     problem: "dgesv".into(),
                     total_secs: 0.020,
@@ -827,6 +849,7 @@ mod tests {
             agent.handle_message(
                 &Message::CompletionReport {
                     server_id,
+                    server_address: String::new(),
                     client_host: 0,
                     problem: "dgesv".into(),
                     total_secs: total,
@@ -838,6 +861,103 @@ mod tests {
         }
         let after = agent.query(&query(200), now).unwrap()[0].predicted_secs;
         assert!((after - before).abs() < before * 0.05, "{before} vs {after}");
+    }
+
+    #[test]
+    fn reports_resolve_by_address_across_agent_id_spaces() {
+        // Regression for the cross-agent report bug: each agent mints its
+        // own ServerIds, so a client that failed over from another agent
+        // reports ids from the *dead* agent's numbering. The address is
+        // the stable identity — a report carrying a wrong id but a known
+        // address must credit/blame the server at that address.
+        let mut agent = agent_with_servers(&[("a", 100.0), ("b", 100.0)]);
+        let now = SimTime::ZERO;
+        // Id 7 doesn't exist here; "srv1" is server 2's address.
+        for _ in 0..2 {
+            let reply = agent.handle_message(
+                &Message::FailureReport {
+                    server_id: 7,
+                    server_address: "srv1".into(),
+                    problem: "dgesv".into(),
+                    code: 3,
+                    detail: "connection refused".into(),
+                },
+                now,
+            );
+            assert_eq!(reply, Message::Pong);
+        }
+        assert!(agent.is_down(ServerId(2), now), "address must win over id");
+        assert!(!agent.is_down(ServerId(1), now));
+        let snap = agent.metrics().snapshot("agent");
+        assert_eq!(snap.counter("agent.report_id_remaps"), 2);
+
+        // v4 peers send no address: the raw id is still honoured.
+        agent.handle_message(
+            &Message::FailureReport {
+                server_id: 1,
+                server_address: String::new(),
+                problem: "dgesv".into(),
+                code: 3,
+                detail: "reset".into(),
+            },
+            now,
+        );
+        agent.handle_message(
+            &Message::FailureReport {
+                server_id: 1,
+                server_address: String::new(),
+                problem: "dgesv".into(),
+                code: 3,
+                detail: "reset".into(),
+            },
+            now,
+        );
+        assert!(agent.is_down(ServerId(1), now));
+        // An unknown address also falls back to the raw id (harmless when
+        // the id is unknown too — bogus reports stay inert).
+        agent.handle_message(
+            &Message::FailureReport {
+                server_id: 999,
+                server_address: "nowhere:1".into(),
+                problem: "dgesv".into(),
+                code: 3,
+                detail: "reset".into(),
+            },
+            now,
+        );
+        assert_eq!(
+            agent.metrics().snapshot("agent").counter("agent.report_id_remaps"),
+            2,
+            "fallback paths must not count as remaps"
+        );
+    }
+
+    #[test]
+    fn completion_report_with_foreign_id_teaches_the_addressed_server() {
+        let mut agent = agent_with_servers(&[("a", 100.0)]);
+        let now = SimTime::ZERO;
+        let before = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        // Same payload as completion_reports_teach_the_network_view, but
+        // carrying a foreign id — only the address identifies server 1.
+        for _ in 0..50 {
+            agent.handle_message(
+                &Message::CompletionReport {
+                    server_id: 42,
+                    server_address: "srv0".into(),
+                    client_host: 0,
+                    problem: "dgesv".into(),
+                    total_secs: 0.020,
+                    compute_secs: 0.010,
+                    bytes: 8_000_000,
+                },
+                now,
+            );
+        }
+        let after = agent.query(&query(200), now).unwrap()[0].predicted_secs;
+        assert!(
+            after < before / 5.0,
+            "remapped completions must still teach the link: {before} -> {after}"
+        );
     }
 
     #[test]

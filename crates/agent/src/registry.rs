@@ -221,6 +221,14 @@ impl ServerRegistry {
         self.servers.get(&id)
     }
 
+    /// The *local* id of the server listening on `address`, if known.
+    /// Addresses are the only server key that survives a client failing
+    /// over between agents — every agent mints its own `ServerId`s — so
+    /// completion/failure reports resolve through here first.
+    pub fn id_by_address(&self, address: &str) -> Option<ServerId> {
+        self.servers.values().find(|s| s.address == address).map(|s| s.server_id)
+    }
+
     /// Servers advertising `problem`, in `ServerId` order (deterministic).
     pub fn servers_for(&self, problem: &str) -> Vec<&RegisteredServer> {
         let mut out: Vec<&RegisteredServer> = self

@@ -1,0 +1,195 @@
+//! R10 — Solve-cache experiment: the full server-side request path with
+//! the content-addressed cache on vs off.
+//!
+//! Drives the same wire path as R1/R9 — encode a `RequestSubmit` frame,
+//! parse it, dispatch through [`ServerCore::handle_message_at`], encode
+//! the reply frame — against `dgesv` systems whose operand (the n×n
+//! coefficient matrix) sweeps from 64 KiB to 16 MiB:
+//!
+//! * **uncached** — a plain core; every request runs the LU solve;
+//! * **cached** — `with_cache`: after the first request populates the
+//!   entry, every repeat is a hash + serve-time CRC + decode.
+//!
+//! The claim under test: at the 16 MiB operand size, cached p50 latency
+//! is **at least 5x below** uncached p50 — the hash-everything toll
+//! (splitmix over the canonical encoding, both CRC legs, reply decode)
+//! stays small next to the O(n^3) factorization it saves.
+//!
+//! Per-request wall times are recorded individually and summarized at
+//! the median (p50), interleaving uncached and cached batches so clock
+//! drift lands on both variants alike.
+//!
+//! Run: `cargo run --release -p netsolve-bench --bin r10_cache`
+//! (writes `results/BENCH_r10_cache.json`); pass `--quick` for a tiny
+//! smoke run that skips the JSON artifact.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netsolve_bench::Table;
+use netsolve_core::units::fmt_bytes;
+use netsolve_core::{DataObject, Matrix, Rng64};
+use netsolve_obs::Tracer;
+use netsolve_proto::{encode_frame_into, parse_frame, Message};
+use netsolve_server::ServerCore;
+
+struct Row {
+    operand_bytes: u64,
+    uncached_p50_secs: f64,
+    cached_p50_secs: f64,
+    hits: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.uncached_p50_secs / self.cached_p50_secs
+    }
+}
+
+fn p50(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// The full wire path for one pre-built request: frame it, parse it back,
+/// dispatch it through the core, frame the reply.
+fn drive(core: &ServerCore, msg: &Message, scratch: &mut Vec<u8>, reply_scratch: &mut Vec<u8>) {
+    encode_frame_into(msg, scratch).unwrap();
+    let (decoded, _) = parse_frame(scratch).unwrap();
+    let reply = core.handle_message_at(&decoded, Instant::now());
+    encode_frame_into(&reply, reply_scratch).unwrap();
+    std::hint::black_box(reply_scratch.len());
+}
+
+fn measure(n: usize, rounds: usize, cached_per_round: usize) -> Row {
+    let mut rng = Rng64::new(n as u64);
+    let a = Matrix::random_diag_dominant(n, &mut rng);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let operand_bytes = (8 * n * n + 8 * n) as u64;
+    let msg = Message::RequestSubmit {
+        request_id: 1,
+        deadline_ms: 0,
+        problem: "dgesv".into(),
+        inputs: vec![DataObject::Matrix(a), DataObject::Vector(b)],
+        trace_id: 1,
+        parent_span: 7,
+    };
+
+    // Tracing off on both sides: R9 already prices spans; this experiment
+    // isolates the cache. The budget comfortably holds one n-vector reply.
+    let uncached_core =
+        ServerCore::with_standard_catalogue().with_tracer(Arc::new(Tracer::disabled()));
+    let cached_core = ServerCore::with_standard_catalogue()
+        .with_cache(64 << 20)
+        .with_tracer(Arc::new(Tracer::disabled()));
+
+    let mut scratch = (Vec::new(), Vec::new());
+    // Warmup both paths; the cached core's first request is its one miss,
+    // so every timed cached request below is a genuine hit.
+    drive(&uncached_core, &msg, &mut scratch.0, &mut scratch.1);
+    drive(&cached_core, &msg, &mut scratch.0, &mut scratch.1);
+
+    let mut uncached = Vec::new();
+    let mut cached = Vec::new();
+    for _ in 0..rounds {
+        let start = Instant::now();
+        drive(&uncached_core, &msg, &mut scratch.0, &mut scratch.1);
+        uncached.push(start.elapsed().as_secs_f64());
+        for _ in 0..cached_per_round {
+            let start = Instant::now();
+            drive(&cached_core, &msg, &mut scratch.0, &mut scratch.1);
+            cached.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    let snap = cached_core.metrics().snapshot("server");
+    let hits = snap.counter("server.cache_hits");
+    assert_eq!(
+        hits as usize,
+        rounds * cached_per_round,
+        "every timed cached request must be a hit — the benchmark is not measuring the cache"
+    );
+    assert_eq!(snap.counter("server.cache_corrupt_dropped"), 0);
+
+    Row {
+        operand_bytes,
+        uncached_p50_secs: p50(&mut uncached),
+        cached_p50_secs: p50(&mut cached),
+        hits,
+    }
+}
+
+fn write_json(rows: &[Row], path: &str) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"r10_cache\",\n");
+    out.push_str(
+        "  \"description\": \"R1 wire path (encode+parse+dispatch+reply-encode) per-request p50 \
+         seconds for dgesv with the content-addressed solve cache on (every timed request a \
+         verified hit) vs off (every request re-factorizes); speedup = uncached_p50/cached_p50\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"operand_bytes\": {}, \"uncached_p50_secs\": {:.9}, \
+             \"cached_p50_secs\": {:.9}, \"speedup\": {:.2}, \"cache_hits\": {}}}{}\n",
+            r.operand_bytes,
+            r.uncached_p50_secs,
+            r.cached_p50_secs,
+            r.speedup(),
+            r.hits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let at_16mib = rows.iter().max_by_key(|r| r.operand_bytes).expect("rows");
+    out.push_str(&format!("  \"speedup_at_16mib\": {:.2},\n", at_16mib.speedup()));
+    out.push_str(&format!("  \"cached_5x_below_uncached_at_16mib\": {}\n", at_16mib.speedup() >= 5.0));
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_r10_cache.json");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // (n, uncached rounds, cached samples per round): operand = 8n^2
+    // bytes, so the sweep lands on 64 KiB, 1 MiB, 4 MiB and 16 MiB. Big
+    // systems get fewer uncached rounds — each is a full O(n^3) solve.
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(91, 3, 5)]
+    } else {
+        &[(91, 25, 8), (362, 11, 8), (724, 7, 8), (1448, 5, 8)]
+    };
+
+    let mut table = Table::new(
+        "R10: dgesv request p50, solve cache on vs off (higher speedup is better)",
+        &["operand", "uncached p50", "cached p50", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for &(n, rounds, per_round) in sweep {
+        let row = measure(n, rounds, per_round);
+        table.row(vec![
+            fmt_bytes(row.operand_bytes),
+            format!("{:.3} ms", row.uncached_p50_secs * 1e3),
+            format!("{:.3} ms", row.cached_p50_secs * 1e3),
+            format!("{:.1}x", row.speedup()),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let last = rows.last().expect("rows");
+    println!(
+        "\nspeedup at {}: {:.1}x (target >= 5x)",
+        fmt_bytes(last.operand_bytes),
+        last.speedup()
+    );
+
+    if quick {
+        println!("--quick: smoke sizes only, JSON artifact not written");
+        return;
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_r10_cache.json");
+    write_json(&rows, path);
+    println!("wrote {path}");
+}

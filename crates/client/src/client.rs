@@ -393,6 +393,10 @@ impl NetSolveClient {
         }
         let _ = self.agent_call_ctx(&Message::FailureReport {
             server_id: candidate.server_id,
+            // The address is what the agent actually resolves: ids are
+            // per-agent, so after a failover the id alone would credit
+            // the wrong server's fault state on the new agent.
+            server_address: candidate.address.clone(),
             problem: problem.to_string(),
             code: err.code(),
             detail: err.detail().to_string(),
@@ -575,6 +579,7 @@ impl NetSolveClient {
                     // the report leg still lands in this request's trace.
                     let _ = self.agent_call_ctx(&Message::CompletionReport {
                         server_id: candidate.server_id,
+                        server_address: candidate.address.clone(),
                         client_host: self.client_host,
                         problem: problem.to_string(),
                         total_secs,
@@ -661,11 +666,15 @@ impl NetSolveClient {
         self.traced(ctx, "marshal", || conn.send(&msg))?;
         let reply = self.traced(ctx, "wait", || conn.recv_timeout(attempt_timeout))?;
         match reply {
-            Message::RequestReply { request_id: echoed, outputs, compute_secs } => {
+            Message::RequestReply { request_id: echoed, outputs, compute_secs, cached } => {
                 if echoed != request_id {
                     return Err(NetSolveError::Protocol(format!(
                         "reply for request {echoed}, expected {request_id}"
                     )));
+                }
+                if cached {
+                    self.metrics.counter("client.cached_replies").inc();
+                    self.tracer.point(ctx, "client", "cached_reply", String::new());
                 }
                 spec.check_outputs(&outputs)?;
                 Ok((outputs, compute_secs))

@@ -56,8 +56,14 @@ pub const MAGIC: u32 = 0x4E53_5256;
 /// v4 — the `GossipSync`/`GossipAck` pair exists for agent federation
 /// (anti-entropy replication of server registrations between peer
 /// agents). v3 agents reject the unknown tag with their generic `Error`
-/// reply, which gossiping peers count as *unsupported* and tolerate.
-pub const VERSION: u32 = 4;
+/// reply, which gossiping peers count as *unsupported* and tolerate;
+/// v5 — `RequestReply` carries a `cached` marker (the server satisfied
+/// the request from its solve cache), and `CompletionReport` /
+/// `FailureReport` carry the server's `server_address` so agents can
+/// credit reports by address instead of per-agent id numbering after a
+/// client fails over between agents. v4 decodes see the defaults
+/// (`cached = false`, empty address → fall back to the raw id).
+pub const VERSION: u32 = 5;
 /// Oldest protocol version this implementation still decodes.
 pub const MIN_VERSION: u32 = 1;
 /// Maximum payload size accepted (512 MiB), matching the largest

@@ -178,8 +178,15 @@ pub enum Message {
     },
     /// client → agent: a server failed us (feeds the fault tracker).
     FailureReport {
-        /// The failing server.
+        /// The failing server, numbered by the agent that ranked it. Ids
+        /// are per-agent: after a client fails over to another agent this
+        /// numbering is meaningless there, so receivers prefer
+        /// `server_address` when present.
         server_id: u64,
+        /// The failing server's address — the cross-agent stable key.
+        /// Additive in protocol version 5; v4 frames decode with an empty
+        /// string and receivers fall back to `server_id`.
+        server_address: String,
         /// Problem being attempted.
         problem: String,
         /// Error code (see [`NetSolveError::code`]).
@@ -218,15 +225,27 @@ pub enum Message {
         /// Output objects in catalogue order.
         outputs: Vec<DataObject>,
         /// Server-side execution time in seconds (for the client's and the
-        /// experiments' predictor-accuracy bookkeeping).
+        /// experiments' predictor-accuracy bookkeeping). For a cached
+        /// reply this is the *original* solve's compute time, so
+        /// predictor bookkeeping keeps learning real solve costs.
         compute_secs: f64,
+        /// The server satisfied this request from its solve cache (or by
+        /// coalescing onto another request's in-flight solve) instead of
+        /// executing it. Additive in protocol version 5; v4 frames decode
+        /// as `false`.
+        cached: bool,
     },
     /// client → agent: a request completed successfully on a server
     /// (clears the agent's pending-assignment and fault state, and carries
     /// the measured times for the agent's bookkeeping).
     CompletionReport {
-        /// The server that completed the request.
+        /// The server that completed the request, numbered by the agent
+        /// that ranked it (per-agent ids — see [`Message::FailureReport`]).
         server_id: u64,
+        /// The completing server's address — the cross-agent stable key.
+        /// Additive in protocol version 5; v4 frames decode with an empty
+        /// string and receivers fall back to `server_id`.
+        server_address: String,
         /// The reporting client's host identifier.
         client_host: u64,
         /// Problem solved.
@@ -458,11 +477,14 @@ impl Message {
             Message::DescribeProblem { problem }
             | Message::DescribeProblemForwarded { problem } => e.put_string(problem),
             Message::ProblemDescription { pdl } => e.put_string(pdl),
-            Message::FailureReport { server_id, problem, code, detail } => {
+            Message::FailureReport { server_id, server_address, problem, code, detail } => {
                 e.put_u64(*server_id);
                 e.put_string(problem);
                 e.put_u32(*code);
                 e.put_string(detail);
+                if version >= 5 {
+                    e.put_string(server_address);
+                }
             }
             Message::RequestSubmit { request_id, deadline_ms, trace_id, parent_span, problem, inputs } => {
                 e.put_u64(*request_id);
@@ -477,13 +499,17 @@ impl Message {
                 e.put_string(problem);
                 netsolve_xdr::encode_objects(e, inputs);
             }
-            Message::RequestReply { request_id, outputs, compute_secs } => {
+            Message::RequestReply { request_id, outputs, compute_secs, cached } => {
                 e.put_u64(*request_id);
                 e.put_f64(*compute_secs);
                 netsolve_xdr::encode_objects(e, outputs);
+                if version >= 5 {
+                    e.put_bool(*cached);
+                }
             }
             Message::CompletionReport {
                 server_id,
+                server_address,
                 client_host,
                 problem,
                 total_secs,
@@ -496,6 +522,9 @@ impl Message {
                 e.put_f64(*total_secs);
                 e.put_f64(*compute_secs);
                 e.put_u64(*bytes);
+                if version >= 5 {
+                    e.put_string(server_address);
+                }
             }
             Message::StatsQuery => {}
             Message::StatsReply(snap) => {
@@ -673,6 +702,7 @@ impl Message {
                 problem: d.get_string()?,
                 code: d.get_u32()?,
                 detail: d.get_string()?,
+                server_address: if version >= 5 { d.get_string()? } else { String::new() },
             },
             11 => Message::RequestSubmit {
                 request_id: d.get_u64()?,
@@ -686,6 +716,7 @@ impl Message {
                 request_id: d.get_u64()?,
                 compute_secs: d.get_f64()?,
                 outputs: netsolve_xdr::decode_objects(d)?,
+                cached: if version >= 5 { d.get_bool()? } else { false },
             },
             13 => Message::Ping,
             14 => Message::Pong,
@@ -696,6 +727,7 @@ impl Message {
                 total_secs: d.get_f64()?,
                 compute_secs: d.get_f64()?,
                 bytes: d.get_u64()?,
+                server_address: if version >= 5 { d.get_string()? } else { String::new() },
             },
             21 => Message::StatsQuery,
             22 => {
@@ -888,6 +920,7 @@ mod tests {
             Message::ProblemDescription { pdl: "@PROBLEM quad\n@END\n".into() },
             Message::FailureReport {
                 server_id: 3,
+                server_address: "127.0.0.1:9021".into(),
                 problem: "dgesv".into(),
                 code: 3,
                 detail: "connection refused".into(),
@@ -904,9 +937,17 @@ mod tests {
                 request_id: 99,
                 outputs: vec![vec![1.0, 2.0, 3.0].into()],
                 compute_secs: 0.0042,
+                cached: false,
+            },
+            Message::RequestReply {
+                request_id: 100,
+                outputs: vec![vec![4.0].into()],
+                compute_secs: 1.25,
+                cached: true,
             },
             Message::CompletionReport {
                 server_id: 2,
+                server_address: "b:2".into(),
                 client_host: 4,
                 problem: "dgesv".into(),
                 total_secs: 1.5,
@@ -991,9 +1032,9 @@ mod tests {
         let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        // RegisterAck, StatsReply, TraceQuery, TraceReply and GossipSync
-        // each appear twice in samples
-        assert_eq!(tags.len(), samples().len() - 5);
+        // RegisterAck, RequestReply, StatsReply, TraceQuery, TraceReply
+        // and GossipSync each appear twice in samples
+        assert_eq!(tags.len(), samples().len() - 6);
     }
 
     #[test]
@@ -1031,6 +1072,59 @@ mod tests {
                 assert_eq!(q.n, 64);
                 assert_eq!(q.trace_id, 0);
                 assert_eq!(q.parent_span, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// v4 peers carry no `cached` marker and no report addresses: their
+    /// payloads must decode with the conservative defaults, and encoding
+    /// *to* a v4 peer must omit the new fields so it can decode us.
+    #[test]
+    fn v4_payloads_decode_with_v5_defaults() {
+        let reply = Message::RequestReply {
+            request_id: 7,
+            outputs: vec![vec![1.0, 2.0].into()],
+            compute_secs: 0.5,
+            cached: true,
+        };
+        match Message::decode_versioned(&reply.encode_versioned(4), 4).unwrap() {
+            Message::RequestReply { request_id, cached, compute_secs, .. } => {
+                assert_eq!(request_id, 7);
+                assert_eq!(compute_secs, 0.5);
+                assert!(!cached, "v4 replies default to uncached");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let completion = Message::CompletionReport {
+            server_id: 3,
+            server_address: "127.0.0.1:9021".into(),
+            client_host: 1,
+            problem: "dgesv".into(),
+            total_secs: 2.0,
+            compute_secs: 1.0,
+            bytes: 4096,
+        };
+        match Message::decode_versioned(&completion.encode_versioned(4), 4).unwrap() {
+            Message::CompletionReport { server_id, server_address, .. } => {
+                assert_eq!(server_id, 3);
+                assert!(server_address.is_empty(), "v4 reports carry no address");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let failure = Message::FailureReport {
+            server_id: 9,
+            server_address: "127.0.0.1:9022".into(),
+            problem: "fft".into(),
+            code: 3,
+            detail: "refused".into(),
+        };
+        match Message::decode_versioned(&failure.encode_versioned(4), 4).unwrap() {
+            Message::FailureReport { server_id, server_address, .. } => {
+                assert_eq!(server_id, 9);
+                assert!(server_address.is_empty());
             }
             other => panic!("unexpected {other:?}"),
         }

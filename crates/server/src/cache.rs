@@ -1,0 +1,663 @@
+//! Content-addressed solve-result cache with in-flight coalescing.
+//!
+//! Scientific workloads repeat: the same matrix and right-hand side
+//! arrive from thousands of clients. The cache keys each request by a
+//! 128-bit content hash of its *canonical encoding* — the problem
+//! mnemonic followed by the XDR-marshaled input objects, exactly the
+//! bytes the wire would carry — so the key discriminates on solver and
+//! operand shape (kind tags and dimensions are part of the encoding),
+//! never on payload bytes alone. Hashing reuses the tracer's splitmix64
+//! mixing step over 8-byte words, run as two independently-seeded lanes
+//! for a 128-bit key.
+//!
+//! Three outcomes per probe:
+//!
+//! * **hit** — a cached reply exists; its stored bytes are CRC-checked
+//!   *at serve time* and decoded. A mismatch (memory corruption, bug)
+//!   drops the entry and falls through to a miss: a corrupted reply can
+//!   never leave the server.
+//! * **leader** — no entry, no in-flight solve: the caller runs the
+//!   solve and publishes the outcome through its [`LeaderToken`].
+//! * **join** — an identical request is already solving: the caller
+//!   blocks on the in-flight slot and shares the one reply (or its
+//!   error) instead of queueing duplicate work.
+//!
+//! Entries store the XDR-encoded outputs plus a CRC-32 computed at
+//! insert, and are evicted LRU under a byte budget. Errors are never
+//! cached — a failed solve propagates to every joined waiter and the
+//! next arrival re-runs the problem.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use netsolve_core::data::DataObject;
+use netsolve_core::error::{NetSolveError, Result};
+use netsolve_obs::{Counter, Gauge, MetricsRegistry};
+use netsolve_xdr::{crc32, from_bytes, to_bytes, Encoder};
+use parking_lot::Mutex;
+// The workspace's parking_lot shim exposes no Condvar, but its MutexGuard
+// *is* `std::sync::MutexGuard`, so std's Condvar pairs with it directly.
+use std::sync::Condvar;
+
+/// Fixed bookkeeping cost charged per entry on top of its payload bytes
+/// (key, CRC, sequence number, map/queue slots).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// `splitmix64` mixing step — the same whitening the tracer and the
+/// client's request-id lanes use.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// 128-bit content hash: two splitmix64 lanes with distinct seeds walked
+/// over the bytes in 8-byte words, with the length folded in last so a
+/// zero-padded final word cannot alias a shorter input.
+fn content_hash(bytes: &[u8]) -> u128 {
+    let mut lo = 0x243f_6a88_85a3_08d3u64;
+    let mut hi = 0x1319_8a2e_0370_7344u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let w = u64::from_le_bytes(word);
+        lo = splitmix64(lo ^ w);
+        hi = splitmix64(hi ^ w.rotate_left(32));
+    }
+    let len = bytes.len() as u64;
+    lo = splitmix64(lo ^ len);
+    hi = splitmix64(hi ^ len.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// The cache key of one request: problem mnemonic + canonical input
+/// encoding. Public so tests can assert keying properties directly.
+pub fn solve_key(problem: &str, inputs: &[DataObject]) -> u128 {
+    let hint: u64 = inputs.iter().map(|o| o.wire_bytes() + 16).sum();
+    let mut e = Encoder::with_capacity(hint as usize + problem.len() + 8);
+    e.put_string(problem);
+    netsolve_xdr::encode_objects(&mut e, inputs);
+    content_hash(&e.into_bytes())
+}
+
+/// One cached reply: the marshaled outputs, the original solve's compute
+/// seconds, and the CRC-32 stamped over the bytes at insert time.
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    compute_secs: f64,
+    crc: u32,
+    /// Last-use sequence number; stale queue slots are skipped when it
+    /// disagrees (amortized-O(1) LRU without a linked list).
+    seq: u64,
+}
+
+impl Entry {
+    fn cost(&self) -> usize {
+        self.bytes.len() + ENTRY_OVERHEAD
+    }
+}
+
+struct Store {
+    entries: HashMap<u128, Entry>,
+    /// Usage order, oldest first: `(key, seq)` pairs; a pair whose seq no
+    /// longer matches its entry is a stale re-use marker and is skipped.
+    order: VecDeque<(u128, u64)>,
+    total_bytes: usize,
+    next_seq: u64,
+}
+
+/// The leader's published outcome: the shared encoded reply bytes with
+/// the compute seconds and insert CRC, or the error's `(code, detail)` —
+/// errors are propagated to waiters, never cached.
+type SlotOutcome = std::result::Result<(Arc<Vec<u8>>, f64, u32), (u32, String)>;
+
+/// What an in-flight solve eventually publishes to its joined waiters.
+enum SlotState {
+    Running,
+    Done(SlotOutcome),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+/// Outcome of [`SolveCache::probe`].
+pub enum Probe {
+    /// Cached reply, already CRC-verified and decoded.
+    Hit {
+        /// The decoded output objects.
+        outputs: Vec<DataObject>,
+        /// The original solve's compute seconds.
+        compute_secs: f64,
+    },
+    /// No reply and no in-flight solve: the caller must solve and
+    /// publish through the token.
+    Leader(LeaderToken),
+    /// An identical solve is running; wait on it.
+    Join(Waiter),
+}
+
+/// Obligation to publish a solve outcome. If dropped without publishing
+/// (a panic on the solve path), waiters receive an internal error rather
+/// than hanging.
+pub struct LeaderToken {
+    cache: Arc<Shared>,
+    key: u128,
+    published: bool,
+}
+
+impl LeaderToken {
+    /// Publish a successful solve: encode + CRC the outputs, insert into
+    /// the cache (unless the entry alone exceeds the byte budget), and
+    /// wake every joined waiter with the shared reply.
+    pub fn complete_ok(mut self, outputs: &[DataObject], compute_secs: f64) {
+        self.published = true;
+        self.cache.publish_ok(self.key, outputs, compute_secs);
+    }
+
+    /// Publish a failed solve: every joined waiter receives the error;
+    /// nothing is cached, so the next identical request re-runs.
+    pub fn complete_err(mut self, err: &NetSolveError) {
+        self.published = true;
+        self.cache.publish_err(self.key, err.code(), err.detail().to_string());
+    }
+}
+
+impl Drop for LeaderToken {
+    fn drop(&mut self) {
+        if !self.published {
+            self.cache.publish_err(
+                self.key,
+                NetSolveError::Internal(String::new()).code(),
+                "coalesced solve abandoned by its leader".into(),
+            );
+        }
+    }
+}
+
+/// A handle onto an in-flight solve; blocks until the leader publishes.
+pub struct Waiter {
+    cache: Arc<Shared>,
+    slot: Arc<Slot>,
+}
+
+impl Waiter {
+    /// Block until the coalesced solve completes, then return the shared
+    /// reply (serve-CRC-checked and decoded) or the propagated error.
+    pub fn wait(self) -> Result<(Vec<DataObject>, f64)> {
+        let mut state = self.slot.state.lock();
+        while matches!(*state, SlotState::Running) {
+            state = self
+                .slot
+                .cond
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        match &*state {
+            SlotState::Running => unreachable!("loop exits only when done"),
+            SlotState::Done(Ok((bytes, compute_secs, crc))) => {
+                self.cache.serve_checked(bytes, *crc).map(|outputs| (outputs, *compute_secs))
+            }
+            SlotState::Done(Err((code, detail))) => {
+                Err(NetSolveError::from_code(*code, detail.clone()))
+            }
+        }
+    }
+}
+
+struct Instruments {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    inserts: Arc<Counter>,
+    evictions: Arc<Counter>,
+    insert_crcs: Arc<Counter>,
+    serve_crcs: Arc<Counter>,
+    corrupt_dropped: Arc<Counter>,
+    uncacheable: Arc<Counter>,
+    bytes_gauge: Arc<Gauge>,
+    entries_gauge: Arc<Gauge>,
+}
+
+struct Shared {
+    byte_budget: usize,
+    store: Mutex<Store>,
+    inflight: Mutex<HashMap<u128, Arc<Slot>>>,
+    m: Instruments,
+}
+
+/// The server's solve cache. See the module docs for the design.
+#[derive(Clone)]
+pub struct SolveCache {
+    shared: Arc<Shared>,
+}
+
+impl SolveCache {
+    /// A cache bounded to `byte_budget` payload bytes, counting under
+    /// `server.cache_*` in `metrics`.
+    pub fn new(byte_budget: usize, metrics: &MetricsRegistry) -> Self {
+        SolveCache {
+            shared: Arc::new(Shared {
+                byte_budget,
+                store: Mutex::new(Store {
+                    entries: HashMap::new(),
+                    order: VecDeque::new(),
+                    total_bytes: 0,
+                    next_seq: 0,
+                }),
+                inflight: Mutex::new(HashMap::new()),
+                m: Instruments {
+                    hits: metrics.counter("server.cache_hits"),
+                    misses: metrics.counter("server.cache_misses"),
+                    coalesced: metrics.counter("server.cache_coalesced"),
+                    inserts: metrics.counter("server.cache_inserts"),
+                    evictions: metrics.counter("server.cache_evictions"),
+                    insert_crcs: metrics.counter("server.cache_insert_crcs"),
+                    serve_crcs: metrics.counter("server.cache_serve_crcs"),
+                    corrupt_dropped: metrics.counter("server.cache_corrupt_dropped"),
+                    uncacheable: metrics.counter("server.cache_uncacheable"),
+                    bytes_gauge: metrics.gauge("server.cache_bytes"),
+                    entries_gauge: metrics.gauge("server.cache_entries"),
+                },
+            }),
+        }
+    }
+
+    /// The byte budget this cache evicts under.
+    pub fn byte_budget(&self) -> usize {
+        self.shared.byte_budget
+    }
+
+    /// Look up `key`: serve a verified hit, join an in-flight identical
+    /// solve, or become the leader obliged to solve and publish.
+    pub fn probe(&self, key: u128) -> Probe {
+        // Hit path: verify + decode *outside* the store lock so a large
+        // decode cannot stall unrelated requests.
+        if let Some((bytes, compute_secs, crc)) = self.shared.lookup(key) {
+            match self.shared.serve_checked(&bytes, crc) {
+                Ok(outputs) => {
+                    self.shared.m.hits.inc();
+                    return Probe::Hit { outputs, compute_secs };
+                }
+                Err(_) => {
+                    // Entry failed its serve CRC or decode: it is gone
+                    // (dropped by serve_checked); fall through to a miss
+                    // so the request re-solves.
+                    self.shared.drop_corrupt(key);
+                }
+            }
+        }
+        let mut inflight = self.shared.inflight.lock();
+        if let Some(slot) = inflight.get(&key) {
+            self.shared.m.coalesced.inc();
+            return Probe::Join(Waiter { cache: Arc::clone(&self.shared), slot: Arc::clone(slot) });
+        }
+        let slot =
+            Arc::new(Slot { state: Mutex::new(SlotState::Running), cond: Condvar::new() });
+        inflight.insert(key, slot);
+        self.shared.m.misses.inc();
+        Probe::Leader(LeaderToken { cache: Arc::clone(&self.shared), key, published: false })
+    }
+
+    /// Test hook: flip one byte inside some cached entry's stored reply
+    /// *without* touching its insert CRC, emulating in-memory corruption.
+    /// Returns how many entries were corrupted (0 or 1).
+    #[doc(hidden)]
+    pub fn corrupt_one_entry_for_test(&self) -> usize {
+        let mut store = self.shared.store.lock();
+        for entry in store.entries.values_mut() {
+            if !entry.bytes.is_empty() {
+                let mut bytes = (*entry.bytes).clone();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                entry.bytes = Arc::new(bytes);
+                return 1;
+            }
+        }
+        0
+    }
+
+    /// Test hook: flip one byte in EVERY cached entry's stored reply,
+    /// keeping their insert CRCs — a whole-store corruption sweep for the
+    /// chaos soak. Returns how many entries were corrupted.
+    #[doc(hidden)]
+    pub fn corrupt_all_entries_for_test(&self) -> usize {
+        let mut store = self.shared.store.lock();
+        let mut corrupted = 0;
+        for entry in store.entries.values_mut() {
+            if !entry.bytes.is_empty() {
+                let mut bytes = (*entry.bytes).clone();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                entry.bytes = Arc::new(bytes);
+                corrupted += 1;
+            }
+        }
+        corrupted
+    }
+
+    /// Current entry count (tests and stats).
+    pub fn entries(&self) -> usize {
+        self.shared.store.lock().entries.len()
+    }
+
+    /// Current payload bytes held (tests and stats).
+    pub fn bytes(&self) -> usize {
+        self.shared.store.lock().total_bytes
+    }
+}
+
+impl Shared {
+    /// Fetch a hit's shared bytes (bumping its LRU position) without
+    /// decoding under the lock.
+    fn lookup(&self, key: u128) -> Option<(Arc<Vec<u8>>, f64, u32)> {
+        let mut store = self.store.lock();
+        let seq = store.next_seq;
+        let entry = store.entries.get_mut(&key)?;
+        entry.seq = seq;
+        let out = (Arc::clone(&entry.bytes), entry.compute_secs, entry.crc);
+        store.next_seq += 1;
+        store.order.push_back((key, seq));
+        Some(out)
+    }
+
+    /// Serve-side CRC + decode of a stored reply. Every successful serve
+    /// re-verifies the insert-time CRC, so a corrupted entry is caught
+    /// here — before any byte reaches a client.
+    fn serve_checked(&self, bytes: &[u8], crc: u32) -> Result<Vec<DataObject>> {
+        self.m.serve_crcs.inc();
+        if crc32(bytes) != crc {
+            self.m.corrupt_dropped.inc();
+            return Err(NetSolveError::Corrupt("cached reply failed serve-time CRC".into()));
+        }
+        from_bytes(bytes).map_err(|e| {
+            self.m.corrupt_dropped.inc();
+            NetSolveError::Corrupt(format!("cached reply failed decode: {e}"))
+        })
+    }
+
+    /// Remove an entry that failed its serve check.
+    fn drop_corrupt(&self, key: u128) {
+        let mut store = self.store.lock();
+        if let Some(entry) = store.entries.remove(&key) {
+            store.total_bytes -= entry.cost();
+            self.m.bytes_gauge.set(store.total_bytes as i64);
+            self.m.entries_gauge.set(store.entries.len() as i64);
+        }
+    }
+
+    fn publish_ok(&self, key: u128, outputs: &[DataObject], compute_secs: f64) {
+        let bytes = Arc::new(to_bytes(outputs));
+        self.m.insert_crcs.inc();
+        let crc = crc32(&bytes);
+        let cost = bytes.len() + ENTRY_OVERHEAD;
+        if cost <= self.byte_budget {
+            let mut store = self.store.lock();
+            let seq = store.next_seq;
+            store.next_seq += 1;
+            let prev = store.entries.insert(
+                key,
+                Entry { bytes: Arc::clone(&bytes), compute_secs, crc, seq },
+            );
+            if let Some(prev) = prev {
+                store.total_bytes -= prev.cost();
+            }
+            store.total_bytes += cost;
+            store.order.push_back((key, seq));
+            self.m.inserts.inc();
+            self.evict_over_budget(&mut store);
+            self.m.bytes_gauge.set(store.total_bytes as i64);
+            self.m.entries_gauge.set(store.entries.len() as i64);
+        } else {
+            // Too large to ever fit: coalescing still applies, caching
+            // does not.
+            self.m.uncacheable.inc();
+        }
+        // Publish *after* the cache insert so there is no window where a
+        // new arrival finds neither the entry nor the in-flight slot.
+        self.finish(key, Ok((bytes, compute_secs, crc)));
+    }
+
+    fn publish_err(&self, key: u128, code: u32, detail: String) {
+        self.finish(key, Err((code, detail)));
+    }
+
+    fn finish(
+        &self,
+        key: u128,
+        outcome: SlotOutcome,
+    ) {
+        let slot = self.inflight.lock().remove(&key);
+        if let Some(slot) = slot {
+            *slot.state.lock() = SlotState::Done(outcome);
+            slot.cond.notify_all();
+        }
+    }
+
+    fn evict_over_budget(&self, store: &mut Store) {
+        while store.total_bytes > self.byte_budget {
+            let Some((key, seq)) = store.order.pop_front() else { break };
+            let stale = store.entries.get(&key).map(|e| e.seq != seq).unwrap_or(true);
+            if stale {
+                continue;
+            }
+            let entry = store.entries.remove(&key).expect("checked above");
+            store.total_bytes -= entry.cost();
+            self.m.evictions.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(budget: usize) -> (SolveCache, Arc<MetricsRegistry>) {
+        let metrics = Arc::new(MetricsRegistry::new());
+        (SolveCache::new(budget, &metrics), metrics)
+    }
+
+    fn vec_obj(n: usize, fill: f64) -> DataObject {
+        DataObject::Vector(vec![fill; n])
+    }
+
+    #[test]
+    fn distinct_problems_over_identical_bytes_get_distinct_keys() {
+        let inputs = vec![vec_obj(64, 1.5)];
+        assert_ne!(solve_key("dnrm2", &inputs), solve_key("vsort", &inputs));
+        // And the key is stable for identical requests.
+        assert_eq!(solve_key("dnrm2", &inputs), solve_key("dnrm2", &inputs.clone()));
+    }
+
+    #[test]
+    fn shape_discriminates_even_with_identical_payload_bytes() {
+        // A 2x2 matrix and a 4-vector carry the same 32 payload bytes;
+        // the canonical encoding's kind tag + dims must split them.
+        let m = netsolve_core::Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_ne!(
+            solve_key("p", &[DataObject::Matrix(m)]),
+            solve_key("p", &[DataObject::Vector(v)])
+        );
+    }
+
+    #[test]
+    fn hit_after_leader_publishes() {
+        let (cache, _) = cache(1 << 20);
+        let key = solve_key("ddot", &[vec_obj(4, 1.0)]);
+        let token = match cache.probe(key) {
+            Probe::Leader(t) => t,
+            _ => panic!("first probe must lead"),
+        };
+        token.complete_ok(&[DataObject::Double(42.0)], 0.25);
+        match cache.probe(key) {
+            Probe::Hit { outputs, compute_secs } => {
+                assert_eq!(outputs[0].as_double().unwrap(), 42.0);
+                assert_eq!(compute_secs, 0.25);
+            }
+            _ => panic!("second probe must hit"),
+        }
+    }
+
+    #[test]
+    fn errors_propagate_to_waiters_and_are_not_cached() {
+        let (cache, _) = cache(1 << 20);
+        let key = solve_key("dgesv", &[vec_obj(4, 0.0)]);
+        let token = match cache.probe(key) {
+            Probe::Leader(t) => t,
+            _ => panic!(),
+        };
+        let waiter = match cache.probe(key) {
+            Probe::Join(w) => w,
+            _ => panic!("second identical probe must join"),
+        };
+        token.complete_err(&NetSolveError::Numerical("singular".into()));
+        let err = waiter.wait().unwrap_err();
+        assert!(matches!(err, NetSolveError::Numerical(_)), "{err}");
+        // Not cached: the next probe leads again.
+        assert!(matches!(cache.probe(key), Probe::Leader(_)));
+        assert_eq!(cache.entries(), 0);
+    }
+
+    #[test]
+    fn dropped_leader_unblocks_waiters() {
+        let (cache, _) = cache(1 << 20);
+        let key = solve_key("ddot", &[vec_obj(2, 2.0)]);
+        let token = match cache.probe(key) {
+            Probe::Leader(t) => t,
+            _ => panic!(),
+        };
+        let waiter = match cache.probe(key) {
+            Probe::Join(w) => w,
+            _ => panic!(),
+        };
+        drop(token); // leader panicked / abandoned the solve
+        let err = waiter.wait().unwrap_err();
+        assert!(err.detail().contains("abandoned"), "{err}");
+        assert!(matches!(cache.probe(key), Probe::Leader(_)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_byte_budget() {
+        // Budget fits two ~160-byte entries (vector of 16 f64 + overhead),
+        // not three.
+        let (cache, metrics) = cache(450);
+        let keys: Vec<u128> =
+            (0..3).map(|i| solve_key("p", &[vec_obj(1, i as f64)])).collect();
+        for &key in &keys {
+            match cache.probe(key) {
+                Probe::Leader(t) => t.complete_ok(&[vec_obj(16, 0.0)], 0.1),
+                _ => panic!(),
+            }
+        }
+        assert_eq!(cache.entries(), 2, "third insert must evict");
+        // Oldest (keys[0]) is gone; the newer two survive.
+        assert!(matches!(cache.probe(keys[0]), Probe::Leader(_)));
+        assert_eq!(metrics.snapshot("s").counter("server.cache_evictions"), 1);
+        // Touching keys[1] then inserting another must evict keys[2].
+        match cache.probe(keys[0]) {
+            Probe::Leader(t) => t.complete_err(&NetSolveError::Internal("skip".into())),
+            _ => panic!(),
+        }
+        assert!(matches!(cache.probe(keys[1]), Probe::Hit { .. }));
+        let key3 = solve_key("p", &[vec_obj(1, 9.0)]);
+        match cache.probe(key3) {
+            Probe::Leader(t) => t.complete_ok(&[vec_obj(16, 0.0)], 0.1),
+            _ => panic!(),
+        }
+        assert!(matches!(cache.probe(keys[1]), Probe::Hit { .. }), "recently used survives");
+        assert!(matches!(cache.probe(keys[2]), Probe::Leader(_)), "LRU victim evicted");
+    }
+
+    #[test]
+    fn corrupted_entry_is_never_served() {
+        let (cache, metrics) = cache(1 << 20);
+        let key = solve_key("ddot", &[vec_obj(8, 1.0)]);
+        match cache.probe(key) {
+            Probe::Leader(t) => t.complete_ok(&[vec_obj(8, 7.0)], 0.1),
+            _ => panic!(),
+        }
+        assert_eq!(cache.corrupt_one_entry_for_test(), 1);
+        // The probe must NOT hit: serve-CRC catches the flip, the entry
+        // is dropped, and the caller becomes the leader re-solving.
+        match cache.probe(key) {
+            Probe::Leader(t) => t.complete_ok(&[vec_obj(8, 7.0)], 0.1),
+            Probe::Hit { .. } => panic!("corrupted entry served"),
+            Probe::Join(_) => panic!("nothing should be in flight"),
+        }
+        // Healthy again after the re-solve.
+        assert!(matches!(cache.probe(key), Probe::Hit { .. }));
+        let snap = metrics.snapshot("s");
+        assert_eq!(snap.counter("server.cache_corrupt_dropped"), 1);
+        // Serve-CRC ran on the corrupted probe and the healthy one;
+        // insert-CRC ran on the original publish and the re-solve.
+        assert!(snap.counter("server.cache_serve_crcs") >= 2);
+        assert!(snap.counter("server.cache_insert_crcs") >= 2);
+    }
+
+    #[test]
+    fn oversized_results_coalesce_but_do_not_cache() {
+        let (cache, metrics) = cache(128);
+        let key = solve_key("big", &[vec_obj(1, 0.0)]);
+        let token = match cache.probe(key) {
+            Probe::Leader(t) => t,
+            _ => panic!(),
+        };
+        let waiter = match cache.probe(key) {
+            Probe::Join(w) => w,
+            _ => panic!(),
+        };
+        token.complete_ok(&[vec_obj(64, 1.0)], 0.5); // 512B > 128B budget
+        let (outputs, _) = waiter.wait().unwrap();
+        assert_eq!(outputs[0].as_vector().unwrap().len(), 64);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(metrics.snapshot("s").counter("server.cache_uncacheable"), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_probes_produce_one_leader() {
+        let (cache, metrics) = cache(1 << 20);
+        let cache = Arc::new(cache);
+        let key = solve_key("ddot", &[vec_obj(32, 3.0)]);
+        let leaders = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let leaders = Arc::clone(&leaders);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.probe(key) {
+                        Probe::Leader(t) => {
+                            leaders.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // Hold the solve open long enough for the
+                            // others to join.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            t.complete_ok(&[DataObject::Double(6.0)], 0.2);
+                            6.0
+                        }
+                        Probe::Join(w) => {
+                            let (outputs, _) = w.wait().unwrap();
+                            outputs[0].as_double().unwrap()
+                        }
+                        Probe::Hit { outputs, .. } => outputs[0].as_double().unwrap(),
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6.0);
+        }
+        assert_eq!(leaders.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let snap = metrics.snapshot("s");
+        assert_eq!(snap.counter("server.cache_misses"), 1);
+        assert_eq!(
+            snap.counter("server.cache_coalesced") + snap.counter("server.cache_hits"),
+            7,
+            "everyone else joined or hit"
+        );
+    }
+}

@@ -11,6 +11,8 @@ use netsolve_pdl::ProblemRegistry;
 use netsolve_proto::Message;
 use netsolve_solvers::execute;
 
+use crate::cache::{solve_key, Probe, SolveCache};
+
 /// How the server satisfies requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecutionMode {
@@ -32,6 +34,8 @@ pub struct ServerCore {
     mode: ExecutionMode,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    /// Optional content-addressed solve cache (+ in-flight coalescing).
+    cache: Option<SolveCache>,
 }
 
 /// A computed reply plus how long the computation took.
@@ -51,6 +55,7 @@ impl ServerCore {
             mode,
             metrics: Arc::new(MetricsRegistry::new()),
             tracer: Arc::new(Tracer::new()),
+            cache: None,
         }
     }
 
@@ -59,6 +64,20 @@ impl ServerCore {
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Enable the content-addressed solve cache, bounded to `byte_budget`
+    /// payload bytes (LRU). Identical concurrent requests additionally
+    /// coalesce onto one in-flight solve. Counters land under
+    /// `server.cache_*` in this core's metrics registry.
+    pub fn with_cache(mut self, byte_budget: usize) -> Self {
+        self.cache = Some(SolveCache::new(byte_budget, &self.metrics));
+        self
+    }
+
+    /// The solve cache, if enabled via [`ServerCore::with_cache`].
+    pub fn cache(&self) -> Option<&SolveCache> {
+        self.cache.as_ref()
     }
 
     /// Server offering the full standard catalogue with real execution.
@@ -170,7 +189,83 @@ impl ServerCore {
                         )));
                     }
                 }
-                let solve_timer = self.tracer.start_at(dispatched);
+                // Cache + coalesce: hash the canonical encoding and
+                // either serve a verified hit, join an identical solve
+                // already in flight, or lead the solve and publish it.
+                // Exactly one `solve` span exists per unique in-flight
+                // problem — hits and joiners never reach the solver.
+                let leader = match &self.cache {
+                    None => None,
+                    Some(cache) => {
+                        let lookup_timer = self.tracer.start_at(dispatched);
+                        let key = solve_key(problem, inputs);
+                        let probe = cache.probe(key);
+                        let outcome = match &probe {
+                            Probe::Hit { .. } => "hit",
+                            Probe::Leader(_) => "miss",
+                            Probe::Join(_) => "coalesced",
+                        };
+                        self.tracer.record(
+                            ctx,
+                            lookup_timer,
+                            "server",
+                            "cache_lookup",
+                            outcome.to_string(),
+                        );
+                        match probe {
+                            Probe::Hit { outputs, compute_secs } => {
+                                self.tracer.point(ctx, "server", "cache_hit", String::new());
+                                self.metrics.counter("server.requests_ok").inc();
+                                return Message::RequestReply {
+                                    request_id: *request_id,
+                                    outputs,
+                                    compute_secs,
+                                    cached: true,
+                                };
+                            }
+                            Probe::Join(waiter) => {
+                                let wait_timer = self.tracer.start();
+                                let joined = waiter.wait();
+                                let detail = match &joined {
+                                    Ok(_) => String::new(),
+                                    Err(e) => format!("err={e}"),
+                                };
+                                self.tracer.record(
+                                    ctx,
+                                    wait_timer,
+                                    "server",
+                                    "coalesce_wait",
+                                    detail,
+                                );
+                                return match joined {
+                                    Ok((outputs, compute_secs)) => {
+                                        self.metrics.counter("server.requests_ok").inc();
+                                        Message::RequestReply {
+                                            request_id: *request_id,
+                                            outputs,
+                                            compute_secs,
+                                            cached: true,
+                                        }
+                                    }
+                                    Err(e) => {
+                                        self.metrics.counter("server.requests_failed").inc();
+                                        Message::from_error(&e)
+                                    }
+                                };
+                            }
+                            Probe::Leader(token) => Some(token),
+                        }
+                    }
+                };
+                // Without a cache the dispatch clock read still doubles
+                // as the solve-span start (the uncached path keeps its
+                // two-reads-per-request budget — see the r9 experiment);
+                // with one, the lookup sits in between.
+                let solve_timer = if self.cache.is_some() {
+                    self.tracer.start()
+                } else {
+                    self.tracer.start_at(dispatched)
+                };
                 let run = self.run(problem, inputs);
                 let solve_detail = match &run {
                     // Success is the hot path: no allocation per event.
@@ -182,6 +277,9 @@ impl ServerCore {
                 self.tracer.record(ctx, solve_timer, "server", "solve", solve_detail);
                 match run {
                     Ok(exec) => {
+                        if let Some(token) = leader {
+                            token.complete_ok(&exec.outputs, exec.compute_secs);
+                        }
                         self.metrics.counter("server.requests_ok").inc();
                         self.metrics
                             .histogram("server.compute_secs")
@@ -190,9 +288,13 @@ impl ServerCore {
                             request_id: *request_id,
                             outputs: exec.outputs,
                             compute_secs: exec.compute_secs,
+                            cached: false,
                         }
                     }
                     Err(e) => {
+                        if let Some(token) = leader {
+                            token.complete_err(&e);
+                        }
                         self.metrics.counter("server.requests_failed").inc();
                         Message::from_error(&e)
                     }

@@ -444,7 +444,7 @@ mod tests {
         )
         .unwrap();
         match reply {
-            Message::RequestReply { request_id, outputs, compute_secs } => {
+            Message::RequestReply { request_id, outputs, compute_secs, .. } => {
                 assert_eq!(request_id, 5);
                 assert_eq!(outputs[0].as_vector().unwrap(), b.as_slice());
                 assert!(compute_secs >= 0.0);

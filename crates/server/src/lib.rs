@@ -8,13 +8,18 @@
 //! * [`core`] — transport-free request validation and execution, including
 //!   the synthetic execution mode that emulates a machine of a chosen
 //!   speed (the substitute for the paper's heterogeneous testbed);
+//! * [`cache`] — the content-addressed solve-result cache with in-flight
+//!   request coalescing (LRU under a byte budget, CRC at insert and at
+//!   serve);
 //! * [`daemon`] — the live daemon: registration, request service loop,
 //!   workload reporter.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod core;
 pub mod daemon;
 
 pub use crate::core::{Execution, ExecutionMode, ServerCore};
+pub use cache::{solve_key, SolveCache};
 pub use daemon::{ServerConfig, ServerDaemon};

@@ -44,6 +44,36 @@ echo "${TIMELINE}" | grep -q "critical path:" || {
     echo "netsl-trace smoke: no critical-path breakdown"; exit 1; }
 kill ${AGENT_PID} ${SERVER_PID} 2>/dev/null || true
 
+echo "=== solve-cache smoke (live TCP trio, repeated solve must hit) ==="
+# Boot a trio with the content-addressed cache on, run the SAME demo
+# twice (demo inputs are seeded, so the encodings are identical), and
+# check netsl-stats shows the repeat as a cache hit.
+CACHE_AGENT_PORT=19771
+CACHE_SERVER_PORT=19772
+./target/debug/ns-agent --listen 127.0.0.1:${CACHE_AGENT_PORT} &
+CACHE_AGENT_PID=$!
+trap 'kill ${AGENT_PID} ${SERVER_PID:-} ${CACHE_AGENT_PID} ${CACHE_SERVER_PID:-} 2>/dev/null || true; \
+      rm -f "${TRACE_DUMP}"' EXIT
+sleep 0.3
+./target/debug/ns-server --agent 127.0.0.1:${CACHE_AGENT_PORT} \
+    --listen 127.0.0.1:${CACHE_SERVER_PORT} --cache-bytes 16777216 &
+CACHE_SERVER_PID=$!
+sleep 0.3
+for run in 1 2; do
+    ./target/debug/ns-client --agent 127.0.0.1:${CACHE_AGENT_PORT} demo dnrm2 256 || {
+        echo "cache smoke: demo run ${run} failed"; exit 1; }
+done
+CACHE_STATS=$(./target/debug/netsl-stats 127.0.0.1:${CACHE_SERVER_PORT})
+echo "${CACHE_STATS}"
+echo "${CACHE_STATS}" | grep -q "cache" || {
+    echo "cache smoke: no cache section in netsl-stats output"; exit 1; }
+echo "${CACHE_STATS}" | grep -E "server.cache_hits +[1-9]" -q || {
+    echo "cache smoke: repeated demo never hit the cache"; exit 1; }
+echo "${CACHE_STATS}" | grep -E "server.cache_corrupt_dropped +0" -q || {
+    echo "cache smoke: corrupt entries dropped on a clean run"; exit 1; }
+kill ${CACHE_AGENT_PID} ${CACHE_SERVER_PID} 2>/dev/null || true
+echo "cache smoke passed: repeated solve served from cache"
+
 echo "=== federation smoke (three agents, SIGKILL one, batch still completes) ==="
 # A full-mesh three-agent federation with two servers registered at
 # different agents. Gossip replicates both registrations everywhere,
@@ -93,6 +123,10 @@ cargo build --release -p netsolve-bench --bin r1_wire_path
 echo "=== trace-overhead bench smoke (tracing on vs off) ==="
 cargo build --release -p netsolve-bench --bin r9_trace_overhead
 ./target/release/r9_trace_overhead --quick
+
+echo "=== solve-cache bench smoke (cache on vs off) ==="
+cargo build --release -p netsolve-bench --bin r10_cache
+./target/release/r10_cache --quick
 
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings

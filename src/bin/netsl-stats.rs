@@ -86,19 +86,61 @@ const FEDERATION_COUNTERS: &[&str] = &[
 ];
 const FEDERATION_GAUGES: &[&str] = &["agent.peers_up"];
 
+/// Counters that make up the solve-cache story, grouped the same way so
+/// a cache-enabled server's hit rate and CRC health read at a glance.
+const CACHE_COUNTERS: &[&str] = &[
+    "server.cache_hits",
+    "server.cache_misses",
+    "server.cache_coalesced",
+    "server.cache_inserts",
+    "server.cache_evictions",
+    "server.cache_insert_crcs",
+    "server.cache_serve_crcs",
+    "server.cache_corrupt_dropped",
+    "server.cache_uncacheable",
+    "client.cached_replies",
+];
+const CACHE_GAUGES: &[&str] = &["server.cache_bytes", "server.cache_entries"];
+
 fn print_snapshot(address: &str, s: &StatsSnapshot) {
     println!("{address} [{}]", s.component);
     for (name, value) in &s.counters {
-        if FEDERATION_COUNTERS.contains(&name.as_str()) {
+        if FEDERATION_COUNTERS.contains(&name.as_str()) || CACHE_COUNTERS.contains(&name.as_str())
+        {
             continue;
         }
         println!("  {name:<32} {value}");
     }
     for (name, value) in &s.gauges {
-        if FEDERATION_GAUGES.contains(&name.as_str()) {
+        if FEDERATION_GAUGES.contains(&name.as_str()) || CACHE_GAUGES.contains(&name.as_str()) {
             continue;
         }
         println!("  {name:<32} {value}");
+    }
+    let cache_counters: Vec<_> = s
+        .counters
+        .iter()
+        .filter(|(n, _)| CACHE_COUNTERS.contains(&n.as_str()))
+        .collect();
+    let cache_gauges: Vec<_> =
+        s.gauges.iter().filter(|(n, _)| CACHE_GAUGES.contains(&n.as_str())).collect();
+    if !cache_counters.is_empty() || !cache_gauges.is_empty() {
+        println!("  cache");
+        let hits = s.counter("server.cache_hits");
+        let misses = s.counter("server.cache_misses");
+        if hits + misses > 0 {
+            println!(
+                "    {:<30} {:.1}%",
+                "hit_rate",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
+        }
+        for (name, value) in cache_counters {
+            println!("    {name:<30} {value}");
+        }
+        for (name, value) in cache_gauges {
+            println!("    {name:<30} {value}");
+        }
     }
     let fed_counters: Vec<_> = s
         .counters

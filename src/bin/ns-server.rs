@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]
-//!           [--host NAME] [--synthetic] [--pdl FILE]...
+//!           [--host NAME] [--synthetic] [--cache-bytes N] [--pdl FILE]...
 //! ```
 //!
 //! Registers with the agent, then serves requests until killed.
 //! `--synthetic` makes the server *emulate* a machine of the advertised
 //! speed (sleep `complexity(n)/mflops`) instead of computing — useful for
-//! standing up heterogeneous testbeds on one box. `--pdl FILE` adds extra
-//! problem descriptions (they must name problems the executor implements,
-//! or requests for them will fail at execution time).
+//! standing up heterogeneous testbeds on one box. `--cache-bytes N`
+//! enables the content-addressed solve cache (LRU under N bytes, with
+//! in-flight coalescing of identical concurrent requests); hit/miss/
+//! eviction counters appear in `netsl-stats` under `server.cache_*`.
+//! `--pdl FILE` adds extra problem descriptions (they must name problems
+//! the executor implements, or requests for them will fail at execution
+//! time).
 
 use std::sync::Arc;
 
@@ -21,7 +25,7 @@ use netsolve::server::{ExecutionMode, ServerConfig, ServerCore, ServerDaemon};
 fn usage() -> ! {
     eprintln!(
         "usage: ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]\n\
-         \x20                 [--host NAME] [--synthetic] [--pdl FILE]..."
+         \x20                 [--host NAME] [--synthetic] [--cache-bytes N] [--pdl FILE]..."
     );
     std::process::exit(2);
 }
@@ -32,6 +36,7 @@ fn main() {
     let mut mflops = 100.0f64;
     let mut host = hostname_or("rust-server");
     let mut synthetic = false;
+    let mut cache_bytes = 0usize;
     let mut pdl_files: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -47,6 +52,12 @@ fn main() {
             }
             "--host" => host = args.next().unwrap_or_else(|| usage()),
             "--synthetic" => synthetic = true,
+            "--cache-bytes" => {
+                cache_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--pdl" => pdl_files.push(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -80,7 +91,10 @@ fn main() {
     } else {
         ExecutionMode::Real
     };
-    let core = ServerCore::new(registry, mode);
+    let mut core = ServerCore::new(registry, mode);
+    if cache_bytes > 0 {
+        core = core.with_cache(cache_bytes);
+    }
     let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
     let daemon = match ServerDaemon::start(
         transport,
@@ -95,8 +109,13 @@ fn main() {
         }
     };
     println!(
-        "ns-server '{host}' ({mflops} Mflop/s{}) listening on tcp://{} — registered as id {}",
+        "ns-server '{host}' ({mflops} Mflop/s{}{}) listening on tcp://{} — registered as id {}",
         if synthetic { ", synthetic" } else { "" },
+        if cache_bytes > 0 {
+            format!(", cache {cache_bytes}B")
+        } else {
+            String::new()
+        },
         daemon.address(),
         daemon.server_id()
     );

@@ -491,6 +491,182 @@ fn run_agent_crash_soak(seed: u64) {
     }
 }
 
+/// Cache-enabled soak: the server runs the content-addressed solve cache
+/// while the chaos transport corrupts frames on the wire, and mid-run the
+/// whole cache store is corrupted *in memory* (every entry's bytes
+/// flipped, insert CRCs left stale). The contract: a corrupted cached
+/// reply is NEVER served —
+///
+/// * wire corruption of a (cached or fresh) reply is caught by the frame
+///   CRC and retried (`corruptions_injected == corruptions_detected`);
+/// * in-memory corruption is caught by the serve-time CRC: every swept
+///   entry is dropped on its next probe (`cache_corrupt_dropped`), the
+///   prober re-solves, and the store heals;
+/// * every successful request, before and after the sweep, is bit-exact.
+fn run_cached_soak(seed: u64) {
+    const PROBLEMS: usize = 5;
+    const ROUNDS: usize = 3;
+
+    let net = ChannelNetwork::new();
+    let clean: Arc<dyn Transport> = Arc::new(net.clone());
+    let agent_config = AgentConfig {
+        fault: FaultPolicy { failures_to_mark_down: 3, down_cooldown_secs: 0.5 },
+        ..AgentConfig::default()
+    };
+    let core =
+        AgentCore::new(agent_config, Policy::MinimumCompletionTime, NetworkView::lan_defaults());
+    let mut agent = AgentDaemon::start(Arc::clone(&clean), "agent", core).unwrap();
+
+    // One cache-enabled server, so every repeat provably lands on the
+    // same cache. Keep handles to the cache and its metrics before the
+    // core moves into the daemon.
+    let server_core = ServerCore::with_standard_catalogue().with_cache(1 << 20);
+    let cache = server_core.cache().cloned().expect("cache is on");
+    let server_metrics = server_core.metrics();
+    let mut server = ServerDaemon::start(
+        Arc::clone(&clean),
+        "agent",
+        server_core,
+        ServerConfig::quick("cachehost", "srv0", 100.0),
+    )
+    .unwrap();
+
+    let policy = ChaosPolicy::calm()
+        .with_refusals(0.10)
+        .with_corruption(0.03)
+        .with_delays(0.10, Duration::from_millis(2));
+    let metrics = Arc::new(MetricsRegistry::new());
+    let tracer = Arc::new(Tracer::new());
+    let chaos = Arc::new(
+        ChaosTransport::new(Arc::clone(&clean), policy, seed)
+            .with_metrics(&metrics)
+            .with_tracer(Arc::clone(&tracer)),
+    );
+    let retry = RetryPolicy {
+        max_attempts: 5,
+        attempt_timeout_secs: 5.0,
+        backoff: Backoff::ExponentialJitter { base_secs: 0.002, cap_secs: 0.02 },
+        deadline_secs: 0.0,
+        report_failures: true,
+    };
+
+    // A fixed roster of distinct problems shared by every client, cycled
+    // each round: after round one, virtually all requests are repeats.
+    let problem = |p: usize| -> (Vec<f64>, Vec<f64>, f64) {
+        let x: Vec<f64> = (0..16).map(|k| ((p * 7 + k) % 11) as f64).collect();
+        let y: Vec<f64> = (0..16).map(|k| ((p * 3 + k) % 7) as f64).collect();
+        let expect = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        (x, y, expect)
+    };
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed_retryable = Arc::new(AtomicU64::new(0));
+    let run_phase = |phase: u64| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let transport: Arc<dyn Transport> = Arc::clone(&chaos) as Arc<dyn Transport>;
+                let metrics = Arc::clone(&metrics);
+                let tracer = Arc::clone(&tracer);
+                let ok = Arc::clone(&ok);
+                let failed_retryable = Arc::clone(&failed_retryable);
+                std::thread::spawn(move || {
+                    let client = NetSolveClient::new(transport, "agent")
+                        .with_retry(retry)
+                        .with_jitter_seed(seed.wrapping_mul(41).wrapping_add(phase * 100 + c as u64))
+                        .with_observability(metrics, tracer);
+                    for _ in 0..ROUNDS {
+                        for p in 0..PROBLEMS {
+                            let (x, y, expect) = problem(p);
+                            match client.netsl("ddot", &[x.into(), y.into()]) {
+                                Ok(out) => {
+                                    let got = out[0].as_double().unwrap();
+                                    assert_eq!(
+                                        got.to_bits(),
+                                        expect.to_bits(),
+                                        "seed {seed} phase {phase} client {c} problem {p}: \
+                                         corrupted or wrong reply served ({got} vs {expect})"
+                                    );
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    assert!(e.is_retryable(), "non-retryable leak: {e}");
+                                    failed_retryable.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("a cached-soak client panicked");
+        }
+    };
+
+    // Phase 1: populate and hammer the cache through wire chaos.
+    run_phase(1);
+    let snap1 = server_metrics.snapshot("server");
+    assert!(snap1.counter("server.cache_hits") > 0, "seed {seed}: repeats never hit");
+    assert_eq!(cache.entries(), PROBLEMS, "seed {seed}: roster not fully cached");
+
+    // Corrupt EVERY cached entry in memory, then hammer again. Each swept
+    // entry must be dropped by the serve-time CRC on its next probe — not
+    // one corrupted byte may reach a client.
+    let corrupted = cache.corrupt_all_entries_for_test();
+    assert_eq!(corrupted, PROBLEMS, "seed {seed}: sweep missed entries");
+    run_phase(2);
+
+    let total = (2 * CLIENTS * ROUNDS * PROBLEMS) as u64;
+    let ok = ok.load(Ordering::Relaxed);
+    let failed = failed_retryable.load(Ordering::Relaxed);
+    assert_eq!(ok + failed, total, "seed {seed}: requests unaccounted for");
+    assert!(ok >= total / 2, "seed {seed}: too few successes ({ok}/{total})");
+
+    // Wire-level corruption all caught by the frame CRC (this includes
+    // corrupted cached replies in flight).
+    let stats = chaos.stats();
+    assert!(stats.corruptions_injected > 0, "seed {seed}: wire chaos never bit");
+    assert_eq!(
+        stats.corruptions_injected, stats.corruptions_detected,
+        "seed {seed}: wire corruption escaped the frame CRC"
+    );
+
+    // In-memory corruption all caught by the serve-time CRC: every swept
+    // entry was dropped exactly once, the store healed back to a full
+    // roster, and both CRC legs (insert and serve) demonstrably ran.
+    let snap2 = server_metrics.snapshot("server");
+    assert_eq!(
+        snap2.counter("server.cache_corrupt_dropped"),
+        corrupted as u64,
+        "seed {seed}: swept entries must each be dropped on next probe"
+    );
+    assert!(
+        snap2.counter("server.cache_insert_crcs") >= (2 * PROBLEMS) as u64,
+        "seed {seed}: re-solves after the sweep must re-checksum on insert"
+    );
+    assert!(
+        snap2.counter("server.cache_serve_crcs") > snap1.counter("server.cache_serve_crcs"),
+        "seed {seed}: phase 2 never exercised the serve-time CRC"
+    );
+    assert_eq!(cache.entries(), PROBLEMS, "seed {seed}: store did not heal after the sweep");
+    assert!(
+        metrics.snapshot("clients").counter("client.cached_replies") > 0,
+        "seed {seed}: no reply ever carried the cached marker"
+    );
+
+    server.stop();
+    agent.stop();
+}
+
+#[test]
+fn chaos_soak_cached_seed_1() {
+    run_cached_soak(1);
+}
+
+#[test]
+fn chaos_soak_cached_seed_2() {
+    run_cached_soak(2);
+}
+
 #[test]
 fn chaos_soak_agent_crash_seed_1() {
     run_agent_crash_soak(1);

@@ -11,11 +11,11 @@ use netsolve::xdr::{crc32, Encoder};
 #[test]
 fn ping_frame_is_pinned() {
     let bytes = frame_bytes(&Message::Ping).unwrap();
-    // magic "NSRV", version 4 (gossip federation messages), length 4,
-    // payload = tag 13, crc
+    // magic "NSRV", version 5 (cached-reply marker + report addresses),
+    // length 4, payload = tag 13, crc
     let mut expect = Vec::new();
     expect.extend_from_slice(&0x4E53_5256u32.to_be_bytes());
-    expect.extend_from_slice(&4u32.to_be_bytes());
+    expect.extend_from_slice(&5u32.to_be_bytes());
     expect.extend_from_slice(&4u32.to_be_bytes());
     expect.extend_from_slice(&13u32.to_be_bytes());
     expect.extend_from_slice(&crc32(&13u32.to_be_bytes()).to_be_bytes());
