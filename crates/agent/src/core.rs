@@ -583,6 +583,14 @@ impl AgentCore {
                 if global > seen {
                     c.add(global - seen);
                 }
+                // Likewise for sends that missed the thread-local write
+                // scratch (reentrant writers only; should stay at zero).
+                let c = self.metrics.counter("proto.write_scratch_fallback");
+                let global = netsolve_proto::write_scratch_fallbacks();
+                let seen = c.get();
+                if global > seen {
+                    c.add(global - seen);
+                }
                 Message::StatsReply(self.metrics.snapshot("agent"))
             }
             Message::TraceQuery { trace_id } => {

@@ -1,9 +1,10 @@
 //! R1-wire — Wire-path experiment: single-pass framing vs the legacy
-//! multi-pass route.
+//! multi-pass route, and the three decode routes against each other.
 //!
 //! Measures encode+frame throughput of both writer paths plus decode
-//! throughput across payloads from 1 KiB to 64 MiB, all in the same run
-//! so the speedup column compares like with like:
+//! throughput of all three reader routes across payloads from 1 KiB to
+//! 64 MiB, all in the same run so the speedup columns compare like with
+//! like:
 //!
 //! * **legacy** — `frame_bytes`: encode the payload into its own vector,
 //!   copy it into a freshly allocated frame vector, then a separate CRC
@@ -13,9 +14,23 @@
 //!   the CRC folded in during encode (one pass, zero steady-state
 //!   allocations).
 //!
-//! Expected shape: the gap widens with payload size — large frames pay
-//! the legacy route's extra passes and fresh page-faulting allocations in
-//! full, while the single-pass route stays in one warm buffer.
+//! Decode routes:
+//!
+//! * **owned** — `read_message`: pull the frame off a reader into a fresh
+//!   payload vector, then decode from it (one allocation + copy per
+//!   frame);
+//! * **borrowed** — `parse_frame`: validate the header in place, CRC-scan
+//!   the payload slice, decode borrowed views straight out of it (zero
+//!   payload allocations — arrays do a single bulk BE conversion);
+//! * **streamed** — `FrameReader` with threshold 0: decode through
+//!   bounded chunks, never holding the whole payload (the route large
+//!   operands take on a live connection).
+//!
+//! Expected shape: the writer gap and the owned→borrowed decode gap both
+//! widen with payload size — large frames pay the extra passes and fresh
+//! page-faulting allocations in full, while the zero-copy routes stay in
+//! warm (or borrowed) memory. The streamed route trades some throughput
+//! for bounded memory.
 //!
 //! Run: `cargo run --release -p netsolve-bench --bin r1_wire_path`
 //! (writes `results/BENCH_r1_wire.json`); pass `--quick` for a tiny
@@ -26,18 +41,27 @@ use std::time::Instant;
 use netsolve_bench::Table;
 use netsolve_core::units::{fmt_bytes, fmt_rate};
 use netsolve_core::DataObject;
-use netsolve_proto::{encode_frame_into, frame_bytes, parse_frame, Message};
+use netsolve_proto::{
+    encode_frame_into, frame_bytes, parse_frame, read_message, FrameReader, Message,
+    DEFAULT_STREAM_CHUNK,
+};
 
 struct Row {
     payload_bytes: u64,
     legacy_bps: f64,
     single_pass_bps: f64,
+    decode_owned_bps: f64,
     decode_bps: f64,
+    decode_streamed_bps: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.single_pass_bps / self.legacy_bps
+    }
+
+    fn decode_speedup(&self) -> f64 {
+        self.decode_bps / self.decode_owned_bps
     }
 }
 
@@ -79,15 +103,46 @@ fn measure(payload_bytes: usize, repeats: usize) -> Row {
     });
     assert_eq!(scratch, framed, "writer paths must agree byte-for-byte");
 
+    // Decode routes. All three must agree with the original message —
+    // checked once outside the timed loops.
+    let (borrowed_msg, _) = parse_frame(&framed).unwrap();
+    let owned_msg = read_message(&mut framed.as_slice()).unwrap();
+    let mut reader = FrameReader::new(0, DEFAULT_STREAM_CHUNK);
+    let streamed_msg = reader.read_from(&mut framed.as_slice()).unwrap();
+    assert_eq!(borrowed_msg, msg, "borrowed decode route disagrees");
+    assert_eq!(owned_msg, msg, "owned decode route disagrees");
+    assert_eq!(streamed_msg, msg, "streamed decode route disagrees");
+    // Bounded-memory invariant (meaningful once the frame dwarfs the
+    // chunk): the streamed route must never hold the whole payload.
+    if framed.len() > 4 * DEFAULT_STREAM_CHUNK {
+        assert!(
+            reader.buffered_capacity() < framed.len(),
+            "streamed route buffered a whole {} frame",
+            fmt_bytes(framed.len() as u64)
+        );
+    }
+
+    let owned_secs = time_per_iter(repeats, || {
+        std::hint::black_box(read_message(&mut std::hint::black_box(framed.as_slice())).unwrap());
+    });
+
     let decode_secs = time_per_iter(repeats, || {
         std::hint::black_box(parse_frame(std::hint::black_box(&framed)).unwrap());
+    });
+
+    let streamed_secs = time_per_iter(repeats, || {
+        std::hint::black_box(
+            reader.read_from(&mut std::hint::black_box(framed.as_slice())).unwrap(),
+        );
     });
 
     Row {
         payload_bytes: payload_bytes as u64,
         legacy_bps: frame_len / legacy_secs,
         single_pass_bps: frame_len / single_secs,
+        decode_owned_bps: frame_len / owned_secs,
         decode_bps: frame_len / decode_secs,
+        decode_streamed_bps: frame_len / streamed_secs,
     }
 }
 
@@ -102,23 +157,28 @@ fn write_json(rows: &[Row], path: &str) {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"payload_bytes\": {}, \"legacy_bytes_per_sec\": {:.0}, \
-             \"single_pass_bytes_per_sec\": {:.0}, \"decode_bytes_per_sec\": {:.0}, \
-             \"speedup\": {:.3}}}{}\n",
+             \"single_pass_bytes_per_sec\": {:.0}, \"decode_owned_bytes_per_sec\": {:.0}, \
+             \"decode_bytes_per_sec\": {:.0}, \"decode_streamed_bytes_per_sec\": {:.0}, \
+             \"speedup\": {:.3}, \"decode_speedup\": {:.3}}}{}\n",
             r.payload_bytes,
             r.legacy_bps,
             r.single_pass_bps,
+            r.decode_owned_bps,
             r.decode_bps,
+            r.decode_streamed_bps,
             r.speedup(),
+            r.decode_speedup(),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n");
-    let at_16mib = rows
-        .iter()
-        .find(|r| r.payload_bytes == 16 * 1024 * 1024)
-        .map(Row::speedup)
-        .unwrap_or(f64::NAN);
-    out.push_str(&format!("  \"speedup_at_16mib\": {at_16mib:.3}\n"));
+    let at_16mib = rows.iter().find(|r| r.payload_bytes == 16 * 1024 * 1024);
+    let enc_speedup = at_16mib.map(Row::speedup).unwrap_or(f64::NAN);
+    let dec_speedup = at_16mib.map(Row::decode_speedup).unwrap_or(f64::NAN);
+    let dec_bps = at_16mib.map(|r| r.decode_bps).unwrap_or(f64::NAN);
+    out.push_str(&format!("  \"speedup_at_16mib\": {enc_speedup:.3},\n"));
+    out.push_str(&format!("  \"decode_bytes_per_sec_at_16mib\": {dec_bps:.0},\n"));
+    out.push_str(&format!("  \"decode_speedup_at_16mib\": {dec_speedup:.3}\n"));
     out.push_str("}\n");
     std::fs::write(path, out).expect("write BENCH_r1_wire.json");
 }
@@ -143,8 +203,17 @@ fn main() {
     };
 
     let mut table = Table::new(
-        "R1-wire: frame writer throughput, legacy multi-pass vs single-pass",
-        &["payload", "legacy", "single-pass", "speedup", "decode"],
+        "R1-wire: frame writer + decode-route throughput",
+        &[
+            "payload",
+            "legacy",
+            "single-pass",
+            "speedup",
+            "dec-owned",
+            "dec-borrowed",
+            "dec-stream",
+            "dec-speedup",
+        ],
     );
     let mut rows = Vec::new();
     for &(payload, repeats) in sweep {
@@ -154,21 +223,28 @@ fn main() {
             fmt_rate(row.legacy_bps),
             fmt_rate(row.single_pass_bps),
             format!("{:.2}x", row.speedup()),
+            fmt_rate(row.decode_owned_bps),
             fmt_rate(row.decode_bps),
+            fmt_rate(row.decode_streamed_bps),
+            format!("{:.2}x", row.decode_speedup()),
         ]);
         rows.push(row);
     }
     table.print();
+    // measure() asserted, per size, that all three decode routes return
+    // the original message and that the streamed route's buffering stays
+    // under the frame size; reaching this line means they all held.
+    println!("\ndecode routes agree (owned/borrowed/streamed), streamed buffering bounded");
 
     if quick {
-        println!("\n--quick: smoke sizes only, JSON artifact not written");
+        println!("--quick: smoke sizes only, JSON artifact not written");
         return;
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_r1_wire.json");
     write_json(&rows, path);
     println!("\nwrote {path}");
-    println!("shape check: the single-pass writer eliminates the legacy route's");
-    println!("extra copy + separate CRC scan + fresh per-frame allocations, so the");
-    println!("gap should widen with payload size and exceed 1.5x by 16 MiB.");
+    println!("shape check: the single-pass writer and the borrowed decode route both");
+    println!("eliminate a copy + separate CRC scan + fresh per-frame allocations, so");
+    println!("both gaps should widen with payload size and exceed 1.5x by 16 MiB.");
 }

@@ -528,6 +528,46 @@ mod tests {
         net.set_down("echo");
     }
 
+    /// Mid-stream corruption of multi-megabyte operand frames: a byte
+    /// flip anywhere in a large payload must surface as `Corrupt`, never
+    /// as a silently wrong operand — the invariant the CRC exists for,
+    /// checked here across the borrowed decode route's bulk-view path.
+    #[test]
+    fn corruption_of_large_operands_is_always_detected() {
+        let net = ChannelNetwork::new();
+        let listener = net.listen("bigecho").unwrap();
+        thread::spawn(move || {
+            while let Ok(mut conn) = listener.accept() {
+                thread::spawn(move || {
+                    while let Ok(msg) = conn.recv_timeout(Duration::from_secs(5)) {
+                        if conn.send(&msg).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let chaos = chaotic(&net, ChaosPolicy::calm().with_corruption(1.0), 11);
+        let mut conn = chaos.connect("bigecho").unwrap();
+        let payload = Message::RequestSubmit {
+            request_id: 9,
+            deadline_ms: 0,
+            trace_id: 0,
+            parent_span: 0,
+            problem: "dnrm2".into(),
+            inputs: vec![vec![0.5f64; 262_144].into()], // 2 MiB operand
+        };
+        for _ in 0..8 {
+            let err = call(conn.as_mut(), &payload, Duration::from_secs(10)).unwrap_err();
+            assert!(matches!(err, NetSolveError::Corrupt(_)), "got {err}");
+            assert!(err.is_retryable());
+        }
+        let stats = chaos.stats();
+        assert_eq!(stats.corruptions_injected, 8);
+        assert_eq!(stats.corruptions_detected, 8, "a flip escaped CRC validation");
+        net.set_down("bigecho");
+    }
+
     #[test]
     fn resets_surface_as_transport_errors() {
         let net = ChannelNetwork::new();

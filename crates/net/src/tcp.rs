@@ -7,7 +7,10 @@ use std::time::Duration;
 
 use netsolve_core::config::RetryPolicy;
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_proto::{read_message, write_message_into, Message};
+use netsolve_proto::{
+    write_message_into, write_message_streamed, FrameReader, Message, DEFAULT_STREAM_CHUNK,
+    DEFAULT_STREAM_THRESHOLD, VERSION,
+};
 
 use crate::transport::{Connection, Listener, Transport};
 
@@ -114,8 +117,13 @@ struct TcpConnection {
     writer: BufWriter<TcpStream>,
     peer: String,
     /// Reused frame buffer: steady-state sends marshal into warm memory
-    /// and allocate nothing (see `write_message_into`).
+    /// and allocate nothing (see `write_message_into`). Messages above
+    /// the streaming threshold bypass it entirely (chunked sends), so it
+    /// never grows past the threshold either.
     scratch: Vec<u8>,
+    /// Per-connection bounded-memory reader: small frames decode borrowed
+    /// from a reused buffer, large ones stream through chunks.
+    frames: FrameReader,
 }
 
 impl TcpConnection {
@@ -138,27 +146,37 @@ impl TcpConnection {
             writer: BufWriter::new(writer_stream),
             peer,
             scratch: Vec::new(),
+            frames: FrameReader::default(),
         }))
     }
 }
 
 impl Connection for TcpConnection {
     fn send(&mut self, msg: &Message) -> Result<()> {
-        write_message_into(&mut self.writer, msg, &mut self.scratch)
+        // A counting pass (O(1) per bulk array) decides the route: large
+        // operands stream through bounded chunks so the connection never
+        // materializes a multi-megabyte frame, everything else takes the
+        // single-pass scratch-buffer writer.
+        if msg.encoded_len(VERSION) as usize > DEFAULT_STREAM_THRESHOLD {
+            write_message_streamed(&mut self.writer, msg, DEFAULT_STREAM_CHUNK)?;
+            Ok(())
+        } else {
+            write_message_into(&mut self.writer, msg, &mut self.scratch)
+        }
     }
 
     fn recv(&mut self) -> Result<Message> {
         self.reader
             .set_read_timeout(None)
             .map_err(|e| NetSolveError::Transport(e.to_string()))?;
-        read_message(&mut self.reader)
+        self.frames.read_from(&mut self.reader)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Message> {
         self.reader
             .set_read_timeout(Some(timeout))
             .map_err(|e| NetSolveError::Transport(e.to_string()))?;
-        read_message(&mut self.reader).map_err(|e| match e {
+        self.frames.read_from(&mut self.reader).map_err(|e| match e {
             NetSolveError::Timeout(_) => {
                 NetSolveError::Timeout(format!("no reply from {} within {timeout:?}", self.peer))
             }

@@ -17,7 +17,7 @@
 //! rejected before any bytes hit the wire, never silently truncated
 //! through the `u32` length field.
 //!
-//! Two writer paths exist:
+//! Three writer paths exist:
 //!
 //! * [`encode_frame_into`] / [`write_message_into`] — the hot path: the
 //!   message is marshaled **directly into the frame buffer** (header
@@ -25,10 +25,26 @@
 //!   incrementally while encoding, so a frame costs exactly one pass over
 //!   the payload and zero intermediate copies, and a per-connection
 //!   scratch buffer amortizes the allocation away entirely;
+//! * [`write_message_streamed`] — the bounded-memory route for huge
+//!   operands: a counting pass computes the exact payload length (O(1)
+//!   per bulk array), the header goes out first, then the payload is
+//!   marshaled through a chunk buffer straight onto the wire with the
+//!   CRC folded in per chunk — the frame never exists in memory;
 //! * [`frame_bytes`] — the legacy three-pass route (encode to a payload
 //!   vector, copy into a frame vector, scan again for the CRC), kept as
 //!   the baseline the `r1_wire_path` benchmark measures the hot path
 //!   against and for callers that want a self-contained buffer.
+//!
+//! Reading mirrors this: [`parse_frame`] decodes **borrowed** straight
+//! from an in-memory frame (no payload allocation or copy at all), and
+//! [`FrameReader`] gives each connection a bounded-memory reader that
+//! keeps small frames on a reused whole-frame buffer but switches large
+//! ones onto a chunked [`netsolve_xdr::StreamDecoder`] — decode begins
+//! before the operand has fully arrived and per-connection buffering
+//! stays far below the payload size. On either route the CRC still
+//! covers every payload byte; a mismatch is reported as
+//! [`NetSolveError::Corrupt`] even when a decode error surfaced first,
+//! so flipped bits on the chunked route are never misclassified.
 //!
 //! Reading is version-tolerant: any frame whose version is in
 //! `1..=VERSION` is accepted and its payload decoded under the sender's
@@ -36,11 +52,12 @@
 //! interoperating; downgraded decodes are counted and surfaced as the
 //! `proto.version_downgrade` counter in daemon stats.
 
+use std::cell::RefCell;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_xdr::{crc32, Encoder};
+use netsolve_xdr::{crc32, Encoder, StreamDecoder, XdrSource, STREAM_INIT_ALLOC};
 
 use crate::message::Message;
 
@@ -71,9 +88,25 @@ pub const MIN_VERSION: u32 = 1;
 pub const MAX_FRAME_PAYLOAD: usize = 512 * 1024 * 1024;
 /// Bytes of frame header before the payload (magic, version, length).
 pub const HEADER_LEN: usize = 12;
+/// Default chunk size for the streaming read/write routes (64 KiB): the
+/// per-connection memory bound while a large frame is in flight.
+pub const DEFAULT_STREAM_CHUNK: usize = 64 * 1024;
+/// Frames with payloads at or below this stay on the whole-frame borrowed
+/// decode route (fastest); larger ones stream through bounded chunks.
+pub const DEFAULT_STREAM_THRESHOLD: usize = 1024 * 1024;
 
 /// Process-wide count of frames accepted at a version below [`VERSION`].
 static VERSION_DOWNGRADES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`write_message`] calls that could not use the
+/// shared thread-local scratch and fell back to a throwaway buffer.
+static WRITE_SCRATCH_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread frame scratch backing [`write_message`], so callers
+    /// without a per-connection buffer still amortize the allocation.
+    static WRITE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// How many frames this process has accepted from older-version peers
 /// (decoded under the sender's version). Daemons mirror this into their
@@ -81,6 +114,14 @@ static VERSION_DOWNGRADES: AtomicU64 = AtomicU64::new(0);
 /// `StatsQuery`.
 pub fn version_downgrades() -> u64 {
     VERSION_DOWNGRADES.load(Ordering::Relaxed)
+}
+
+/// How many [`write_message`] sends in this process hit the throwaway
+/// allocation path instead of the thread-local scratch (only possible if
+/// a writer reentrantly sends while a send is in progress). Daemons
+/// mirror this as `proto.write_scratch_fallback`.
+pub fn write_scratch_fallbacks() -> u64 {
+    WRITE_SCRATCH_FALLBACKS.load(Ordering::Relaxed)
 }
 
 fn oversize(len: usize) -> NetSolveError {
@@ -155,27 +196,65 @@ pub fn write_message_into(
     Ok(())
 }
 
-/// Write one framed message (convenience wrapper over
-/// [`write_message_into`] with a throwaway buffer).
+/// Write one framed message without a caller-provided buffer. The frame
+/// is built in a thread-local scratch that persists across calls, so
+/// even buffer-less callers stop paying a fresh allocation per send;
+/// the (reentrancy-only) throwaway fallback is counted in
+/// [`write_scratch_fallbacks`].
 pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
-    let mut buf = Vec::new();
-    write_message_into(w, msg, &mut buf)
+    WRITE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => write_message_into(w, msg, &mut scratch),
+        Err(_) => {
+            WRITE_SCRATCH_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            let mut buf = Vec::new();
+            write_message_into(w, msg, &mut buf)
+        }
+    })
 }
 
-/// Read one framed message, validating magic, version, length cap and CRC.
-///
-/// Versions `MIN_VERSION..=VERSION` are accepted; the payload is decoded
-/// under the sender's version so additive fields degrade gracefully
-/// instead of hard-rejecting older peers.
-pub fn read_message(r: &mut impl Read) -> Result<Message> {
+/// Write one framed message through a bounded chunk buffer — the frame
+/// never exists contiguously in memory, so a 64 MiB operand costs `chunk`
+/// bytes of sender memory instead of 64 MiB. A counting pass (O(1) per
+/// bulk array) computes the length field the header must carry before
+/// the payload; the CRC is folded in chunk by chunk as bytes leave.
+/// Returns the total bytes written (header + payload + CRC).
+pub fn write_message_streamed(
+    w: &mut impl Write,
+    msg: &Message,
+    chunk: usize,
+) -> Result<u64> {
+    let payload_len = msg.encoded_len(VERSION);
+    if payload_len as usize > MAX_FRAME_PAYLOAD {
+        return Err(oversize(payload_len as usize));
+    }
     let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            NetSolveError::Transport("peer closed connection".into())
-        } else {
-            NetSolveError::from(e)
-        }
-    })?;
+    header[0..4].copy_from_slice(&MAGIC.to_be_bytes());
+    header[4..8].copy_from_slice(&VERSION.to_be_bytes());
+    header[8..12].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    w.write_all(&header)?;
+    let (crc, written) = {
+        let mut e = Encoder::streaming(w, chunk).with_crc();
+        msg.encode_into(&mut e);
+        let crc = e.crc().expect("crc tracking enabled");
+        (crc, e.finish_stream()?)
+    };
+    if written != payload_len {
+        // Would desync the stream against the announced length; the
+        // counting and streaming sinks share encode_body, so this can
+        // only mean memory corruption — fail loudly.
+        return Err(NetSolveError::Internal(format!(
+            "streamed payload wrote {written} bytes, counted {payload_len}"
+        )));
+    }
+    w.write_all(&crc.to_be_bytes())?;
+    w.flush()?;
+    Ok(HEADER_LEN as u64 + written + 4)
+}
+
+/// Validate a frame header: magic, version window (counting downgrades),
+/// and the payload-length cap. Returns the sender's version and payload
+/// length. Shared by every read route so the three cannot drift.
+fn validate_header(header: &[u8; HEADER_LEN]) -> Result<(u32, usize)> {
     let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(NetSolveError::Protocol(format!(
@@ -195,8 +274,39 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
     if len > MAX_FRAME_PAYLOAD {
         return Err(oversize(len));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    Ok((version, len))
+}
+
+fn read_header(r: &mut impl Read) -> Result<(u32, usize)> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetSolveError::Transport("peer closed connection".into())
+        } else {
+            NetSolveError::from(e)
+        }
+    })?;
+    validate_header(&header)
+}
+
+/// Read one framed message, validating magic, version, length cap and CRC.
+///
+/// Versions `MIN_VERSION..=VERSION` are accepted; the payload is decoded
+/// under the sender's version so additive fields degrade gracefully
+/// instead of hard-rejecting older peers.
+pub fn read_message(r: &mut impl Read) -> Result<Message> {
+    let (version, len) = read_header(r)?;
+    // The header's length field is untrusted: allocate at most
+    // STREAM_INIT_ALLOC up front and let the buffer grow only as payload
+    // bytes actually arrive, so a forged 12-byte header cannot commit
+    // hundreds of megabytes per connection.
+    let mut payload = Vec::with_capacity(len.min(STREAM_INIT_ALLOC));
+    let got_len = r.by_ref().take(len as u64).read_to_end(&mut payload)?;
+    if got_len < len {
+        return Err(NetSolveError::Transport(
+            "peer closed connection mid-frame".into(),
+        ));
+    }
     let mut crc_bytes = [0u8; 4];
     r.read_exact(&mut crc_bytes)?;
     let expect = u32::from_be_bytes(crc_bytes);
@@ -211,13 +321,165 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
     Message::decode_versioned(&payload, version)
 }
 
-/// Parse one frame from an in-memory buffer, returning the message and how
-/// many bytes were consumed. Used by the in-process transport, which hands
-/// over whole frames.
+/// Parse one frame **borrowed** from an in-memory buffer, returning the
+/// message and how many bytes were consumed. The payload is never copied
+/// into an intermediate buffer: the header is validated in place, the
+/// CRC scans the slice, and the message decodes straight from it — this
+/// is the receive-side mirror of the single-pass writer, and the route
+/// the in-process transport (which hands over whole frames) rides.
 pub fn parse_frame(buf: &[u8]) -> Result<(Message, usize)> {
-    let mut cursor = std::io::Cursor::new(buf);
-    let msg = read_message(&mut cursor)?;
-    Ok((msg, cursor.position() as usize))
+    if buf.len() < HEADER_LEN {
+        return Err(NetSolveError::Transport("peer closed connection".into()));
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("12 bytes");
+    let (version, len) = validate_header(header)?;
+    let total = HEADER_LEN + len + 4;
+    if buf.len() < total {
+        return Err(NetSolveError::Transport(
+            "peer closed connection mid-frame".into(),
+        ));
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let expect = u32::from_be_bytes(
+        buf[HEADER_LEN + len..total].try_into().expect("4 bytes"),
+    );
+    let got = crc32(payload);
+    if got != expect {
+        return Err(NetSolveError::Corrupt(format!(
+            "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
+        )));
+    }
+    let msg = Message::decode_versioned(payload, version)?;
+    Ok((msg, total))
+}
+
+/// Per-connection frame reader with bounded memory. Small frames (payload
+/// ≤ `stream_threshold`) land in a reused whole-frame buffer and decode
+/// borrowed — the steady-state hot path, allocation-free once warm. Large
+/// frames switch to the chunked streaming route: the payload flows
+/// through a `chunk`-byte [`StreamDecoder`] window, decode begins before
+/// the operand has fully arrived, and per-connection buffering stays at
+/// the chunk size (plus the decoded message itself) instead of the
+/// payload size.
+///
+/// On the streaming route a decode error drains the rest of the frame so
+/// the connection stays framed, and the CRC verdict is still rendered
+/// over every payload byte: checksum mismatch reports
+/// [`NetSolveError::Corrupt`] *in preference to* whatever decode error
+/// the garbled bytes produced, exactly like the whole-frame routes.
+#[derive(Debug)]
+pub struct FrameReader {
+    /// Reused whole-frame buffer for the small-frame borrowed route.
+    buf: Vec<u8>,
+    /// Payloads larger than this stream through chunks.
+    stream_threshold: usize,
+    /// Chunk-buffer size for the streaming route.
+    chunk: usize,
+    /// Frames this reader decoded via the streaming route.
+    streamed: u64,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new(DEFAULT_STREAM_THRESHOLD, DEFAULT_STREAM_CHUNK)
+    }
+}
+
+impl FrameReader {
+    /// Reader that streams payloads above `stream_threshold` through a
+    /// `chunk`-byte window. `stream_threshold = 0` streams everything;
+    /// `stream_threshold = MAX_FRAME_PAYLOAD` always buffers whole frames.
+    pub fn new(stream_threshold: usize, chunk: usize) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            stream_threshold,
+            chunk: chunk.max(64),
+            streamed: 0,
+        }
+    }
+
+    /// Read one framed message from `r`.
+    pub fn read_from(&mut self, r: &mut impl Read) -> Result<Message> {
+        let (version, len) = read_header(r)?;
+        if len <= self.stream_threshold {
+            self.read_buffered(r, version, len)
+        } else {
+            self.streamed += 1;
+            read_streamed(r, version, len, self.chunk)
+        }
+    }
+
+    /// Small-frame route: payload into the reused buffer (grown only as
+    /// bytes arrive — the untrusted length commits no memory), then CRC
+    /// and a borrowed decode straight from the buffer.
+    fn read_buffered(&mut self, r: &mut impl Read, version: u32, len: usize) -> Result<Message> {
+        self.buf.clear();
+        if self.buf.capacity() < len.min(STREAM_INIT_ALLOC) {
+            self.buf.reserve(len.min(STREAM_INIT_ALLOC));
+        }
+        let got_len = r.by_ref().take(len as u64).read_to_end(&mut self.buf)?;
+        if got_len < len {
+            return Err(NetSolveError::Transport(
+                "peer closed connection mid-frame".into(),
+            ));
+        }
+        let mut crc_bytes = [0u8; 4];
+        r.read_exact(&mut crc_bytes)?;
+        let expect = u32::from_be_bytes(crc_bytes);
+        let got = crc32(&self.buf);
+        if got != expect {
+            return Err(NetSolveError::Corrupt(format!(
+                "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
+            )));
+        }
+        Message::decode_versioned(&self.buf, version)
+    }
+
+    /// Frames this reader has decoded via the chunked streaming route.
+    pub fn streamed_frames(&self) -> u64 {
+        self.streamed
+    }
+
+    /// Upper bound on this reader's own buffering: the retained small-
+    /// frame buffer or the streaming chunk window, whichever is larger.
+    pub fn buffered_capacity(&self) -> usize {
+        self.buf.capacity().max(self.chunk)
+    }
+}
+
+/// Streaming route body: decode directly off the wire through a bounded
+/// chunk window, then render the CRC verdict over the whole payload.
+fn read_streamed(r: &mut impl Read, version: u32, len: usize, chunk: usize) -> Result<Message> {
+    let (outcome, got, drained) = {
+        let mut sd = StreamDecoder::new(r, len, chunk);
+        let outcome = Message::decode_body(&mut sd, version).and_then(|msg| {
+            if sd.remaining() == 0 {
+                Ok(msg)
+            } else {
+                Err(NetSolveError::Protocol(format!(
+                    "{} trailing bytes after decode",
+                    sd.remaining()
+                )))
+            }
+        });
+        // Whatever decode did, pull the rest of the payload so the
+        // stream stays framed and the CRC covers every byte.
+        let drained = sd.drain();
+        (outcome, sd.crc(), drained)
+    };
+    drained?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let expect = u32::from_be_bytes(crc_bytes);
+    if got != expect {
+        // The CRC verdict outranks any decode error: garbled bytes that
+        // happened to also break decoding are corruption, not a protocol
+        // violation — same classification as the whole-frame routes.
+        return Err(NetSolveError::Corrupt(format!(
+            "frame checksum mismatch: computed {got:#010x}, expected {expect:#010x}"
+        )));
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -526,6 +788,202 @@ mod tests {
         let mut wire = Vec::new();
         assert!(write_message_into(&mut wire, &msg, &mut scratch).is_err());
         assert!(wire.is_empty(), "no bytes may reach the wire");
+    }
+
+    /// Regression (lying header): a forged 12-byte header announcing a
+    /// near-cap payload must not commit the announced allocation before
+    /// payload bytes actually arrive. Previously `read_message` did
+    /// `vec![0u8; len]` straight from the untrusted length — 512 MiB of
+    /// zeroed memory per connection for 12 bytes of attacker traffic.
+    #[test]
+    fn lying_length_header_cannot_commit_memory_upfront() {
+        // Header claims 256 MiB; only 40 bytes of payload follow.
+        let claimed: usize = 256 * 1024 * 1024;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_be_bytes());
+        wire.extend_from_slice(&VERSION.to_be_bytes());
+        wire.extend_from_slice(&(claimed as u32).to_be_bytes());
+        wire.extend_from_slice(&[0xAB; 40]);
+
+        struct CountingReader<'a> {
+            inner: std::io::Cursor<&'a [u8]>,
+        }
+        impl Read for CountingReader<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.inner.read(buf)
+            }
+        }
+
+        let mut r = CountingReader { inner: std::io::Cursor::new(&wire) };
+        let err = read_message(&mut r).unwrap_err();
+        assert!(
+            matches!(err, NetSolveError::Transport(_)),
+            "truncated lying frame must be a transport error, got {err:?}"
+        );
+
+        // The same header through the per-connection reader: its retained
+        // buffer must stay near the bytes that actually arrived, nowhere
+        // near the claimed 256 MiB.
+        let mut fr = FrameReader::default();
+        let mut cur = std::io::Cursor::new(&wire[..]);
+        assert!(fr.read_from(&mut cur).is_err());
+        assert!(
+            fr.buffered_capacity() <= 2 * STREAM_INIT_ALLOC,
+            "lying header grew the reader buffer to {} bytes",
+            fr.buffered_capacity()
+        );
+    }
+
+    /// The streamed writer must produce byte-identical frames to the
+    /// single-pass writer for every message shape: same header (exact
+    /// counted length), same payload, same CRC.
+    #[test]
+    fn streamed_writer_matches_single_pass_bytes() {
+        let subjects = vec![
+            Message::Ping,
+            Message::WorkloadReport { server_id: 9, workload: 12.5 },
+            Message::RequestSubmit {
+                request_id: 77,
+                deadline_ms: 1_500,
+                trace_id: 0x9999_0000_0000_0001,
+                parent_span: 6,
+                problem: "dgesv".into(),
+                inputs: vec![
+                    vec![0.25f64; 10_000].into(),
+                    netsolve_core::DataObject::Text("rhs".into()),
+                ],
+            },
+            Message::Error { code: 4, detail: "execution failed".into() },
+        ];
+        for msg in &subjects {
+            let reference = frame_ok(msg);
+            let mut wire = Vec::new();
+            // A small chunk forces many flushes mid-payload.
+            let n = write_message_streamed(&mut wire, msg, 128).unwrap();
+            assert_eq!(n as usize, wire.len());
+            assert_eq!(wire, reference, "streamed frame mismatch for {}", msg.name());
+        }
+    }
+
+    /// A multi-megabyte operand round-trips through the chunked streaming
+    /// read route with bounded buffering, and the reader's route counter
+    /// proves the streaming path (not the whole-frame path) handled it.
+    #[test]
+    fn large_frame_streams_with_bounded_buffering() {
+        let elems = 4 * 1024 * 1024 / 8; // 4 MiB operand
+        let msg = Message::RequestSubmit {
+            request_id: 5,
+            deadline_ms: 0,
+            trace_id: 1,
+            parent_span: 0,
+            problem: "dgesv".into(),
+            inputs: vec![(0..elems).map(|i| i as f64 * 0.5).collect::<Vec<f64>>().into()],
+        };
+        let mut wire = Vec::new();
+        write_message_streamed(&mut wire, &msg, DEFAULT_STREAM_CHUNK).unwrap();
+
+        let mut fr = FrameReader::default();
+        let mut cur = std::io::Cursor::new(&wire[..]);
+        let got = fr.read_from(&mut cur).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(fr.streamed_frames(), 1, "large frame must take the streaming route");
+        let payload = wire.len() - HEADER_LEN - 4;
+        assert!(
+            fr.buffered_capacity() < payload,
+            "reader buffered {} bytes for a {} byte payload",
+            fr.buffered_capacity(),
+            payload
+        );
+
+        // A small frame on the same reader takes the buffered route.
+        let ping = frame_ok(&Message::Ping);
+        let mut cur = std::io::Cursor::new(&ping[..]);
+        assert_eq!(fr.read_from(&mut cur).unwrap(), Message::Ping);
+        assert_eq!(fr.streamed_frames(), 1);
+    }
+
+    /// Corruption anywhere in a streamed frame's payload must surface as
+    /// `Corrupt` — even when the garbled bytes also break field decoding,
+    /// the CRC verdict outranks the decode error (the chaos-transport
+    /// guarantee, preserved on the chunked route).
+    #[test]
+    fn streamed_route_reports_corruption_over_decode_errors() {
+        use netsolve_core::rng::Rng64;
+        let msg = Message::RequestSubmit {
+            request_id: 8,
+            deadline_ms: 0,
+            trace_id: 0,
+            parent_span: 0,
+            problem: "dgemm".into(),
+            inputs: vec![vec![1.5f64; 64 * 1024].into()], // 512 KiB operand
+        };
+        let mut clean = Vec::new();
+        write_message_streamed(&mut clean, &msg, 4096).unwrap();
+        let payload_len = clean.len() - HEADER_LEN - 4;
+
+        let mut rng = Rng64::new(0xC0FF_EE00);
+        for _ in 0..50 {
+            let mut wire = clean.clone();
+            let idx = HEADER_LEN + rng.below(payload_len);
+            wire[idx] ^= 1u8 << rng.below(8);
+            // Stream threshold 0: force every frame onto the chunked route.
+            let mut fr = FrameReader::new(0, 4096);
+            let mut cur = std::io::Cursor::new(&wire[..]);
+            match fr.read_from(&mut cur) {
+                Err(NetSolveError::Corrupt(_)) => {}
+                other => panic!(
+                    "flip at payload byte {} escaped the CRC verdict: {other:?}",
+                    idx - HEADER_LEN
+                ),
+            }
+        }
+    }
+
+    /// A streamed frame truncated mid-chunk errors cleanly as a transport
+    /// fault (peer died), never a hang, panic, or silent partial decode.
+    #[test]
+    fn streamed_route_handles_truncated_chunks() {
+        use netsolve_core::rng::Rng64;
+        let msg = Message::RequestSubmit {
+            request_id: 9,
+            deadline_ms: 0,
+            trace_id: 0,
+            parent_span: 0,
+            problem: "dgesv".into(),
+            inputs: vec![vec![2.5f64; 32 * 1024].into()],
+        };
+        let mut clean = Vec::new();
+        write_message_streamed(&mut clean, &msg, 4096).unwrap();
+        let mut rng = Rng64::new(0x7121_CA7E);
+        for _ in 0..40 {
+            let cut = HEADER_LEN + rng.below(clean.len() - HEADER_LEN);
+            let mut fr = FrameReader::new(0, 4096);
+            let mut cur = std::io::Cursor::new(&clean[..cut]);
+            assert!(
+                fr.read_from(&mut cur).is_err(),
+                "truncated streamed frame (cut={cut}) parsed as valid"
+            );
+        }
+    }
+
+    /// `write_message` reuses a thread-local scratch: the fallback
+    /// counter stays untouched by plain sequential sends.
+    #[test]
+    fn write_message_uses_thread_local_scratch() {
+        let before = write_scratch_fallbacks();
+        let mut wire = Vec::new();
+        for _ in 0..10 {
+            write_message(&mut wire, &Message::Ping).unwrap();
+        }
+        assert_eq!(
+            write_scratch_fallbacks(),
+            before,
+            "sequential sends must never hit the throwaway fallback"
+        );
+        let mut cur = std::io::Cursor::new(wire);
+        for _ in 0..10 {
+            assert_eq!(read_message(&mut cur).unwrap(), Message::Ping);
+        }
     }
 
     /// Version tolerance: a v1 peer's `RequestSubmit` (no `deadline_ms`

@@ -16,8 +16,9 @@ pub mod message;
 
 pub use frame::{
     encode_frame_into, frame_bytes, frame_bytes_versioned, parse_frame, read_message,
-    version_downgrades, write_message, write_message_into, MAX_FRAME_PAYLOAD, MIN_VERSION,
-    VERSION,
+    version_downgrades, write_message, write_message_into, write_message_streamed,
+    write_scratch_fallbacks, FrameReader, DEFAULT_STREAM_CHUNK, DEFAULT_STREAM_THRESHOLD,
+    MAX_FRAME_PAYLOAD, MIN_VERSION, VERSION,
 };
 pub use message::{Candidate, GossipEntry, Message, QueryShape, ServerDescriptor, ServerInfo};
 
@@ -233,6 +234,32 @@ mod proptests {
             let mut single = Vec::new();
             encode_frame_into(&msg, &mut single).unwrap();
             prop_assert_eq!(single, legacy);
+        }
+
+        #[test]
+        fn all_decode_routes_agree(msg in arb_message()) {
+            // The borrowed route (aligned and deliberately misaligned) and
+            // the chunked streaming route must all decode bit-identically
+            // to the message that was encoded.
+            let bytes = frame_bytes(&msg).unwrap();
+            let (borrowed, used) = parse_frame(&bytes).unwrap();
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(&borrowed, &msg);
+
+            // Shift by one byte so every f64/u64 view inside the payload
+            // lands on an odd address and the alignment fallback runs.
+            let mut shifted = Vec::with_capacity(bytes.len() + 1);
+            shifted.push(0u8);
+            shifted.extend_from_slice(&bytes);
+            let (unaligned, _) = parse_frame(&shifted[1..]).unwrap();
+            prop_assert_eq!(&unaligned, &msg);
+
+            // Streaming route, threshold 0 so every frame streams, with a
+            // chunk size that never lands on an 8-byte element boundary.
+            let mut rdr = FrameReader::new(0, 97);
+            let streamed = rdr.read_from(&mut &bytes[..]).unwrap();
+            prop_assert_eq!(rdr.streamed_frames(), 1);
+            prop_assert_eq!(&streamed, &msg);
         }
 
         #[test]

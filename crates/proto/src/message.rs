@@ -13,7 +13,7 @@
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_obs::{HistogramSnapshot, SpanRecord, StatsSnapshot};
-use netsolve_xdr::{Decoder, Encoder};
+use netsolve_xdr::{Decoder, Encoder, XdrSource};
 
 /// Description of one computational server, sent at registration and
 /// embedded in agent replies.
@@ -408,9 +408,21 @@ impl Message {
     /// Encode into an existing encoder at the current protocol version —
     /// the single-pass frame writer hands in an encoder borrowing its
     /// frame buffer (with the header already reserved) so the payload is
-    /// marshaled directly into the frame with no intermediate copy.
+    /// marshaled directly into the frame with no intermediate copy; the
+    /// streaming frame writer hands in counting and streaming encoders.
     pub fn encode_into(&self, e: &mut Encoder<'_>) {
         self.encode_body(e, crate::frame::VERSION);
+    }
+
+    /// Exact encoded payload length at the given protocol version,
+    /// computed without materializing a byte: the message runs through a
+    /// counting encoder, where bulk array puts cost O(1). This is how
+    /// the streaming frame writer learns the length field it must send
+    /// before the payload.
+    pub fn encoded_len(&self, version: u32) -> u64 {
+        let mut c = Encoder::counting();
+        self.encode_body(&mut c, version);
+        c.count()
     }
 
     fn encode_body(&self, e: &mut Encoder<'_>, version: u32) {
@@ -617,7 +629,10 @@ impl Message {
         Ok(msg)
     }
 
-    fn decode_body(d: &mut Decoder<'_>, version: u32) -> Result<Message> {
+    /// Decode one message body from any [`XdrSource`] — the borrowed
+    /// in-memory decoder and the chunked stream decoder share this exact
+    /// field logic, so the two routes cannot drift apart.
+    pub(crate) fn decode_body<S: XdrSource>(d: &mut S, version: u32) -> Result<Message> {
         let tag = d.get_u32()?;
         Ok(match tag {
             1 => {
@@ -849,13 +864,13 @@ impl Message {
     }
 
     /// Two big-endian u64 words, high first, as one 128-bit id.
-    fn get_u128(d: &mut Decoder<'_>) -> Result<u128> {
+    fn get_u128<S: XdrSource>(d: &mut S) -> Result<u128> {
         let hi = d.get_u64()?;
         let lo = d.get_u64()?;
         Ok(((hi as u128) << 64) | lo as u128)
     }
 
-    fn decode_query_shape(d: &mut Decoder<'_>, version: u32) -> Result<QueryShape> {
+    fn decode_query_shape<S: XdrSource>(d: &mut S, version: u32) -> Result<QueryShape> {
         Ok(QueryShape {
             client_host: d.get_u64()?,
             problem: d.get_string()?,

@@ -324,6 +324,14 @@ impl ServerCore {
                 if global > seen {
                     c.add(global - seen);
                 }
+                // Likewise for sends that missed the thread-local write
+                // scratch (reentrant writers only; should stay at zero).
+                let c = self.metrics.counter("proto.write_scratch_fallback");
+                let global = netsolve_proto::write_scratch_fallbacks();
+                let seen = c.get();
+                if global > seen {
+                    c.add(global - seen);
+                }
                 Message::StatsReply(self.metrics.snapshot("server"))
             }
             Message::Ping => Message::Pong,
@@ -438,6 +446,25 @@ mod tests {
                     .map(|(_, v)| *v)
                     .expect("proto.version_downgrade counter missing from stats");
                 assert!(n >= 1, "downgrade not counted: {n}");
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+    }
+
+    /// The write-scratch fallback counter must be present in stats (its
+    /// value stays zero unless a reentrant send bypassed the scratch).
+    #[test]
+    fn stats_surface_write_scratch_fallbacks() {
+        let core = ServerCore::with_standard_catalogue();
+        match core.handle_message(&Message::StatsQuery) {
+            Message::StatsReply(snap) => {
+                let n = snap
+                    .counters
+                    .iter()
+                    .find(|(name, _)| name == "proto.write_scratch_fallback")
+                    .map(|(_, v)| *v)
+                    .expect("proto.write_scratch_fallback counter missing from stats");
+                assert_eq!(n, netsolve_proto::write_scratch_fallbacks());
             }
             other => panic!("expected StatsReply, got {other:?}"),
         }

@@ -16,7 +16,23 @@
 //! reused across messages, it byte-swaps `f64`/`u64` arrays in bulk into
 //! pre-sized space instead of appending element by element, and it can
 //! fold a CRC-32 over everything it writes ([`Encoder::with_crc`]) so the
-//! framing layer never needs a second pass over the payload.
+//! framing layer never needs a second pass over the payload. Two further
+//! sinks serve the streaming frame route: [`Encoder::counting`] computes
+//! the exact encoded length in O(fields) without materializing a byte
+//! (bulk array puts just add `8 * len`), and [`Encoder::streaming`]
+//! writes through a bounded chunk buffer straight to an `io::Write`, so
+//! a multi-megabyte operand never needs a contiguous frame buffer on the
+//! send side.
+//!
+//! The decoder mirrors this with a borrowed route: [`Decoder::get_f64_slice`]
+//! and [`Decoder::get_u64_slice`] return views straight into the frame
+//! buffer (zero-copy reinterpretation when the host is big-endian and the
+//! bytes are 8-aligned, otherwise a single bulk `chunks_exact` conversion
+//! into caller-owned storage), and [`StreamDecoder`] pulls a frame's
+//! payload from an `io::Read` through a bounded chunk buffer so decode
+//! can begin before the whole operand has arrived.
+
+use std::io::{Read, Write};
 
 use netsolve_core::error::{NetSolveError, Result};
 
@@ -27,16 +43,67 @@ use crate::checksum::Crc32;
 /// corrupt input.
 pub const DEFAULT_MAX_ITEM_BYTES: usize = 256 * 1024 * 1024;
 
+/// Initial allocation granted to a variable-length item before its bytes
+/// have actually arrived (64 KiB). A lying length header can therefore
+/// commit at most this much memory up front; real data grows the buffer
+/// only as it is read.
+pub const STREAM_INIT_ALLOC: usize = 64 * 1024;
+
+/// Stack-block size for streaming bulk array conversion (4 KiB = 512
+/// elements per block).
+const BULK_BLOCK_BYTES: usize = 4096;
+
 fn pad_len(n: usize) -> usize {
     (4 - (n % 4)) % 4
 }
 
-/// The encoder's output buffer: owned, or borrowed from the caller so a
-/// long-lived scratch vector's capacity survives across messages.
+/// Bounded buffer feeding an `io::Write` for the streaming encode route.
+/// Bytes accumulate in `buf` and are flushed whenever it reaches `cap`,
+/// so peak memory is `cap` regardless of payload size. Write errors are
+/// deferred into `err` (the put_* API is infallible) and surfaced by
+/// [`Encoder::finish_stream`].
+struct StreamSink<'a> {
+    w: &'a mut dyn Write,
+    buf: Vec<u8>,
+    cap: usize,
+    written: u64,
+    err: Option<std::io::Error>,
+}
+
+impl std::fmt::Debug for StreamSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("buffered", &self.buf.len())
+            .field("cap", &self.cap)
+            .field("written", &self.written)
+            .field("err", &self.err)
+            .finish()
+    }
+}
+
+impl StreamSink<'_> {
+    fn flush_buf(&mut self) {
+        if self.err.is_some() || self.buf.is_empty() {
+            return;
+        }
+        if let Err(e) = self.w.write_all(&self.buf) {
+            self.err = Some(e);
+        } else {
+            self.written += self.buf.len() as u64;
+        }
+        self.buf.clear();
+    }
+}
+
+/// The encoder's output buffer: owned, borrowed from the caller so a
+/// long-lived scratch vector's capacity survives across messages, a pure
+/// byte counter (length precompute), or a bounded stream to a writer.
 #[derive(Debug)]
 enum Buf<'a> {
     Owned(Vec<u8>),
     Borrowed(&'a mut Vec<u8>),
+    Count(u64),
+    Stream(StreamSink<'a>),
 }
 
 /// Append-only XDR encoder over an owned or borrowed byte buffer.
@@ -64,6 +131,15 @@ impl Encoder<'static> {
     pub fn from_vec(buf: Vec<u8>) -> Self {
         Encoder { buf: Buf::Owned(buf), crc: None }
     }
+
+    /// Encoder that materializes nothing: every put only advances a byte
+    /// counter ([`Encoder::count`]). Bulk array puts cost O(1), so running
+    /// a whole message through a counting encoder is O(fields) — this is
+    /// how the streaming frame writer learns the length field it must
+    /// send before the payload.
+    pub fn counting() -> Self {
+        Encoder { buf: Buf::Count(0), crc: None }
+    }
 }
 
 impl Default for Encoder<'static> {
@@ -81,6 +157,54 @@ impl<'a> Encoder<'a> {
         Encoder { buf: Buf::Borrowed(buf), crc: None }
     }
 
+    /// Encoder that streams through a bounded chunk buffer straight to
+    /// `w`: bytes accumulate until `chunk` is reached, then one gathered
+    /// write flushes them, so peak memory is `chunk` no matter how large
+    /// the payload. Write errors are held back (the put_* API stays
+    /// infallible) and reported by [`Encoder::finish_stream`].
+    pub fn streaming(w: &'a mut dyn Write, chunk: usize) -> Encoder<'a> {
+        let cap = chunk.max(64);
+        Encoder {
+            buf: Buf::Stream(StreamSink {
+                w,
+                buf: Vec::with_capacity(cap),
+                cap,
+                written: 0,
+                err: None,
+            }),
+            crc: None,
+        }
+    }
+
+    /// Flush a streaming encoder's remaining buffered bytes and return
+    /// the total byte count written, or the first deferred write error.
+    /// Must only be called on an encoder built by [`Encoder::streaming`].
+    pub fn finish_stream(self) -> Result<u64> {
+        match self.buf {
+            Buf::Stream(mut s) => {
+                s.flush_buf();
+                match s.err {
+                    Some(e) => Err(NetSolveError::from(e)),
+                    None => Ok(s.written),
+                }
+            }
+            _ => Err(NetSolveError::Internal(
+                "finish_stream on a non-streaming encoder".into(),
+            )),
+        }
+    }
+
+    /// Bytes counted by a [`Encoder::counting`] encoder.
+    pub fn count(&self) -> u64 {
+        match &self.buf {
+            Buf::Count(n) => *n,
+            other => {
+                debug_assert!(false, "count() on non-counting encoder {other:?}");
+                0
+            }
+        }
+    }
+
     /// Fold a CRC-32 over every byte appended from this point on. The
     /// running value is readable via [`Encoder::crc`].
     pub fn with_crc(mut self) -> Self {
@@ -94,67 +218,89 @@ impl<'a> Encoder<'a> {
         self.crc.map(Crc32::finish)
     }
 
-    fn buf_mut(&mut self) -> &mut Vec<u8> {
-        match &mut self.buf {
-            Buf::Owned(v) => v,
-            Buf::Borrowed(v) => v,
-        }
-    }
-
-    fn buf_ref(&self) -> &Vec<u8> {
-        match &self.buf {
-            Buf::Owned(v) => v,
-            Buf::Borrowed(v) => v,
-        }
-    }
-
     /// Append raw bytes, updating the CRC accumulator if enabled. Every
     /// fixed-size put funnels through here.
     fn append(&mut self, bytes: &[u8]) {
         if let Some(c) = self.crc.as_mut() {
             c.write(bytes);
         }
-        self.buf_mut().extend_from_slice(bytes);
-    }
-
-    /// Fold bytes written directly into the buffer (bulk paths) into the
-    /// CRC accumulator.
-    fn crc_over_written(&mut self, start: usize) {
-        let Encoder { buf, crc } = self;
-        if let Some(c) = crc.as_mut() {
-            let b: &Vec<u8> = match buf {
-                Buf::Owned(v) => v,
-                Buf::Borrowed(v) => v,
-            };
-            c.write(&b[start..]);
+        match &mut self.buf {
+            Buf::Owned(v) => v.extend_from_slice(bytes),
+            Buf::Borrowed(v) => v.extend_from_slice(bytes),
+            Buf::Count(n) => *n += bytes.len() as u64,
+            Buf::Stream(s) => {
+                if s.buf.len() + bytes.len() > s.cap {
+                    s.flush_buf();
+                }
+                if bytes.len() >= s.cap {
+                    // Oversized item: bypass the chunk buffer entirely.
+                    if s.err.is_none() {
+                        match s.w.write_all(bytes) {
+                            Ok(()) => s.written += bytes.len() as u64,
+                            Err(e) => s.err = Some(e),
+                        }
+                    }
+                } else {
+                    s.buf.extend_from_slice(bytes);
+                }
+            }
         }
     }
 
-    /// Bytes in the output buffer so far (including any bytes that were
-    /// already present when a borrowed buffer was attached).
-    pub fn len(&self) -> usize {
-        self.buf_ref().len()
+    /// Fold bytes written directly into an in-memory buffer (bulk paths)
+    /// into the CRC accumulator. Only ever called on owned/borrowed sinks.
+    fn crc_over_written(&mut self, start: usize) {
+        let Encoder { buf, crc } = self;
+        if let Some(c) = crc.as_mut() {
+            match buf {
+                Buf::Owned(v) => c.write(&v[start..]),
+                Buf::Borrowed(v) => c.write(&v[start..]),
+                Buf::Count(_) | Buf::Stream(_) => unreachable!("bulk in-place path"),
+            }
+        }
     }
 
-    /// True if the output buffer is empty.
+    /// Bytes produced so far (including any bytes that were already
+    /// present when a borrowed buffer was attached; for a streaming
+    /// encoder, bytes flushed plus bytes still buffered).
+    pub fn len(&self) -> usize {
+        match &self.buf {
+            Buf::Owned(v) => v.len(),
+            Buf::Borrowed(v) => v.len(),
+            Buf::Count(n) => *n as usize,
+            Buf::Stream(s) => s.written as usize + s.buf.len(),
+        }
+    }
+
+    /// True if no bytes have been produced.
     pub fn is_empty(&self) -> bool {
-        self.buf_ref().is_empty()
+        self.len() == 0
     }
 
     /// Finish and take the encoded bytes. For a borrowing encoder this
     /// moves the accumulated bytes out of the scratch buffer (leaving it
     /// empty); prefer dropping the encoder instead when the caller wants
-    /// the bytes to stay in the scratch buffer.
+    /// the bytes to stay in the scratch buffer. Panics on counting or
+    /// streaming encoders, which hold no byte buffer to take.
     pub fn into_bytes(self) -> Vec<u8> {
         match self.buf {
             Buf::Owned(v) => v,
             Buf::Borrowed(v) => std::mem::take(v),
+            Buf::Count(_) | Buf::Stream(_) => {
+                panic!("into_bytes on a counting/streaming encoder")
+            }
         }
     }
 
-    /// Borrow the encoded bytes.
+    /// Borrow the encoded bytes. Panics on counting or streaming encoders.
     pub fn as_bytes(&self) -> &[u8] {
-        self.buf_ref()
+        match &self.buf {
+            Buf::Owned(v) => v,
+            Buf::Borrowed(v) => v,
+            Buf::Count(_) | Buf::Stream(_) => {
+                panic!("as_bytes on a counting/streaming encoder")
+            }
+        }
     }
 
     /// XDR unsigned int (4 bytes, big-endian).
@@ -200,13 +346,41 @@ impl<'a> Encoder<'a> {
         self.put_opaque(s.as_bytes());
     }
 
+    /// The in-memory buffer behind an owned/borrowing encoder (bulk
+    /// in-place paths only; counting/streaming sinks never reach here).
+    fn mem_buf_mut(&mut self) -> &mut Vec<u8> {
+        match &mut self.buf {
+            Buf::Owned(v) => v,
+            Buf::Borrowed(v) => v,
+            Buf::Count(_) | Buf::Stream(_) => unreachable!("bulk in-place path"),
+        }
+    }
+
     /// Variable-length array of doubles: u32 count then each element.
     /// The elements are byte-swapped in bulk into pre-sized space — one
     /// resize plus a tight swap loop, not a capacity check per element.
+    /// A counting sink advances by `8 * len` in O(1); a streaming sink
+    /// converts block-by-block through a stack buffer so memory stays
+    /// bounded no matter how large the array.
     pub fn put_f64_array(&mut self, xs: &[f64]) {
         self.put_u32(xs.len() as u32);
+        if let Buf::Count(n) = &mut self.buf {
+            *n += 8 * xs.len() as u64;
+            return;
+        }
+        if matches!(self.buf, Buf::Stream(_)) {
+            let mut block = [0u8; BULK_BLOCK_BYTES];
+            for chunk in xs.chunks(BULK_BLOCK_BYTES / 8) {
+                let bytes = &mut block[..chunk.len() * 8];
+                for (dst, &x) in bytes.chunks_exact_mut(8).zip(chunk) {
+                    dst.copy_from_slice(&x.to_bits().to_be_bytes());
+                }
+                self.append(bytes);
+            }
+            return;
+        }
         let start = {
-            let buf = self.buf_mut();
+            let buf = self.mem_buf_mut();
             let start = buf.len();
             buf.resize(start + xs.len() * 8, 0);
             for (dst, &x) in buf[start..].chunks_exact_mut(8).zip(xs) {
@@ -221,8 +395,23 @@ impl<'a> Encoder<'a> {
     /// Same bulk byte-swap discipline as [`Encoder::put_f64_array`].
     pub fn put_u64_array(&mut self, xs: &[u64]) {
         self.put_u32(xs.len() as u32);
+        if let Buf::Count(n) = &mut self.buf {
+            *n += 8 * xs.len() as u64;
+            return;
+        }
+        if matches!(self.buf, Buf::Stream(_)) {
+            let mut block = [0u8; BULK_BLOCK_BYTES];
+            for chunk in xs.chunks(BULK_BLOCK_BYTES / 8) {
+                let bytes = &mut block[..chunk.len() * 8];
+                for (dst, &x) in bytes.chunks_exact_mut(8).zip(chunk) {
+                    dst.copy_from_slice(&x.to_be_bytes());
+                }
+                self.append(bytes);
+            }
+            return;
+        }
         let start = {
-            let buf = self.buf_mut();
+            let buf = self.mem_buf_mut();
             let start = buf.len();
             buf.resize(start + xs.len() * 8, 0);
             for (dst, &x) in buf[start..].chunks_exact_mut(8).zip(xs) {
@@ -324,8 +513,9 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    /// Read a variable-length opaque into an owned vector.
-    pub fn get_opaque(&mut self) -> Result<Vec<u8>> {
+    /// Read a variable-length opaque as a borrowed slice of the frame
+    /// buffer — no allocation. Padding is validated and consumed.
+    pub fn get_opaque_slice(&mut self) -> Result<&'a [u8]> {
         let len = self.get_u32()? as usize;
         if len > self.max_item {
             return Err(NetSolveError::Protocol(format!(
@@ -333,7 +523,7 @@ impl<'a> Decoder<'a> {
                 self.max_item
             )));
         }
-        let bytes = self.take(len)?.to_vec();
+        let bytes = self.take(len)?;
         let pad = self.take(pad_len(len))?;
         if pad.iter().any(|&b| b != 0) {
             return Err(NetSolveError::Protocol("nonzero padding".into()));
@@ -341,47 +531,517 @@ impl<'a> Decoder<'a> {
         Ok(bytes)
     }
 
-    /// Read an XDR string, validating UTF-8.
+    /// Read a variable-length opaque into an owned vector (one copy, off
+    /// the borrowed slice).
+    pub fn get_opaque(&mut self) -> Result<Vec<u8>> {
+        Ok(self.get_opaque_slice()?.to_vec())
+    }
+
+    /// Read an XDR string. UTF-8 is validated on the borrowed slice
+    /// first, so exactly one copy is made — and none on invalid input.
     pub fn get_string(&mut self) -> Result<String> {
-        let bytes = self.get_opaque()?;
-        String::from_utf8(bytes)
+        let bytes = self.get_opaque_slice()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
             .map_err(|e| NetSolveError::Protocol(format!("invalid UTF-8 string: {e}")))
     }
 
-    /// Read a variable-length double array.
-    pub fn get_f64_array(&mut self) -> Result<Vec<f64>> {
+    /// Read a variable-length double array as a borrowed big-endian view
+    /// straight into the frame buffer — zero bytes copied. Convert (or
+    /// reinterpret, on aligned big-endian hosts) via [`F64View`].
+    pub fn get_f64_slice(&mut self) -> Result<F64View<'a>> {
         let len = self.get_u32()? as usize;
         if len.saturating_mul(8) > self.max_item {
             return Err(NetSolveError::Protocol(format!(
                 "f64 array of {len} elements exceeds limit"
             )));
         }
-        let raw = self.take(len * 8)?;
-        let mut out = Vec::with_capacity(len);
-        for chunk in raw.chunks_exact(8) {
-            let mut arr = [0u8; 8];
-            arr.copy_from_slice(chunk);
-            out.push(f64::from_bits(u64::from_be_bytes(arr)));
-        }
-        Ok(out)
+        Ok(F64View { raw: self.take(len * 8)? })
     }
 
-    /// Read a variable-length u64 array.
-    pub fn get_u64_array(&mut self) -> Result<Vec<u64>> {
+    /// Read a variable-length u64 array as a borrowed big-endian view.
+    pub fn get_u64_slice(&mut self) -> Result<U64View<'a>> {
         let len = self.get_u32()? as usize;
         if len.saturating_mul(8) > self.max_item {
             return Err(NetSolveError::Protocol(format!(
                 "u64 array of {len} elements exceeds limit"
             )));
         }
-        let raw = self.take(len * 8)?;
-        let mut out = Vec::with_capacity(len);
-        for chunk in raw.chunks_exact(8) {
-            let mut arr = [0u8; 8];
-            arr.copy_from_slice(chunk);
-            out.push(u64::from_be_bytes(arr));
+        Ok(U64View { raw: self.take(len * 8)? })
+    }
+
+    /// Read a variable-length double array into an owned vector — one
+    /// bulk conversion pass over the borrowed view, no per-element
+    /// bounds checks.
+    pub fn get_f64_array(&mut self) -> Result<Vec<f64>> {
+        Ok(self.get_f64_slice()?.to_vec())
+    }
+
+    /// Read a variable-length u64 array into an owned vector.
+    pub fn get_u64_array(&mut self) -> Result<Vec<u64>> {
+        Ok(self.get_u64_slice()?.to_vec())
+    }
+}
+
+/// Borrowed view of an XDR double array: the raw big-endian bytes still
+/// inside the frame buffer. [`F64View::as_aligned`] reinterprets them in
+/// place when that is sound (big-endian host, 8-byte alignment — the
+/// alignment-fallback rule); otherwise [`F64View::copy_into`] /
+/// [`F64View::to_vec`] perform one bulk `chunks_exact` conversion, which
+/// is the single wire→solver copy on little-endian hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct F64View<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> F64View<'a> {
+    /// Number of elements in the array.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The raw big-endian bytes backing the view.
+    pub fn as_be_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Zero-copy reinterpretation of the wire bytes as `&[f64]`. Only
+    /// possible when the host is big-endian (wire order == host order)
+    /// AND the bytes happen to be 8-aligned inside the frame buffer;
+    /// returns `None` otherwise and the caller must fall back to
+    /// [`F64View::copy_into`].
+    pub fn as_aligned(&self) -> Option<&'a [f64]> {
+        #[cfg(target_endian = "big")]
+        {
+            if self.raw.as_ptr().align_offset(std::mem::align_of::<f64>()) == 0 {
+                // SAFETY: alignment just checked, the byte length is an
+                // exact multiple of 8 by construction, and every bit
+                // pattern is a valid f64.
+                return Some(unsafe {
+                    std::slice::from_raw_parts(self.raw.as_ptr() as *const f64, self.len())
+                });
+            }
         }
+        None
+    }
+
+    /// Bulk-convert into caller-owned scratch (cleared first). This is
+    /// the single copy on little-endian hosts: one `chunks_exact` pass,
+    /// no per-element capacity checks.
+    pub fn copy_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend(self.raw.chunks_exact(8).map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            f64::from_bits(u64::from_be_bytes(a))
+        }));
+    }
+
+    /// Bulk-convert into a fresh vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.copy_into(&mut out);
+        out
+    }
+}
+
+/// Borrowed view of an XDR u64 array; see [`F64View`].
+#[derive(Debug, Clone, Copy)]
+pub struct U64View<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> U64View<'a> {
+    /// Number of elements in the array.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The raw big-endian bytes backing the view.
+    pub fn as_be_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Zero-copy reinterpretation; see [`F64View::as_aligned`].
+    pub fn as_aligned(&self) -> Option<&'a [u64]> {
+        #[cfg(target_endian = "big")]
+        {
+            if self.raw.as_ptr().align_offset(std::mem::align_of::<u64>()) == 0 {
+                // SAFETY: alignment just checked, length is a multiple
+                // of 8, every bit pattern is a valid u64.
+                return Some(unsafe {
+                    std::slice::from_raw_parts(self.raw.as_ptr() as *const u64, self.len())
+                });
+            }
+        }
+        None
+    }
+
+    /// Bulk-convert into caller-owned scratch (cleared first).
+    pub fn copy_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend(self.raw.chunks_exact(8).map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_be_bytes(a)
+        }));
+    }
+
+    /// Bulk-convert into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.copy_into(&mut out);
+        out
+    }
+}
+
+/// The read half of the codec as a trait, so message decoding can run
+/// over either the borrowed in-memory [`Decoder`] or the chunked
+/// [`StreamDecoder`] without duplicating the per-message field logic.
+pub trait XdrSource {
+    /// Read a u32.
+    fn get_u32(&mut self) -> Result<u32>;
+    /// Read a u64.
+    fn get_u64(&mut self) -> Result<u64>;
+    /// Read a bool word.
+    fn get_bool(&mut self) -> Result<bool>;
+    /// Read a variable-length opaque into an owned vector.
+    fn get_opaque(&mut self) -> Result<Vec<u8>>;
+    /// Read an XDR string, validating UTF-8 before the single copy.
+    fn get_string(&mut self) -> Result<String>;
+    /// Read a variable-length double array (bulk conversion).
+    fn get_f64_array(&mut self) -> Result<Vec<f64>>;
+    /// Read a variable-length u64 array (bulk conversion).
+    fn get_u64_array(&mut self) -> Result<Vec<u64>>;
+    /// Bytes not yet consumed (for a streaming source: buffered bytes
+    /// plus bytes of the declared payload not yet pulled off the wire).
+    fn remaining(&self) -> usize;
+
+    /// Read an i32.
+    fn get_i32(&mut self) -> Result<i32> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Read an i64.
+    fn get_i64(&mut self) -> Result<i64> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Read a double.
+    fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+}
+
+impl XdrSource for Decoder<'_> {
+    fn get_u32(&mut self) -> Result<u32> {
+        Decoder::get_u32(self)
+    }
+    fn get_u64(&mut self) -> Result<u64> {
+        Decoder::get_u64(self)
+    }
+    fn get_bool(&mut self) -> Result<bool> {
+        Decoder::get_bool(self)
+    }
+    fn get_opaque(&mut self) -> Result<Vec<u8>> {
+        Decoder::get_opaque(self)
+    }
+    fn get_string(&mut self) -> Result<String> {
+        Decoder::get_string(self)
+    }
+    fn get_f64_array(&mut self) -> Result<Vec<f64>> {
+        Decoder::get_f64_array(self)
+    }
+    fn get_u64_array(&mut self) -> Result<Vec<u64>> {
+        Decoder::get_u64_array(self)
+    }
+    fn remaining(&self) -> usize {
+        Decoder::remaining(self)
+    }
+}
+
+/// Chunked XDR decoder over an `io::Read`: pulls a frame payload of a
+/// declared length through a bounded buffer, so decode begins before the
+/// whole operand has arrived and per-connection memory stays at the
+/// chunk size plus whatever the decoded message itself needs. Every byte
+/// pulled off the reader is folded into a CRC-32 accumulator; the frame
+/// layer compares it against the trailer after [`StreamDecoder::drain`].
+///
+/// Variable-length items allocate at most [`STREAM_INIT_ALLOC`] up
+/// front and grow only as their bytes actually arrive — a lying length
+/// header cannot commit megabytes before the wire backs it up.
+#[derive(Debug)]
+pub struct StreamDecoder<'r, R: Read> {
+    r: &'r mut R,
+    /// Chunk buffer; bytes `pos..` are buffered-but-unconsumed.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Payload bytes not yet pulled from the reader.
+    unread: usize,
+    /// Chunk-buffer capacity (the per-connection memory bound).
+    cap: usize,
+    crc: Crc32,
+    max_item: usize,
+}
+
+impl<'r, R: Read> StreamDecoder<'r, R> {
+    /// Decoder over `payload_len` bytes of `r`, buffering at most
+    /// `chunk` bytes at a time (floored to 64).
+    pub fn new(r: &'r mut R, payload_len: usize, chunk: usize) -> Self {
+        let cap = chunk.max(64);
+        StreamDecoder {
+            r,
+            buf: Vec::with_capacity(cap.min(payload_len)),
+            pos: 0,
+            unread: payload_len,
+            cap,
+            crc: Crc32::new(),
+            max_item: DEFAULT_MAX_ITEM_BYTES,
+        }
+    }
+
+    /// Override the per-item byte limit.
+    pub fn with_limit(mut self, max_item: usize) -> Self {
+        self.max_item = max_item;
+        self
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull more payload bytes off the reader into the chunk buffer,
+    /// folding them into the CRC. Errors if the payload is exhausted or
+    /// the peer closes mid-frame.
+    fn fill_some(&mut self) -> Result<()> {
+        if self.unread == 0 {
+            return Err(NetSolveError::Protocol(
+                "truncated message: payload exhausted mid-item".into(),
+            ));
+        }
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let want = self.cap.saturating_sub(self.buf.len()).min(self.unread);
+        debug_assert!(want > 0, "chunk buffer full yet caller wants more");
+        let start = self.buf.len();
+        self.buf.resize(start + want, 0);
+        let n = match self.r.read(&mut self.buf[start..]) {
+            Ok(n) => n,
+            Err(e) => {
+                self.buf.truncate(start);
+                return Err(NetSolveError::from(e));
+            }
+        };
+        self.buf.truncate(start + n);
+        if n == 0 {
+            return Err(NetSolveError::Transport(
+                "peer closed connection mid-frame".into(),
+            ));
+        }
+        self.crc.write(&self.buf[start..]);
+        self.unread -= n;
+        Ok(())
+    }
+
+    /// Buffered access to the next `n` bytes (fixed-size items only:
+    /// `n` must be well under the chunk capacity).
+    fn take_small(&mut self, n: usize) -> Result<&[u8]> {
+        debug_assert!(n <= self.cap);
+        while self.buffered() < n {
+            self.fill_some()?;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume `n` payload bytes, handing each buffered run to `f`.
+    fn consume_chunks(&mut self, n: usize, mut f: impl FnMut(&[u8])) -> Result<()> {
+        let mut left = n;
+        while left > 0 {
+            if self.buffered() == 0 {
+                self.fill_some()?;
+            }
+            let take = self.buffered().min(left);
+            f(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            left -= take;
+        }
+        Ok(())
+    }
+
+    fn check_item(&self, bytes: usize, what: &str) -> Result<()> {
+        if bytes > self.max_item {
+            return Err(NetSolveError::Protocol(format!(
+                "{what} of {bytes} bytes exceeds limit {}",
+                self.max_item
+            )));
+        }
+        // A length that exceeds what the frame still holds can be
+        // rejected before any allocation at all.
+        if bytes > self.remaining() {
+            return Err(NetSolveError::Protocol(format!(
+                "truncated message: {what} of {bytes} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn read_padding(&mut self, body_len: usize) -> Result<()> {
+        let pad = pad_len(body_len);
+        if pad > 0 {
+            let p = self.take_small(pad)?;
+            if p.iter().any(|&b| b != 0) {
+                return Err(NetSolveError::Protocol("nonzero padding".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume (and CRC) any payload bytes not yet read, e.g. after a
+    /// decode error, so the connection stays framed and the CRC verdict
+    /// still covers the whole payload.
+    pub fn drain(&mut self) -> Result<()> {
+        let left = self.remaining();
+        self.consume_chunks(left, |_| {})
+    }
+
+    /// CRC-32 over every payload byte pulled so far. Only the full-
+    /// payload value (after [`StreamDecoder::drain`] or a complete
+    /// decode) is comparable to the frame trailer.
+    pub fn crc(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// Peak bytes the chunk buffer may hold (the memory bound).
+    pub fn chunk_capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<R: Read> XdrSource for StreamDecoder<'_, R> {
+    fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take_small(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take_small(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(NetSolveError::Protocol(format!(
+                "invalid bool word {other}"
+            ))),
+        }
+    }
+
+    fn get_opaque(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        self.check_item(len, "opaque")?;
+        let mut out = Vec::with_capacity(len.min(STREAM_INIT_ALLOC));
+        self.consume_chunks(len, |run| out.extend_from_slice(run))?;
+        self.read_padding(len)?;
         Ok(out)
+    }
+
+    fn get_string(&mut self) -> Result<String> {
+        let bytes = self.get_opaque()?;
+        // The bytes arrived chunked, so validation can't precede the
+        // copy here; from_utf8 consumes the vector without another one.
+        String::from_utf8(bytes)
+            .map_err(|e| NetSolveError::Protocol(format!("invalid UTF-8 string: {e}")))
+    }
+
+    fn get_f64_array(&mut self) -> Result<Vec<f64>> {
+        let len = self.get_u32()? as usize;
+        let bytes = len.saturating_mul(8);
+        self.check_item(bytes, "f64 array")?;
+        let mut out = Vec::with_capacity(len.min(STREAM_INIT_ALLOC / 8));
+        let mut carry = [0u8; 8];
+        let mut carried = 0usize;
+        self.consume_chunks(bytes, |mut run| {
+            // Chunk boundaries need not land on element boundaries:
+            // stitch a straddling element through the carry buffer.
+            if carried > 0 {
+                let need = (8 - carried).min(run.len());
+                carry[carried..carried + need].copy_from_slice(&run[..need]);
+                carried += need;
+                run = &run[need..];
+                if carried == 8 {
+                    out.push(f64::from_bits(u64::from_be_bytes(carry)));
+                    carried = 0;
+                }
+            }
+            let whole = run.len() / 8 * 8;
+            out.extend(run[..whole].chunks_exact(8).map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_bits(u64::from_be_bytes(a))
+            }));
+            let rest = &run[whole..];
+            carry[..rest.len()].copy_from_slice(rest);
+            carried = rest.len();
+        })?;
+        debug_assert_eq!(carried, 0, "payload length is a multiple of 8");
+        Ok(out)
+    }
+
+    fn get_u64_array(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_u32()? as usize;
+        let bytes = len.saturating_mul(8);
+        self.check_item(bytes, "u64 array")?;
+        let mut out = Vec::with_capacity(len.min(STREAM_INIT_ALLOC / 8));
+        let mut carry = [0u8; 8];
+        let mut carried = 0usize;
+        self.consume_chunks(bytes, |mut run| {
+            if carried > 0 {
+                let need = (8 - carried).min(run.len());
+                carry[carried..carried + need].copy_from_slice(&run[..need]);
+                carried += need;
+                run = &run[need..];
+                if carried == 8 {
+                    out.push(u64::from_be_bytes(carry));
+                    carried = 0;
+                }
+            }
+            let whole = run.len() / 8 * 8;
+            out.extend(run[..whole].chunks_exact(8).map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                u64::from_be_bytes(a)
+            }));
+            let rest = &run[whole..];
+            carry[..rest.len()].copy_from_slice(rest);
+            carried = rest.len();
+        })?;
+        debug_assert_eq!(carried, 0, "payload length is a multiple of 8");
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buffered() + self.unread
     }
 }
 
@@ -607,6 +1267,169 @@ mod tests {
         bytes[7] = 1; // corrupt a pad byte
         let mut d = Decoder::new(&bytes);
         assert!(d.get_opaque().is_err());
+    }
+
+    fn put_everything(e: &mut Encoder<'_>) {
+        let xs: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.71).cos() * 1e9).collect();
+        let us: Vec<u64> = (0..999u64).map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D)).collect();
+        e.put_u32(0xCAFE_F00D);
+        e.put_i32(-1);
+        e.put_u64(u64::MAX - 7);
+        e.put_i64(i64::MIN + 3);
+        e.put_f64(-std::f64::consts::E);
+        e.put_bool(true);
+        e.put_string("streaming sinks");
+        e.put_opaque(b"odd-length-opaque!!");
+        e.put_f64_array(&xs);
+        e.put_u64_array(&us);
+    }
+
+    #[test]
+    fn counting_sink_matches_materialized_length() {
+        let mut owned = Encoder::new();
+        put_everything(&mut owned);
+        let bytes = owned.into_bytes();
+
+        let mut counter = Encoder::counting();
+        put_everything(&mut counter);
+        assert_eq!(counter.count(), bytes.len() as u64);
+        assert_eq!(counter.len(), bytes.len());
+    }
+
+    #[test]
+    fn streaming_sink_matches_owned_bytes_and_crc() {
+        let mut owned = Encoder::new().with_crc();
+        put_everything(&mut owned);
+        let want_crc = owned.crc().unwrap();
+        let bytes = owned.into_bytes();
+
+        // A tiny chunk forces many flushes; the output must still be
+        // byte-identical and the CRC must match the one-shot value.
+        let mut sink = Vec::new();
+        let mut e = Encoder::streaming(&mut sink, 64).with_crc();
+        put_everything(&mut e);
+        assert_eq!(e.crc().unwrap(), want_crc);
+        let written = e.finish_stream().unwrap();
+        assert_eq!(written, bytes.len() as u64);
+        assert_eq!(sink, bytes);
+    }
+
+    #[test]
+    fn streaming_sink_defers_write_errors_to_finish() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("wire down"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Failing;
+        let mut e = Encoder::streaming(&mut w, 64);
+        // Far more than one chunk: the failing flush must not panic the
+        // infallible put API.
+        e.put_f64_array(&vec![1.5; 10_000]);
+        assert!(e.finish_stream().is_err());
+    }
+
+    #[test]
+    fn borrowed_views_convert_and_respect_alignment_rule() {
+        let xs: Vec<f64> = (0..513).map(|i| (i as f64).exp2().recip()).collect();
+        let us: Vec<u64> = (0..257).map(|i| i * 0x0101_0101).collect();
+        let mut e = Encoder::new();
+        e.put_f64_array(&xs);
+        e.put_u64_array(&us);
+        let bytes = e.into_bytes();
+
+        // Shift the buffer to an intentionally unaligned offset: the
+        // view must still convert correctly (alignment fallback).
+        let mut shifted = vec![0u8; 1];
+        shifted.extend_from_slice(&bytes);
+        let mut d = Decoder::new(&shifted[1..]);
+        let fview = d.get_f64_slice().unwrap();
+        let uview = d.get_u64_slice().unwrap();
+        d.finish().unwrap();
+        assert_eq!(fview.len(), xs.len());
+        assert_eq!(fview.to_vec(), xs);
+        assert_eq!(uview.to_vec(), us);
+        if cfg!(target_endian = "little") {
+            // Zero-copy reinterpretation is never sound on LE hosts.
+            assert!(fview.as_aligned().is_none());
+            assert!(uview.as_aligned().is_none());
+        }
+
+        // copy_into reuses caller scratch without leaking stale data.
+        let mut scratch = vec![99.0; 4];
+        fview.copy_into(&mut scratch);
+        assert_eq!(scratch, xs);
+    }
+
+    #[test]
+    fn stream_decoder_matches_borrowed_route() {
+        let mut e = Encoder::new();
+        put_everything(&mut e);
+        let payload = e.into_bytes();
+
+        // Drive through a 97-byte chunk buffer: chunk boundaries land
+        // mid-element, exercising the carry stitching.
+        let mut cur = std::io::Cursor::new(payload.clone());
+        let mut s = StreamDecoder::new(&mut cur, payload.len(), 97);
+        assert_eq!(XdrSource::get_u32(&mut s).unwrap(), 0xCAFE_F00D);
+        assert_eq!(s.get_i32().unwrap(), -1);
+        assert_eq!(s.get_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(s.get_i64().unwrap(), i64::MIN + 3);
+        assert_eq!(s.get_f64().unwrap(), -std::f64::consts::E);
+        assert!(s.get_bool().unwrap());
+        assert_eq!(s.get_string().unwrap(), "streaming sinks");
+        assert_eq!(s.get_opaque().unwrap(), b"odd-length-opaque!!");
+
+        let mut d = Decoder::new(&payload);
+        let _ = d.get_u32().unwrap();
+        let _ = d.get_i32().unwrap();
+        let _ = d.get_u64().unwrap();
+        let _ = d.get_i64().unwrap();
+        let _ = d.get_f64().unwrap();
+        let _ = d.get_bool().unwrap();
+        let _ = d.get_string().unwrap();
+        let _ = d.get_opaque().unwrap();
+        assert_eq!(s.get_f64_array().unwrap(), d.get_f64_array().unwrap());
+        assert_eq!(s.get_u64_array().unwrap(), d.get_u64_array().unwrap());
+        assert_eq!(s.remaining(), 0);
+        s.drain().unwrap();
+        assert_eq!(s.crc(), crc32(&payload), "stream CRC must cover every byte");
+    }
+
+    #[test]
+    fn stream_decoder_caps_upfront_allocation_on_lying_length() {
+        // An opaque claiming 200 MiB with only 16 bytes behind it must be
+        // rejected before any large allocation: the declared item exceeds
+        // what the frame can still hold.
+        let mut e = Encoder::new();
+        e.put_u32(200 * 1024 * 1024);
+        e.put_u64(0);
+        e.put_u64(0);
+        let payload = e.into_bytes();
+        let mut cur = std::io::Cursor::new(payload.clone());
+        let mut s = StreamDecoder::new(&mut cur, payload.len(), 64);
+        assert!(s.get_opaque().is_err());
+
+        // Same for arrays.
+        let mut cur = std::io::Cursor::new(payload.clone());
+        let mut s = StreamDecoder::new(&mut cur, payload.len(), 64);
+        assert!(s.get_f64_array().is_err());
+    }
+
+    #[test]
+    fn stream_decoder_detects_early_close() {
+        let mut e = Encoder::new();
+        e.put_f64_array(&[1.0, 2.0, 3.0, 4.0]);
+        let payload = e.into_bytes();
+        // Declare the true length but hand the reader a truncated body:
+        // the decoder must report the closed connection, not hang or panic.
+        let mut cur = std::io::Cursor::new(payload[..payload.len() - 8].to_vec());
+        let mut s = StreamDecoder::new(&mut cur, payload.len(), 64);
+        assert!(s.get_f64_array().is_err());
     }
 
     #[test]

@@ -116,9 +116,15 @@ echo "${FED_STATS}" | grep -q "agent.gossip_rounds" || {
 kill -9 ${FED_A2} ${FED_A3} ${FED_S1} ${FED_S2} 2>/dev/null || true
 echo "federation smoke passed: batch completed with zero failed solves"
 
-echo "=== wire-path bench smoke (single-pass writer vs legacy) ==="
+echo "=== wire-path bench smoke (writer routes + decode routes) ==="
 cargo build --release -p netsolve-bench --bin r1_wire_path
-./target/release/r1_wire_path --quick
+R1_SMOKE=$(./target/release/r1_wire_path --quick)
+echo "${R1_SMOKE}"
+# The bench asserts, per payload size, that the owned, borrowed and
+# streamed decode routes return the original message and that streamed
+# buffering stays bounded; this line only prints if every assert held.
+echo "${R1_SMOKE}" | grep -q "decode routes agree" || {
+    echo "wire smoke: decode-route agreement line missing"; exit 1; }
 
 echo "=== trace-overhead bench smoke (tracing on vs off) ==="
 cargo build --release -p netsolve-bench --bin r9_trace_overhead
