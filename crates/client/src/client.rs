@@ -502,6 +502,11 @@ impl NetSolveClient {
         // (ExecutionFailed) drop out of the rotation; transient failures
         // (unreachable, timeout, corruption) keep the candidate in play.
         let mut spent: Vec<u64> = Vec::new();
+        // A shedding server's Busy reply carries a `retry_after_ms` hint
+        // sized from its queue state; it floors the next backoff wait so
+        // a hinted client never hammers a server that just told it when
+        // capacity frees up.
+        let mut busy_hint_ms: Option<u64> = None;
         let max_attempts = self.retry.max_attempts.max(1);
         for retry in 0..max_attempts {
             let live: Vec<&Candidate> = candidates
@@ -518,7 +523,10 @@ impl NetSolveClient {
             let candidate = live[retry % live.len()];
             if retry > 0 {
                 let jitter = self.jitter.lock().next_f64();
-                let wait = self.retry.backoff.delay_secs(retry as u32 - 1, jitter);
+                let mut wait = self.retry.backoff.delay_secs(retry as u32 - 1, jitter);
+                if let Some(hint) = busy_hint_ms.take() {
+                    wait = wait.max(hint as f64 / 1e3);
+                }
                 if wait > 0.0 {
                     let mut pause = Duration::from_secs_f64(wait);
                     if let Some(d) = deadline {
@@ -601,6 +609,12 @@ impl NetSolveClient {
                     ));
                 }
                 Err(e) if e.is_retryable() => {
+                    if let Some(hint) =
+                        netsolve_core::admission::parse_retry_after_ms(e.detail())
+                    {
+                        self.metrics.counter("client.busy_hints").inc();
+                        busy_hint_ms = Some(hint);
+                    }
                     self.metrics.counter("client.attempt_failures").inc();
                     self.tracer.point(
                         ctx,
@@ -909,6 +923,104 @@ mod tests {
             "no backoff pause observed: {elapsed:?}"
         );
         domain.shutdown();
+    }
+
+    /// A Busy reply carrying `retry_after_ms` must floor the next
+    /// backoff wait: with a zero configured backoff, the pause before
+    /// the retry is the server's hint.
+    #[test]
+    fn busy_hint_floors_the_backoff_wait() {
+        use netsolve_core::admission::{format_busy_detail, ShedReason};
+        use netsolve_core::config::{Backoff, RetryPolicy};
+
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let agent =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+        // A hand-rolled server that sheds its first request with a
+        // 300 ms retry hint and answers the second for real.
+        let listener = net.listen("shedder").unwrap();
+        let registry = netsolve_pdl::ProblemRegistry::with_standard_catalogue();
+        let ddot_pdl = netsolve_pdl::render(registry.get("ddot").unwrap());
+        {
+            let mut conn = net.connect("agent").unwrap();
+            let reply = netsolve_net::call(
+                conn.as_mut(),
+                &Message::RegisterServer(netsolve_proto::ServerDescriptor {
+                    server_id: 0,
+                    host: "shedhost".into(),
+                    address: "shedder".into(),
+                    mflops: 100.0,
+                    problems: vec!["ddot".into()],
+                    pdl_source: ddot_pdl,
+                }),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+        }
+        let server = std::thread::spawn(move || {
+            let mut sheds = 0u32;
+            loop {
+                let mut conn = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return sheds,
+                };
+                let msg = match conn.recv() {
+                    Ok(m) => m,
+                    Err(_) => continue,
+                };
+                if let Message::RequestSubmit { request_id, .. } = msg {
+                    let reply = if sheds == 0 {
+                        sheds += 1;
+                        Message::from_error(&NetSolveError::Resource(format_busy_detail(
+                            ShedReason::QueueFull,
+                            3,
+                            300,
+                        )))
+                    } else {
+                        Message::RequestReply {
+                            request_id,
+                            outputs: vec![DataObject::Double(11.0)],
+                            compute_secs: 0.0,
+                            cached: false,
+                        }
+                    };
+                    let _ = conn.send(&reply);
+                    if sheds != 1 || reply_is_ok(&reply) {
+                        return sheds;
+                    }
+                }
+            }
+        });
+
+        let client = NetSolveClient::new(Arc::new(net.clone()), "agent").with_retry(RetryPolicy {
+            max_attempts: 3,
+            attempt_timeout_secs: 5.0,
+            backoff: Backoff::Fixed { delay_secs: 0.0 }, // the hint is the only wait
+            deadline_secs: 0.0,
+            report_failures: true,
+        });
+        let start = Instant::now();
+        let (outputs, report) = client
+            .netsl_timed("ddot", &[vec![1.0, 2.0].into(), vec![3.0, 4.0].into()])
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(outputs[0].as_double().unwrap(), 11.0);
+        assert_eq!(report.attempts, 2);
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "hint did not floor the backoff: {elapsed:?}"
+        );
+        assert_eq!(client.metrics().counter("client.busy_hints").get(), 1);
+        let sheds = server.join().unwrap();
+        assert_eq!(sheds, 1);
+        drop(agent);
+    }
+
+    fn reply_is_ok(reply: &Message) -> bool {
+        matches!(reply, Message::RequestReply { .. })
     }
 
     #[test]

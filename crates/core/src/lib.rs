@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod clock;
 pub mod config;
 pub mod data;
@@ -32,6 +33,7 @@ pub mod sparse;
 pub mod stats;
 pub mod units;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy, ShedReason};
 pub use clock::{Clock, RealClock, SimTime, VirtualClock};
 pub use data::{DataObject, ObjectKind};
 pub use error::{NetSolveError, Result};

@@ -208,7 +208,7 @@ pub const STANDARD_PDL: &str = r#"
 @INPUT a : double "lower limit"
 @INPUT b : double "upper limit"
 @INPUT samples : int "number of uniform samples"
-@INPUT seed : int "RNG seed (reproducible results)"
+@INPUT seed : int "RNG seed (0 = fresh server entropy, nonzero = reproducible)"
 @OUTPUT integral : double "integral estimate"
 @OUTPUT stderr : double "standard error of the estimate"
 @COMPLEXITY 80 1

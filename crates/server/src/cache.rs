@@ -81,6 +81,22 @@ pub fn solve_key(problem: &str, inputs: &[DataObject]) -> u128 {
     content_hash(&e.into_bytes())
 }
 
+/// Problems whose outputs are *not* a pure function of their inputs.
+///
+/// `quad_mc` with seed 0 draws fresh server-side entropy, so two
+/// bit-identical submissions must yield independent estimates — serving a
+/// cached reply (or coalescing concurrent submissions onto one solve)
+/// would silently collapse a Monte Carlo ensemble onto a single sample.
+/// These problems bypass the cache entirely; the bypass is counted under
+/// `server.cache_bypass_nondet`.
+const NONDETERMINISTIC_PROBLEMS: &[&str] = &["quad_mc"];
+
+/// Whether `problem`'s outputs are a pure function of its inputs (and
+/// its replies therefore safe to cache and coalesce).
+pub fn is_deterministic(problem: &str) -> bool {
+    !NONDETERMINISTIC_PROBLEMS.contains(&problem)
+}
+
 /// One cached reply: the marshaled outputs, the original solve's compute
 /// seconds, and the CRC-32 stamped over the bytes at insert time.
 struct Entry {
@@ -217,6 +233,7 @@ struct Instruments {
     serve_crcs: Arc<Counter>,
     corrupt_dropped: Arc<Counter>,
     uncacheable: Arc<Counter>,
+    bypass_nondet: Arc<Counter>,
     bytes_gauge: Arc<Gauge>,
     entries_gauge: Arc<Gauge>,
 }
@@ -258,6 +275,7 @@ impl SolveCache {
                     serve_crcs: metrics.counter("server.cache_serve_crcs"),
                     corrupt_dropped: metrics.counter("server.cache_corrupt_dropped"),
                     uncacheable: metrics.counter("server.cache_uncacheable"),
+                    bypass_nondet: metrics.counter("server.cache_bypass_nondet"),
                     bytes_gauge: metrics.gauge("server.cache_bytes"),
                     entries_gauge: metrics.gauge("server.cache_entries"),
                 },
@@ -268,6 +286,19 @@ impl SolveCache {
     /// The byte budget this cache evicts under.
     pub fn byte_budget(&self) -> usize {
         self.shared.byte_budget
+    }
+
+    /// Whether `problem` must bypass the cache because its outputs are
+    /// non-deterministic. A `true` return counts one bypass under
+    /// `server.cache_bypass_nondet`; the caller must then skip both the
+    /// lookup *and* the coalescing path — joining a non-deterministic
+    /// solve would alias what are semantically independent draws.
+    pub fn bypass_nondet(&self, problem: &str) -> bool {
+        if is_deterministic(problem) {
+            return false;
+        }
+        self.shared.m.bypass_nondet.inc();
+        true
     }
 
     /// Look up `key`: serve a verified hit, join an in-flight identical

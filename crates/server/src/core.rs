@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use netsolve_core::admission::AdmissionPolicy;
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
@@ -36,6 +37,10 @@ pub struct ServerCore {
     tracer: Arc<Tracer>,
     /// Optional content-addressed solve cache (+ in-flight coalescing).
     cache: Option<SolveCache>,
+    /// Optional admission policy, shared with the daemon's accept-time
+    /// gate. The core runs its dispatch-time checks and feeds observed
+    /// service times back into the policy's per-problem histograms.
+    admission: Option<Arc<AdmissionPolicy>>,
 }
 
 /// A computed reply plus how long the computation took.
@@ -56,6 +61,7 @@ impl ServerCore {
             metrics: Arc::new(MetricsRegistry::new()),
             tracer: Arc::new(Tracer::new()),
             cache: None,
+            admission: None,
         }
     }
 
@@ -78,6 +84,21 @@ impl ServerCore {
     /// The solve cache, if enabled via [`ServerCore::with_cache`].
     pub fn cache(&self) -> Option<&SolveCache> {
         self.cache.as_ref()
+    }
+
+    /// Install an admission policy. The daemon shares the same `Arc` for
+    /// its accept-time queue gate; the core runs the policy's
+    /// deadline checks at dispatch time and feeds observed service
+    /// seconds into its per-problem histograms after every solve —
+    /// the exact object `netsolve-sim` runs on virtual time.
+    pub fn with_admission(mut self, policy: Arc<AdmissionPolicy>) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// The admission policy, if installed via [`ServerCore::with_admission`].
+    pub fn admission(&self) -> Option<&Arc<AdmissionPolicy>> {
+        self.admission.as_ref()
     }
 
     /// Server offering the full standard catalogue with real execution.
@@ -174,6 +195,11 @@ impl ServerCore {
                 // Shed expired work: if the client's remaining budget was
                 // already consumed before execution starts, nobody is
                 // waiting for this result.
+                // Execution-time backstop, distinct from the daemon's
+                // admission gate: the gate sheds *before* a solve slot is
+                // reserved (counted under `server.queue_deadline_shed` /
+                // `server.admission_shed`); this catches budgets that
+                // expire between slot reservation and dispatch.
                 if *deadline_ms > 0 {
                     let budget = std::time::Duration::from_millis(*deadline_ms);
                     if queued >= budget {
@@ -189,12 +215,23 @@ impl ServerCore {
                         )));
                     }
                 }
+                // Non-deterministic problems (e.g. `quad_mc` drawing
+                // fresh entropy) bypass the cache entirely: a cached or
+                // coalesced reply would alias independent Monte Carlo
+                // draws onto one sample.
+                let cache = match &self.cache {
+                    Some(c) if c.bypass_nondet(problem) => {
+                        self.tracer.point(ctx, "server", "cache_bypass_nondet", String::new());
+                        None
+                    }
+                    other => other.as_ref(),
+                };
                 // Cache + coalesce: hash the canonical encoding and
                 // either serve a verified hit, join an identical solve
                 // already in flight, or lead the solve and publish it.
                 // Exactly one `solve` span exists per unique in-flight
                 // problem — hits and joiners never reach the solver.
-                let leader = match &self.cache {
+                let leader = match cache {
                     None => None,
                     Some(cache) => {
                         let lookup_timer = self.tracer.start_at(dispatched);
@@ -261,7 +298,7 @@ impl ServerCore {
                 // as the solve-span start (the uncached path keeps its
                 // two-reads-per-request budget — see the r9 experiment);
                 // with one, the lookup sits in between.
-                let solve_timer = if self.cache.is_some() {
+                let solve_timer = if cache.is_some() {
                     self.tracer.start()
                 } else {
                     self.tracer.start_at(dispatched)
@@ -279,6 +316,12 @@ impl ServerCore {
                     Ok(exec) => {
                         if let Some(token) = leader {
                             token.complete_ok(&exec.outputs, exec.compute_secs);
+                        }
+                        // Feed the admission policy's per-problem service
+                        // histogram — the basis of its deadline-aware
+                        // early rejects and retry hints.
+                        if let Some(policy) = &self.admission {
+                            policy.observe_service(problem, exec.compute_secs);
                         }
                         self.metrics.counter("server.requests_ok").inc();
                         self.metrics

@@ -5,11 +5,18 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use netsolve_core::admission::{
+    format_busy_detail, AdmissionConfig, AdmissionDecision, AdmissionPolicy, ShedReason,
+};
 use netsolve_core::config::WorkloadPolicy;
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_net::{call, Connection, Transport};
 use netsolve_proto::{Message, ServerDescriptor};
 use parking_lot::Mutex;
+// The parking_lot shim's MutexGuard *is* `std::sync::MutexGuard`, so std's
+// Condvar pairs with it directly (same pattern as the solve cache).
+use std::sync::Condvar;
+use std::time::Instant;
 
 use crate::core::ServerCore;
 
@@ -31,6 +38,13 @@ pub struct ServerConfig {
     /// dropped, so a connection flood degrades into shed load instead of
     /// unbounded thread growth.
     pub max_connections: u32,
+    /// Admission control. When set, requests pass an [`AdmissionPolicy`]
+    /// gate *before* reserving one of `capacity` solve slots: queue-depth
+    /// shed with hysteresis, deadline-aware early reject, and a distinct
+    /// shed for budgets that expire while queued. `None` (the default)
+    /// keeps the pre-admission behavior: every accepted connection solves
+    /// immediately on its own thread.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ServerConfig {
@@ -43,7 +57,92 @@ impl ServerConfig {
             workload: WorkloadPolicy::default(),
             capacity: 1,
             max_connections: 64,
+            admission: None,
         }
+    }
+}
+
+/// Bounded solve-slot gate guarding the cores behind the thread-per-
+/// connection accept loop. `capacity` slots solve concurrently; everyone
+/// else waits here — which is what makes queue-depth admission (and
+/// "budget expired while queued") physically real on the live server.
+struct AdmissionGate {
+    policy: Arc<AdmissionPolicy>,
+    slots: u32,
+    in_service: Mutex<u32>,
+    cond: Condvar,
+    waiting: AtomicU32,
+}
+
+enum SlotOutcome {
+    /// A solve slot is held; the caller must `release()` when done.
+    Acquired,
+    /// The request's deadline budget ran out while it waited; no slot
+    /// was ever reserved.
+    ExpiredInQueue,
+}
+
+impl AdmissionGate {
+    fn new(policy: Arc<AdmissionPolicy>, slots: u32) -> Self {
+        AdmissionGate {
+            policy,
+            slots: slots.max(1),
+            in_service: Mutex::new(0),
+            cond: Condvar::new(),
+            waiting: AtomicU32::new(0),
+        }
+    }
+
+    /// The solve queue a new arrival would join: requests waiting for a
+    /// slot plus requests currently solving.
+    fn depth(&self) -> usize {
+        let in_service = *self.in_service.lock();
+        self.waiting.load(Ordering::Acquire) as usize + in_service as usize
+    }
+
+    /// Wait for a solve slot, giving up (without ever reserving one) if
+    /// the deadline budget expires first. `deadline_ms == 0` waits
+    /// indefinitely.
+    fn acquire(&self, received_at: Instant, deadline_ms: u64) -> SlotOutcome {
+        let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+        self.waiting.fetch_add(1, Ordering::AcqRel);
+        let mut in_service = self.in_service.lock();
+        loop {
+            // Budget check *before* reserving: an expired request must
+            // never consume a slot.
+            if let Some(b) = budget {
+                if received_at.elapsed() >= b {
+                    self.waiting.fetch_sub(1, Ordering::AcqRel);
+                    return SlotOutcome::ExpiredInQueue;
+                }
+            }
+            if *in_service < self.slots {
+                *in_service += 1;
+                self.waiting.fetch_sub(1, Ordering::AcqRel);
+                return SlotOutcome::Acquired;
+            }
+            in_service = match budget {
+                Some(b) => {
+                    let remaining = b.saturating_sub(received_at.elapsed());
+                    self.cond
+                        .wait_timeout(in_service, remaining)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0
+                }
+                None => self
+                    .cond
+                    .wait(in_service)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            };
+        }
+    }
+
+    fn release(&self) {
+        {
+            let mut in_service = self.in_service.lock();
+            *in_service = in_service.saturating_sub(1);
+        }
+        self.cond.notify_one();
     }
 }
 
@@ -108,6 +207,20 @@ impl ServerDaemon {
             }
         };
 
+        // Admission: install the policy into the core (unless the caller
+        // pre-wired one via `ServerCore::with_admission` — benches and
+        // tests do, to share the policy object with a simulation), then
+        // build the solve-slot gate around it.
+        let mut core = core;
+        if core.admission().is_none() {
+            if let Some(cfg) = &config.admission {
+                core = core.with_admission(Arc::new(AdmissionPolicy::new(cfg.clone())));
+            }
+        }
+        let gate = core
+            .admission()
+            .map(|policy| Arc::new(AdmissionGate::new(Arc::clone(policy), config.capacity)));
+
         let core = Arc::new(core);
         let active = Arc::new(AtomicU32::new(0));
         let stop = Arc::new(AtomicBool::new(false));
@@ -164,6 +277,7 @@ impl ServerDaemon {
                                 let active = Arc::clone(&active);
                                 let served = Arc::clone(&served);
                                 let conns = Arc::clone(&live_conns);
+                                let gate = gate.clone();
                                 // Park the connection where a failed spawn
                                 // can still reach it to answer Busy.
                                 let slot = Arc::new(Mutex::new(Some(conn)));
@@ -172,7 +286,7 @@ impl ServerDaemon {
                                     .name("server-conn".into())
                                     .spawn(move || {
                                         if let Some(conn) = thread_slot.lock().take() {
-                                            serve_connection(conn, core, active, served);
+                                            serve_connection(conn, core, active, served, gate);
                                         }
                                         conns.fetch_sub(1, Ordering::AcqRel);
                                     });
@@ -314,11 +428,70 @@ fn should_send(last_sent: Option<f64>, measured: f64, policy: &WorkloadPolicy) -
     }
 }
 
+/// Run one request through the admission gate. Returns the shed reply to
+/// send, or `None` when the request was admitted and now holds a solve
+/// slot (which the caller must release).
+fn gate_admit(
+    gate: &AdmissionGate,
+    metrics: &netsolve_obs::MetricsRegistry,
+    tracer: &netsolve_obs::Tracer,
+    ctx: netsolve_obs::SpanContext,
+    msg: &Message,
+    received_at: Instant,
+) -> Option<Message> {
+    let (request_id, problem, deadline_ms) = match msg {
+        Message::RequestSubmit { request_id, problem, deadline_ms, .. } => {
+            (*request_id, problem.as_str(), *deadline_ms)
+        }
+        _ => return None, // only solves are gated; queries always answer
+    };
+    let depth = gate.depth();
+    let remaining =
+        (deadline_ms > 0).then(|| deadline_ms.saturating_sub(received_at.elapsed().as_millis() as u64));
+    match gate.policy.admit(problem, depth, remaining) {
+        AdmissionDecision::Admit => match gate.acquire(received_at, deadline_ms) {
+            SlotOutcome::Acquired => None,
+            SlotOutcome::ExpiredInQueue => {
+                // Counted distinctly from the core's execution-time
+                // `server.deadline_shed`: this budget died *waiting*,
+                // before any solve slot was reserved.
+                metrics.counter("server.queue_deadline_shed").inc();
+                tracer.point(ctx, "server", "queue_deadline_shed", format!("budget={deadline_ms}ms"));
+                Some(Message::from_error(&NetSolveError::Timeout(format!(
+                    "request {request_id} deadline ({deadline_ms} ms) expired while queued"
+                ))))
+            }
+        },
+        AdmissionDecision::Shed { reason, retry_after_ms } => {
+            metrics.counter("server.admission_shed").inc();
+            tracer.point(
+                ctx,
+                "server",
+                "admission_shed",
+                format!("reason={} depth={depth} hint={retry_after_ms}ms", reason.name()),
+            );
+            let err = match reason {
+                // Budget already gone: a retry hint is meaningless, the
+                // client's deadline path owns what happens next.
+                ShedReason::DeadlineExpired => NetSolveError::Timeout(format!(
+                    "request {request_id} deadline ({deadline_ms} ms) expired at admission"
+                )),
+                // Retryable Busy carrying the backoff hint.
+                ShedReason::QueueFull | ShedReason::DeadlineUnmeetable => {
+                    NetSolveError::Resource(format_busy_detail(reason, depth, retry_after_ms))
+                }
+            };
+            Some(Message::from_error(&err))
+        }
+    }
+}
+
 fn serve_connection(
     mut conn: Box<dyn Connection>,
     core: Arc<ServerCore>,
     active: Arc<AtomicU32>,
     served: Arc<AtomicU64>,
+    gate: Option<Arc<AdmissionGate>>,
 ) {
     let metrics = core.metrics();
     let tracer = core.tracer();
@@ -327,7 +500,7 @@ fn serve_connection(
             Ok(m) => m,
             Err(_) => return,
         };
-        let received_at = std::time::Instant::now();
+        let received_at = Instant::now();
         // Trace context rides in the request; decode happened inside
         // `conn.recv()` (the transport owns the frame parse), so the queue
         // span the core records starts here, at wire arrival.
@@ -342,19 +515,39 @@ fn serve_connection(
             _ => None,
         };
         let is_request = request_ctx.is_some();
-        if is_request {
-            active.fetch_add(1, Ordering::AcqRel);
-            metrics.gauge("server.active_requests").inc();
-        }
-        let reply = core.handle_message_at(&msg, received_at);
-        if is_request {
-            active.fetch_sub(1, Ordering::AcqRel);
-            metrics.gauge("server.active_requests").dec();
-            served.fetch_add(1, Ordering::AcqRel);
-            metrics
-                .histogram("server.request_handle_secs")
-                .record_secs(received_at.elapsed().as_secs_f64());
-        }
+        // Admission gate: shed (with a retryable Busy + retry hint) or
+        // wait for a solve slot *before* the request counts as active.
+        let mut slot_held = false;
+        let shed_reply = match (&gate, request_ctx) {
+            (Some(g), Some(ctx)) => {
+                let r = gate_admit(g, &metrics, &tracer, ctx, &msg, received_at);
+                slot_held = r.is_none();
+                r
+            }
+            _ => None,
+        };
+        let reply = match shed_reply {
+            Some(reply) => reply,
+            None => {
+                if is_request {
+                    active.fetch_add(1, Ordering::AcqRel);
+                    metrics.gauge("server.active_requests").inc();
+                }
+                let reply = core.handle_message_at(&msg, received_at);
+                if slot_held {
+                    gate.as_ref().expect("slot implies gate").release();
+                }
+                if is_request {
+                    active.fetch_sub(1, Ordering::AcqRel);
+                    metrics.gauge("server.active_requests").dec();
+                    served.fetch_add(1, Ordering::AcqRel);
+                    metrics
+                        .histogram("server.request_handle_secs")
+                        .record_secs(received_at.elapsed().as_secs_f64());
+                }
+                reply
+            }
+        };
         let send_start = std::time::Instant::now();
         let encode_timer = tracer.start();
         if conn.send(&reply).is_err() {
@@ -516,6 +709,183 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "no workload report arrived");
             std::thread::sleep(Duration::from_millis(20));
         }
+        server.stop();
+        drop(agent);
+    }
+
+    /// Driving a capacity-1 admission server past its queue bound must
+    /// shed with a retryable Busy carrying a `retry_after_ms` hint,
+    /// while everything admitted still solves.
+    #[test]
+    fn admission_gate_sheds_past_queue_bound() {
+        use crate::core::ExecutionMode;
+        use netsolve_pdl::ProblemRegistry;
+
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let agent =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+        let mut config = ServerConfig::quick("host1", "srv1", 150.0);
+        config.admission = Some(AdmissionConfig::with_max_queue(2));
+        // ~64 ms synthetic solves (dgesv n=124 at 10 Mflop/s) so the
+        // burst below genuinely overlaps in the solve queue.
+        let core = ServerCore::new(
+            ProblemRegistry::with_standard_catalogue(),
+            ExecutionMode::Synthetic { mflops: 20.0 },
+        );
+        let mut server =
+            ServerDaemon::start(Arc::clone(&transport), "agent", core, config).unwrap();
+        let address = server.address().to_string();
+
+        let burst = 8;
+        let handles: Vec<_> = (0..burst)
+            .map(|i| {
+                let net = net.clone();
+                let address = address.clone();
+                std::thread::spawn(move || {
+                    let mut conn = net.connect(&address).unwrap();
+                    let a = Matrix::identity(124);
+                    let b = vec![1.0; 124];
+                    call(
+                        conn.as_mut(),
+                        &Message::RequestSubmit {
+                            request_id: i,
+                            deadline_ms: 0,
+                            problem: "dgesv".into(),
+                            inputs: vec![a.into(), b.into()],
+                            trace_id: 0,
+                            parent_span: 0,
+                        },
+                        Duration::from_secs(30),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        let mut solved = 0;
+        let mut shed = 0;
+        for h in handles {
+            match h.join().unwrap() {
+                Message::RequestReply { .. } => solved += 1,
+                Message::Error { code, detail } => {
+                    assert_eq!(code, NetSolveError::Resource(String::new()).code(), "{detail}");
+                    let err = NetSolveError::from_code(code, detail.clone());
+                    assert!(err.is_retryable(), "shed must be retryable: {detail}");
+                    assert!(
+                        netsolve_core::admission::parse_retry_after_ms(&detail).is_some(),
+                        "busy reply must carry a retry hint: {detail}"
+                    );
+                    shed += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(shed >= 1, "burst of {burst} never overflowed queue bound 2");
+        assert!(solved >= 1, "admitted requests must still solve");
+        assert_eq!(solved + shed, burst);
+        server.stop();
+        drop(agent);
+    }
+
+    /// A request whose deadline budget expires while it waits for a solve
+    /// slot must be rejected *before* reserving the slot, counted under
+    /// `server.queue_deadline_shed` (distinct from the core's
+    /// execution-time `server.deadline_shed`).
+    #[test]
+    fn budget_expiring_in_queue_sheds_without_taking_a_slot() {
+        use crate::core::ExecutionMode;
+        use netsolve_pdl::ProblemRegistry;
+
+        let net = ChannelNetwork::new();
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        let agent =
+            AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults())
+                .unwrap();
+        let mut config = ServerConfig::quick("host1", "srv1", 150.0);
+        // Queue bound far above the test's two requests: only the
+        // deadline path can shed here.
+        config.admission = Some(AdmissionConfig::with_max_queue(64));
+        let core = ServerCore::new(
+            ProblemRegistry::with_standard_catalogue(),
+            ExecutionMode::Synthetic { mflops: 20.0 },
+        );
+        let metrics = core.metrics();
+        let mut server =
+            ServerDaemon::start(Arc::clone(&transport), "agent", core, config).unwrap();
+        let address = server.address().to_string();
+
+        // Occupy the single solve slot with a ~250 ms solve (dgesv n=196).
+        let blocker = {
+            let net = net.clone();
+            let address = address.clone();
+            std::thread::spawn(move || {
+                let mut conn = net.connect(&address).unwrap();
+                let a = Matrix::identity(196);
+                let b = vec![1.0; 196];
+                call(
+                    conn.as_mut(),
+                    &Message::RequestSubmit {
+                        request_id: 1,
+                        deadline_ms: 0,
+                        problem: "dgesv".into(),
+                        inputs: vec![a.into(), b.into()],
+                        trace_id: 0,
+                        parent_span: 0,
+                    },
+                    Duration::from_secs(30),
+                )
+                .unwrap()
+            })
+        };
+        // Wait until the blocker actually holds the solve slot.
+        let wait_deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = metrics.snapshot("server");
+            let busy = snap
+                .gauges
+                .iter()
+                .any(|(name, v)| name == "server.active_requests" && *v >= 1);
+            if busy {
+                break;
+            }
+            assert!(Instant::now() < wait_deadline, "blocker never started solving");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut conn = net.connect(&address).unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RequestSubmit {
+                request_id: 2,
+                deadline_ms: 40, // much shorter than the blocker's solve
+                problem: "ddot".into(),
+                inputs: vec![vec![1.0].into(), vec![1.0].into()],
+                trace_id: 0,
+                parent_span: 0,
+            },
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        match reply {
+            Message::Error { code, detail } => {
+                assert_eq!(code, NetSolveError::Timeout(String::new()).code(), "{detail}");
+                assert!(detail.contains("expired while queued"), "detail: {detail}");
+            }
+            other => panic!("expected queued-deadline shed, got {other:?}"),
+        }
+        assert!(matches!(blocker.join().unwrap(), Message::RequestReply { .. }));
+        let snap = metrics.snapshot("server");
+        let queue_sheds = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "server.queue_deadline_shed")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(queue_sheds, 1, "expired-in-queue shed must have its own counter");
+        assert!(
+            !snap.counters.iter().any(|(n, v)| n == "server.deadline_shed" && *v > 0),
+            "shed must not be double-counted as an execution-time shed"
+        );
         server.stop();
         drop(agent);
     }

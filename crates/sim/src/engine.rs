@@ -18,10 +18,10 @@
 //! * Failed attempts cost `failure_detect_secs` and push the client down
 //!   the candidate list, feeding the agent's real fault tracker.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use netsolve_agent::{standard_descriptor, AgentCore, Policy};
+use netsolve_core::admission::{AdmissionDecision, AdmissionPolicy};
 use netsolve_core::clock::SimTime;
 use netsolve_core::config::AgentConfig;
 use netsolve_core::error::{NetSolveError, Result};
@@ -30,8 +30,16 @@ use netsolve_core::problem::RequestShape;
 use netsolve_core::rng::Rng64;
 use netsolve_net::NetworkView;
 
-use crate::metrics::{CompletedRequest, SimReport};
+use crate::calendar::EventCalendar;
+use crate::metrics::{AdmissionStats, CompletedRequest, SimReport};
 use crate::scenario::{Arrivals, Scenario};
+
+/// Distinct client `HostId`s the agent's network view is seeded with.
+/// Million-client scenarios attribute requests round-robin to this many
+/// hosts — link quality is uniform per scenario anyway, and seeding
+/// `clients × servers` observations is what made huge populations
+/// intractable.
+const MAX_CLIENT_HOSTS: usize = 512;
 
 /// Event kinds, ordered by time through the queue.
 #[derive(Debug)]
@@ -71,6 +79,9 @@ struct ServerState {
     /// Incremented whenever in-flight service is invalidated (crash), so
     /// stale `ServiceDone` events can be recognized and dropped.
     epoch: u64,
+    /// Virtual time the in-flight service began (feeds the admission
+    /// policy's observed service-time histograms).
+    service_started: f64,
 }
 
 /// Run a scenario to completion and return the report.
@@ -105,6 +116,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
     let agent_config = AgentConfig {
         workload: scenario.workload,
         pending_tracking: scenario.pending_tracking,
+        fault: scenario.fault,
         ..AgentConfig::default()
     };
     let net_view = NetworkView::new(scenario.network.latency_secs, scenario.network.bandwidth_bps);
@@ -118,7 +130,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         // original system measured links; we grant the agent that data).
         let (lat, bw) = scenario.network.link_for(i);
         let host = agent.registry().get(id).expect("just registered").host;
-        for c in 0..scenario.clients.max(1) {
+        for c in 0..scenario.clients.clamp(1, MAX_CLIENT_HOSTS) {
             let client_host = HostId(1_000_000 + c as u64);
             agent.observe_network(client_host, host, lat, bw);
             agent.observe_network(host, client_host, lat, bw);
@@ -131,10 +143,21 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
             crashed: false,
             last_reported: None,
             epoch: 0,
+            service_started: 0.0,
         });
     }
 
+    // One AdmissionPolicy per server — the identical decision object the
+    // live ServerDaemon gates with, here driven on virtual time.
+    let policies: Option<Vec<AdmissionPolicy>> = scenario
+        .admission
+        .as_ref()
+        .map(|cfg| (0..servers.len()).map(|_| AdmissionPolicy::new(cfg.clone())).collect());
+
     // --- Pre-draw request arrival times, mix entries and sizes. ---
+    // Closed-loop arrivals cannot be pre-drawn (each chains from a
+    // completion); their times here are placeholders and the mix/size
+    // draws are consumed in issue order.
     let mut arrivals: Vec<(SimTime, usize, u64)> = Vec::with_capacity(scenario.requests);
     let mut t = 0.0f64;
     for i in 0..scenario.requests {
@@ -144,8 +167,30 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                 t
             }
             Arrivals::Batch => 0.0,
+            Arrivals::Closed { .. } => 0.0,
             Arrivals::Uniform { gap } => {
                 t += gap;
+                t
+            }
+            Arrivals::Diurnal { base_rate, peak_rate, period_secs } => {
+                if !(*base_rate >= 0.0 && *peak_rate >= *base_rate && *peak_rate > 0.0)
+                    || *period_secs <= 0.0
+                {
+                    return Err(NetSolveError::BadArguments(
+                        "diurnal arrivals need 0 <= base_rate <= peak_rate (peak > 0) and a positive period".into(),
+                    ));
+                }
+                // Nonhomogeneous Poisson by thinning against the peak
+                // rate: candidate gaps at the peak, accepted with
+                // probability rate(t)/peak.
+                loop {
+                    t += rng.exponential(*peak_rate);
+                    let phase = t / period_secs * std::f64::consts::TAU;
+                    let rate = base_rate + (peak_rate - base_rate) * 0.5 * (1.0 - phase.cos());
+                    if rng.chance(rate / peak_rate) {
+                        break;
+                    }
+                }
                 t
             }
             Arrivals::Trace(times) => {
@@ -180,50 +225,29 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         arrivals.push((SimTime::from_secs(at), entry_idx, size));
     }
 
-    // --- Event queue. ---
-    // BinaryHeap is a max-heap; order by Reverse(time, seq).
-    struct Entry {
-        key: (f64, u64),
-        event: Event,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.key == other.key
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.key
-                .0
-                .total_cmp(&other.key.0)
-                .then(self.key.1.cmp(&other.key.1))
-        }
-    }
-    let mut seq = 0u64;
-    let mut queue: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
-    let push = |queue: &mut BinaryHeap<Reverse<Entry>>, seq: &mut u64, t: SimTime, e: Event| {
-        *seq += 1;
-        queue.push(Reverse(Entry { key: (t.as_secs(), *seq), event: e }));
-    };
+    // --- Event queue: the indexed calendar (next-event optimization). ---
+    // Pops in exactly the (time, push-order) sequence the old binary
+    // heap produced, at O(1) amortized per event.
+    let mut queue: EventCalendar<Event> = EventCalendar::new();
 
-    for (idx, (at, _, _)) in arrivals.iter().enumerate() {
-        push(&mut queue, &mut seq, *at, Event::Arrival { idx });
+    // Open-loop arrivals all enter the calendar up front. Closed-loop
+    // load seeds one request per client; every later arrival chains from
+    // a completion in the main loop.
+    let initial_wave = match &scenario.arrivals {
+        Arrivals::Closed { .. } => scenario.clients.max(1).min(scenario.requests),
+        _ => scenario.requests,
+    };
+    for (idx, (at, _, _)) in arrivals.iter().enumerate().take(initial_wave) {
+        queue.push(at.as_secs(), Event::Arrival { idx });
     }
+    let mut next_issue = initial_wave;
+    // Finished requests already credited with a chained arrival, by
+    // outcome (cursors into `completed` / `failed`).
+    let (mut chained_ok, mut chained_err) = (0usize, 0usize);
     for (i, s) in scenario.servers.iter().enumerate() {
-        push(
-            &mut queue,
-            &mut seq,
-            SimTime::from_secs(scenario.workload.report_interval_secs),
-            Event::WorkloadTick { server: i },
-        );
+        queue.push(scenario.workload.report_interval_secs, Event::WorkloadTick { server: i });
         if let Some(at) = s.crash_at {
-            push(&mut queue, &mut seq, SimTime::from_secs(at), Event::Crash { server: i });
+            queue.push(at, Event::Crash { server: i });
         }
     }
 
@@ -235,6 +259,16 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         servers.iter().position(|s| s.id == id).expect("known server")
     };
 
+    // Remaining deadline budget (ms) for a job, `None` when the scenario
+    // runs without deadlines — the exact argument shape the live daemon
+    // passes `AdmissionPolicy::admit`.
+    fn remaining_budget_ms(scenario: &Scenario, job: &QueuedJob, now: SimTime) -> Option<u64> {
+        (scenario.deadline_secs > 0.0).then(|| {
+            let left = job.arrival.as_secs() + scenario.deadline_secs - now.as_secs();
+            (left.max(0.0) * 1e3) as u64
+        })
+    }
+
     // Dispatch one job to its next candidate (or record failure).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
@@ -243,15 +277,14 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         scenario: &Scenario,
         agent: &mut AgentCore,
         servers: &mut [ServerState],
+        policies: Option<&[AdmissionPolicy]>,
         rng: &mut Rng64,
         completed_fail: &mut Vec<CompletedRequest>,
         pending: &mut usize,
         start_service: &mut Vec<(usize, SimTime)>,
     ) {
         loop {
-            if job.attempts as usize >= scenario.max_attempts
-                || job.next_candidate >= job.candidates.len()
-            {
+            if job.attempts as usize >= scenario.max_attempts || job.candidates.is_empty() {
                 completed_fail.push(CompletedRequest {
                     idx: job.idx,
                     problem: job.shape.problem.clone(),
@@ -266,17 +299,41 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                 *pending -= 1;
                 return;
             }
-            let (sid, predicted) = job.candidates[job.next_candidate];
+            // Retries cycle the ranked list — matching the live client's
+            // `live[retry % live.len()]` rotation, so `max_attempts`
+            // means the same total-tries budget in sim and live. (The
+            // sim used to abandon a job once the list was exhausted,
+            // one effective try short of the live client.)
+            let (sid, predicted) = job.candidates[job.next_candidate % job.candidates.len()];
             job.next_candidate += 1;
             job.attempts += 1;
             let s_idx = servers.iter().position(|s| s.id == sid).expect("candidate exists");
             let sstate = &mut servers[s_idx];
-            let attempt_fails =
-                sstate.crashed || rng.chance(scenario.servers[s_idx].fail_prob);
-            if attempt_fails {
+            if sstate.crashed {
                 agent.failure_report(sid, now);
                 // The retry costs detection time; we model it by shifting
                 // the job's effective enqueue time forward.
+                job.enqueued = job.enqueued.plus(scenario.failure_detect_secs);
+                continue;
+            }
+            // Admission gate: the server's policy judges the queue this
+            // request would join, exactly as the live daemon's
+            // accept-time gate does. A shed consumes a client attempt
+            // (the live client counts Busy as a failed try, reports it,
+            // and waits out the retry hint before its next candidate).
+            if let Some(policies) = policies {
+                let depth = sstate.queue.len() + sstate.busy as usize;
+                let remaining = remaining_budget_ms(scenario, &job, now);
+                if let AdmissionDecision::Shed { retry_after_ms, .. } =
+                    policies[s_idx].admit(&job.shape.problem, depth, remaining)
+                {
+                    agent.failure_report(sid, now);
+                    job.enqueued = job.enqueued.plus(retry_after_ms as f64 / 1e3);
+                    continue;
+                }
+            }
+            if rng.chance(scenario.servers[s_idx].fail_prob) {
+                agent.failure_report(sid, now);
                 job.enqueued = job.enqueued.plus(scenario.failure_detect_secs);
                 continue;
             }
@@ -295,18 +352,54 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
     }
 
     // Begin servicing the head of a server's queue; returns completion time.
+    #[allow(clippy::too_many_arguments)]
     fn begin_service(
         s_idx: usize,
         now: SimTime,
         scenario: &Scenario,
         servers: &mut [ServerState],
+        policies: Option<&[AdmissionPolicy]>,
         rng: &mut Rng64,
+        failed: &mut Vec<CompletedRequest>,
+        pending: &mut usize,
     ) -> Option<SimTime> {
         let sstate = &mut servers[s_idx];
-        if sstate.busy || sstate.crashed || sstate.queue.is_empty() {
+        if sstate.busy || sstate.crashed {
+            return None;
+        }
+        // Budgets that expired *while queued* are shed before any
+        // service slot is consumed — the mirror of the live gate's
+        // in-queue deadline check. The policy records them as
+        // deadline-expired sheds.
+        if let Some(policies) = policies {
+            if scenario.deadline_secs > 0.0 {
+                while let Some(head) = sstate.queue.front() {
+                    if now.as_secs() < head.arrival.as_secs() + scenario.deadline_secs {
+                        break;
+                    }
+                    let depth = sstate.queue.len();
+                    let _ = policies[s_idx].admit(&head.shape.problem, depth, Some(0));
+                    let job = sstate.queue.pop_front().expect("non-empty head");
+                    failed.push(CompletedRequest {
+                        idx: job.idx,
+                        problem: job.shape.problem.clone(),
+                        n: job.shape.n,
+                        arrival_secs: job.arrival.as_secs(),
+                        finish_secs: now.as_secs(),
+                        server: None,
+                        predicted_secs: job.predicted,
+                        attempts: job.attempts,
+                        ok: false,
+                    });
+                    *pending -= 1;
+                }
+            }
+        }
+        if sstate.queue.is_empty() {
             return None;
         }
         sstate.busy = true;
+        sstate.service_started = now.as_secs();
         let job = sstate.queue.front().expect("non-empty");
         let base = job.complexity.seconds_at(job.shape.n, sstate.mflops);
         // External background load steals cycles exactly as the predictor's
@@ -322,13 +415,17 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
         Some(now.plus(service.max(0.0)))
     }
 
-    while let Some(Reverse(Entry { key, event })) = queue.pop() {
-        let now = SimTime::from_secs(key.0);
+    while let Some((at, event)) = queue.pop() {
+        let now = SimTime::from_secs(at);
         match event {
             Event::Arrival { idx } => {
-                let (arrival, entry_idx, n) = arrivals[idx];
+                // `now` IS the arrival time: for open-loop modes it is the
+                // pre-drawn instant, for closed-loop the chained issue time.
+                let (_, entry_idx, n) = arrivals[idx];
                 let spec = &entry_specs[entry_idx];
-                let client_host = HostId(1_000_000 + (idx % scenario.clients.max(1)) as u64);
+                let client_host = HostId(
+                    1_000_000 + (idx % scenario.clients.max(1) % MAX_CLIENT_HOSTS) as u64,
+                );
                 // Byte estimate from the declared signature: matrices are
                 // n², vectors n, scalars constant (matching RequestShape's
                 // live-mode estimation).
@@ -354,7 +451,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                             idx,
                             problem: shape.problem.clone(),
                             n,
-                            arrival_secs: arrival.as_secs(),
+                            arrival_secs: now.as_secs(),
                             finish_secs: now.as_secs(),
                             server: None,
                             predicted_secs: 0.0,
@@ -377,7 +474,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                 let transfer = 2.0 * lat + (shape.bytes_in + shape.bytes_out) as f64 / bw;
                 let job = QueuedJob {
                     idx,
-                    arrival,
+                    arrival: now,
                     enqueued: now.plus(transfer),
                     predicted: candidates[0].1,
                     transfer_secs: transfer,
@@ -394,17 +491,25 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                     scenario,
                     &mut agent,
                     &mut servers,
+                    policies.as_deref(),
                     &mut rng,
                     &mut failed,
                     &mut pending_jobs,
                     &mut starts,
                 );
                 for (s_idx, at) in starts {
-                    if let Some(done) =
-                        begin_service(s_idx, at, scenario, &mut servers, &mut rng)
-                    {
+                    if let Some(done) = begin_service(
+                        s_idx,
+                        at,
+                        scenario,
+                        &mut servers,
+                        policies.as_deref(),
+                        &mut rng,
+                        &mut failed,
+                        &mut pending_jobs,
+                    ) {
                         let epoch = servers[s_idx].epoch;
-                        push(&mut queue, &mut seq, done, Event::ServiceDone { server: s_idx, epoch });
+                        queue.push(done.as_secs(), Event::ServiceDone { server: s_idx, epoch });
                     }
                 }
             }
@@ -418,6 +523,14 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                     sstate.queue.pop_front().expect("job was being serviced")
                 };
                 agent.success_report(servers[server].id);
+                // Observed service time feeds the policy's per-problem
+                // histogram, like the live core after every solve.
+                if let Some(policies) = &policies {
+                    policies[server].observe_service(
+                        &job.shape.problem,
+                        now.as_secs() - servers[server].service_started,
+                    );
+                }
                 completed.push(CompletedRequest {
                     idx: job.idx,
                     problem: job.shape.problem.clone(),
@@ -430,11 +543,18 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                     ok: true,
                 });
                 pending_jobs -= 1;
-                if let Some(done) =
-                    begin_service(server, now, scenario, &mut servers, &mut rng)
-                {
+                if let Some(done) = begin_service(
+                    server,
+                    now,
+                    scenario,
+                    &mut servers,
+                    policies.as_deref(),
+                    &mut rng,
+                    &mut failed,
+                    &mut pending_jobs,
+                ) {
                     let epoch = servers[server].epoch;
-                    push(&mut queue, &mut seq, done, Event::ServiceDone { server, epoch });
+                    queue.push(done.as_secs(), Event::ServiceDone { server, epoch });
                 }
             }
             Event::WorkloadTick { server } => {
@@ -460,10 +580,8 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                         agent.workload_report(sid, workload, now);
                         servers[server].last_reported = Some(workload);
                     }
-                    push(
-                        &mut queue,
-                        &mut seq,
-                        now.plus(scenario.workload.report_interval_secs),
+                    queue.push(
+                        now.plus(scenario.workload.report_interval_secs).as_secs(),
                         Event::WorkloadTick { server },
                     );
                 }
@@ -484,6 +602,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                         scenario,
                         &mut agent,
                         &mut servers,
+                        policies.as_deref(),
                         &mut rng,
                         &mut failed,
                         &mut pending_jobs,
@@ -495,18 +614,45 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
                             at,
                             scenario,
                             &mut servers,
+                            policies.as_deref(),
                             &mut rng,
+                            &mut failed,
+                            &mut pending_jobs,
                         ) {
                             let epoch = servers[s_idx].epoch;
-                            push(
-                                &mut queue,
-                                &mut seq,
-                                done,
-                                Event::ServiceDone { server: s_idx, epoch },
-                            );
+                            queue.push(done.as_secs(), Event::ServiceDone { server: s_idx, epoch });
                         }
                     }
                 }
+            }
+        }
+        // Closed-loop chaining: every finished request (success or
+        // failure) frees its client, which thinks and then issues the
+        // next request.
+        if let Arrivals::Closed { think_secs } = &scenario.arrivals {
+            while (chained_ok < completed.len() || chained_err < failed.len())
+                && next_issue < scenario.requests
+            {
+                // The client is only freed once the answer (or final
+                // error) reaches it — `finish_secs`, not the server-side
+                // completion instant.
+                let freed_at = if chained_ok < completed.len() {
+                    chained_ok += 1;
+                    completed[chained_ok - 1].finish_secs
+                } else {
+                    chained_err += 1;
+                    failed[chained_err - 1].finish_secs
+                };
+                let think = if *think_secs > 0.0 {
+                    rng.exponential(1.0 / *think_secs)
+                } else {
+                    0.0
+                };
+                queue.push(
+                    freed_at.max(now.as_secs()) + think,
+                    Event::Arrival { idx: next_issue },
+                );
+                next_issue += 1;
             }
         }
         if pending_jobs == 0 {
@@ -517,7 +663,18 @@ pub fn run(scenario: &Scenario) -> Result<SimReport> {
 
     completed.extend(failed);
     completed.sort_by_key(|r| r.idx);
-    Ok(SimReport::new(scenario.policy, completed, servers.len()))
+    let mut report = SimReport::new(scenario.policy, completed, servers.len());
+    if let Some(policies) = &policies {
+        let mut stats = AdmissionStats::default();
+        for p in policies {
+            stats.decisions += p.decisions();
+            stats.sheds_queue_full += p.sheds_queue_full();
+            stats.sheds_deadline_expired += p.sheds_deadline_expired();
+            stats.sheds_deadline_unmeetable += p.sheds_deadline_unmeetable();
+        }
+        report = report.with_admission_stats(stats);
+    }
+    Ok(report)
 }
 
 /// Convenience: run the same scenario under several policies.
@@ -807,5 +964,153 @@ mod tests {
         let mut sc = base(vec![SimServer::new(10.0)], 5);
         sc.mix = RequestMix::single("nope", &[10]);
         assert!(run(&sc).is_err());
+    }
+
+    #[test]
+    fn admission_sheds_under_overload_and_protects_latency() {
+        use netsolve_core::admission::AdmissionConfig;
+        // One slow server driven at ~8x its capacity. Without admission
+        // the queue grows without bound and p99 turnaround explodes;
+        // with a depth-4 bound most requests shed (failing, since
+        // max_attempts = 1) but the admitted ones stay fast.
+        let mut sc = base(vec![SimServer::new(50.0)], 400);
+        sc.arrivals = Arrivals::Poisson { rate: 20.0 };
+        sc.mix = RequestMix::dgesv(&[300]);
+        sc.max_attempts = 1;
+        let baseline = run(&sc).unwrap();
+        assert!(baseline.admission().is_none());
+        let mut guarded_sc = sc.clone();
+        guarded_sc.admission = Some(AdmissionConfig::with_max_queue(4));
+        let guarded = run(&guarded_sc).unwrap();
+        let stats = guarded.admission().expect("admission stats present");
+        assert!(stats.sheds_queue_full > 0, "overload must shed: {stats:?}");
+        assert!(stats.decisions >= stats.sheds(), "{stats:?}");
+        assert!(stats.shed_rate() > 0.2 && stats.shed_rate() < 1.0, "{stats:?}");
+        assert_eq!(guarded.total(), 400, "every request accounted for");
+        assert!(guarded.succeeded() < guarded.total(), "sheds fail at max_attempts=1");
+        assert!(guarded.succeeded() > 0, "admitted requests still complete");
+        let (gp99, bp99) = (guarded.turnaround_percentile(99.0), baseline.turnaround_percentile(99.0));
+        assert!(gp99 * 2.0 < bp99, "admission must protect p99: {gp99} vs {bp99}");
+    }
+
+    #[test]
+    fn closed_loop_never_exceeds_client_population_in_flight() {
+        let mut sc = base(vec![SimServer::new(200.0)], 60);
+        sc.clients = 3;
+        sc.arrivals = Arrivals::Closed { think_secs: 0.05 };
+        let report = run(&sc).unwrap();
+        assert_eq!(report.succeeded(), 60);
+        // Sweep: completions free clients before (strictly later) chained
+        // arrivals, so concurrency never exceeds the population.
+        let mut edges: Vec<(f64, i32)> = report
+            .requests()
+            .iter()
+            .flat_map(|r| [(r.arrival_secs, 1), (r.finish_secs, -1)])
+            .collect();
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut in_flight = 0;
+        for (_, d) in edges {
+            in_flight += d;
+            assert!(in_flight <= 3, "closed loop exceeded client population");
+        }
+        // Arrivals actually spread out (not a batch): last arrival well
+        // after the first finish.
+        let first_finish = report.requests().iter().map(|r| r.finish_secs).fold(f64::INFINITY, f64::min);
+        let last_arrival = report.requests().iter().map(|r| r.arrival_secs).fold(0.0, f64::max);
+        assert!(last_arrival > first_finish, "arrivals must chain from completions");
+    }
+
+    #[test]
+    fn diurnal_arrivals_cluster_at_the_peak() {
+        let mut sc = base(vec![SimServer::new(500.0)], 400);
+        sc.arrivals = Arrivals::Diurnal { base_rate: 0.5, peak_rate: 10.0, period_secs: 100.0 };
+        let report = run(&sc).unwrap();
+        assert_eq!(report.total(), 400);
+        // rate(t) troughs at phase 0 and peaks at phase 0.5: the middle
+        // half of each cycle should hold the bulk of arrivals.
+        let (mut peak, mut trough) = (0, 0);
+        for r in report.requests() {
+            let phase = (r.arrival_secs / 100.0).fract();
+            if (0.25..0.75).contains(&phase) {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(peak > trough * 2, "peak {peak} vs trough {trough}");
+
+        // Validation.
+        let mut bad = base(vec![SimServer::new(100.0)], 5);
+        bad.arrivals = Arrivals::Diurnal { base_rate: 5.0, peak_rate: 1.0, period_secs: 10.0 };
+        assert!(run(&bad).is_err());
+        bad.arrivals = Arrivals::Diurnal { base_rate: 0.0, peak_rate: 1.0, period_secs: 0.0 };
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn heavy_tail_mix_is_mostly_small_with_a_real_tail() {
+        let mut sc = base(vec![SimServer::new(2000.0)], 300);
+        sc.mix = RequestMix::heavy_tail("dgesv", &[100, 200, 400, 800], 2.0);
+        let report = run(&sc).unwrap();
+        let count = |n: u64| report.requests().iter().filter(|r| r.n == n).count();
+        assert!(count(100) > count(800) * 5, "small {} vs huge {}", count(100), count(800));
+        assert!(count(800) > 0, "the tail must actually occur");
+        assert_eq!(count(100) + count(200) + count(400) + count(800), 300);
+    }
+
+    #[test]
+    fn correlated_crash_takes_out_the_fraction_and_failover_rescues() {
+        let mut sc = base(vec![SimServer::new(100.0); 4], 120).correlated_crash(2.0, 0.5);
+        assert_eq!(sc.servers[0].crash_at, Some(2.0));
+        assert_eq!(sc.servers[1].crash_at, Some(2.0));
+        assert_eq!(sc.servers[2].crash_at, None);
+        sc.arrivals = Arrivals::Poisson { rate: 3.0 };
+        let report = run(&sc).unwrap();
+        assert_eq!(report.succeeded(), 120, "survivors absorb the dead half's load");
+        let counts = report.per_server_counts();
+        assert!(counts[2] + counts[3] > counts[0] + counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn budgets_expired_in_queue_shed_before_service() {
+        use netsolve_core::admission::AdmissionConfig;
+        // A batch slams one slow server; with a 1 s budget only the
+        // requests served early can finish — everyone else's budget dies
+        // in the queue and must shed as deadline-expired, not burn a
+        // service slot.
+        let mut sc = base(vec![SimServer::new(50.0)], 20);
+        sc.arrivals = Arrivals::Batch;
+        sc.mix = RequestMix::dgesv(&[300]);
+        sc.max_attempts = 1;
+        sc.deadline_secs = 1.0;
+        sc.admission = Some(AdmissionConfig::with_max_queue(1_000)); // depth never sheds
+        let report = run(&sc).unwrap();
+        let stats = report.admission().expect("stats");
+        assert_eq!(stats.sheds_queue_full, 0, "{stats:?}");
+        assert!(stats.sheds_deadline_expired > 0, "{stats:?}");
+        assert!(report.succeeded() >= 1, "head of the queue meets its budget");
+        assert!(report.succeeded() < 20, "the tail cannot");
+        assert_eq!(report.total(), 20);
+    }
+
+    #[test]
+    fn warm_history_early_rejects_unmeetable_deadlines() {
+        use netsolve_core::admission::AdmissionConfig;
+        let mut cfg = AdmissionConfig::with_max_queue(1_000);
+        cfg.min_observations = 4;
+        // Service ~0.36 s; a 0.5 s budget is unmeetable whenever anyone
+        // is already queued, but only once the histogram has samples.
+        let mut sc = base(vec![SimServer::new(50.0)], 120);
+        sc.arrivals = Arrivals::Poisson { rate: 6.0 };
+        sc.mix = RequestMix::dgesv(&[300]);
+        sc.max_attempts = 1;
+        sc.deadline_secs = 0.5;
+        sc.admission = Some(cfg);
+        let report = run(&sc).unwrap();
+        let stats = report.admission().expect("stats");
+        assert!(
+            stats.sheds_deadline_unmeetable > 0,
+            "warm history must early-reject: {stats:?}"
+        );
     }
 }

@@ -27,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod metrics;
 pub mod scenario;
 
+pub use calendar::EventCalendar;
 pub use engine::{run, run_policies};
-pub use metrics::{CompletedRequest, SimReport};
+pub use metrics::{AdmissionStats, CompletedRequest, SimReport};
 pub use scenario::{Arrivals, RequestMix, Scenario, SimNetwork, SimServer};
 
 #[cfg(test)]

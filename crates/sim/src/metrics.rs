@@ -52,18 +52,62 @@ impl CompletedRequest {
     }
 }
 
+/// Aggregated admission-control outcomes for one run, summed over every
+/// server's [`AdmissionPolicy`](netsolve_core::admission::AdmissionPolicy)
+/// counters — the same counters the live server exposes, so sim and live
+/// shed rates are computed identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Total admit/shed decisions made.
+    pub decisions: u64,
+    /// Sheds due to queue depth (incl. hysteresis holds).
+    pub sheds_queue_full: u64,
+    /// Sheds of requests whose budget expired before service.
+    pub sheds_deadline_expired: u64,
+    /// Early rejects of deadlines the queue could not meet.
+    pub sheds_deadline_unmeetable: u64,
+}
+
+impl AdmissionStats {
+    /// Total sheds, all reasons.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_queue_full + self.sheds_deadline_expired + self.sheds_deadline_unmeetable
+    }
+
+    /// Fraction of decisions that shed (0 when no decisions).
+    pub fn shed_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.sheds() as f64 / self.decisions as f64
+        }
+    }
+}
+
 /// Everything a simulation run produced.
 #[derive(Debug, Clone)]
 pub struct SimReport {
     policy: Policy,
     requests: Vec<CompletedRequest>,
     server_count: usize,
+    admission: Option<AdmissionStats>,
 }
 
 impl SimReport {
     /// Wrap raw request records.
     pub fn new(policy: Policy, requests: Vec<CompletedRequest>, server_count: usize) -> Self {
-        SimReport { policy, requests, server_count }
+        SimReport { policy, requests, server_count, admission: None }
+    }
+
+    /// Attach admission-control outcomes (engine use).
+    pub fn with_admission_stats(mut self, stats: AdmissionStats) -> Self {
+        self.admission = Some(stats);
+        self
+    }
+
+    /// Admission-control outcomes, when the scenario enabled admission.
+    pub fn admission(&self) -> Option<&AdmissionStats> {
+        self.admission.as_ref()
     }
 
     /// The policy this run used.

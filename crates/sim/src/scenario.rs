@@ -5,7 +5,8 @@
 //! request workload, and the knobs under study (scheduling policy,
 //! workload-information policy, failure injection).
 
-use netsolve_core::config::WorkloadPolicy;
+use netsolve_core::admission::AdmissionConfig;
+use netsolve_core::config::{FaultPolicy, WorkloadPolicy};
 use netsolve_agent::Policy;
 
 /// One simulated computational server.
@@ -123,6 +124,26 @@ impl RequestMix {
                 .collect(),
         }
     }
+
+    /// A heavy-tailed size mix for one problem: `sizes` in ascending
+    /// order get Zipf-like weights `rank^-alpha`, so most requests are
+    /// small but the occasional huge solve dominates total work — the
+    /// mix that makes naive FIFO admission look good and actually isn't.
+    /// `alpha` around 1.0–2.0; larger = tail is rarer.
+    pub fn heavy_tail(problem: &str, sizes: &[u64], alpha: f64) -> Self {
+        assert!(!sizes.is_empty() && alpha > 0.0, "invalid heavy-tail mix");
+        RequestMix {
+            entries: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| MixEntry {
+                    problem: problem.to_string(),
+                    sizes: vec![n],
+                    weight: ((i + 1) as f64).powf(-alpha),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Arrival process for client requests.
@@ -146,6 +167,29 @@ pub enum Arrivals {
     /// wraps with an offset of the trace's span; if longer, it is
     /// truncated.
     Trace(Vec<f64>),
+    /// Diurnal (nonhomogeneous Poisson) arrivals: the rate swings
+    /// sinusoidally between `base_rate` (trough) and `peak_rate` (peak)
+    /// with the given period, sampled by thinning against the peak. The
+    /// day/night shape real NetSolve installations saw.
+    Diurnal {
+        /// Trough arrival rate, requests/second.
+        base_rate: f64,
+        /// Peak arrival rate, requests/second.
+        peak_rate: f64,
+        /// Seconds per full day/night cycle.
+        period_secs: f64,
+    },
+    /// Closed-loop load: `Scenario::clients` clients each keep exactly
+    /// one request in flight, issuing the next one `think_secs` (mean,
+    /// exponential) after the previous completes or fails. Arrivals are
+    /// chained from completions, so they cannot be pre-drawn — this is
+    /// the load model where admission control changes offered load
+    /// instead of just dropping it.
+    Closed {
+        /// Mean think time between a client's completion and its next
+        /// request (exponential; 0 = immediate re-issue).
+        think_secs: f64,
+    },
 }
 
 /// Network truth for the simulation. The agent's view starts identical
@@ -210,6 +254,23 @@ pub struct Scenario {
     /// Whether the agent tracks its own pending assignments (on = the full
     /// system; off = the naive report-only broker, the R4 ablation).
     pub pending_tracking: bool,
+    /// Per-server admission control. When set, every server runs its own
+    /// [`AdmissionPolicy`](netsolve_core::admission::AdmissionPolicy) —
+    /// the *identical type* the live `ServerDaemon` gates with — at
+    /// dispatch time, and shed attempts consume client retry budget
+    /// exactly as live Busy replies do.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-request deadline budget in seconds from arrival (0 = none).
+    /// With admission enabled, requests whose budget expires while queued
+    /// are shed before service begins, mirroring the live solve-slot
+    /// gate.
+    pub deadline_secs: f64,
+    /// The agent's fault-tracker policy (consecutive failures to mark a
+    /// server down, cooldown). Overload experiments raise the threshold
+    /// so shed bursts don't blacklist the pool mid-measurement — the live
+    /// harness must configure its agent identically for sim/live
+    /// comparisons.
+    pub fault: FaultPolicy,
     /// RNG seed — equal seeds give bit-identical runs.
     pub seed: u64,
 }
@@ -234,8 +295,24 @@ impl Scenario {
             max_attempts: 3,
             failure_detect_secs: 1.0,
             pending_tracking: true,
+            admission: None,
+            deadline_secs: 0.0,
+            fault: FaultPolicy::default(),
             seed: 42,
         }
+    }
+
+    /// Crash a correlated fraction of the pool at once: the first
+    /// `ceil(fraction × servers)` servers all die at `at_secs` — a rack
+    /// power event, not independent attrition. Overwrites any existing
+    /// `crash_at` on the affected servers.
+    pub fn correlated_crash(mut self, at_secs: f64, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let k = ((self.servers.len() as f64) * fraction).ceil() as usize;
+        for s in self.servers.iter_mut().take(k) {
+            s.crash_at = Some(at_secs);
+        }
+        self
     }
 
     /// Install a per-server network override.

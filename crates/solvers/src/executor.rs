@@ -33,6 +33,24 @@ pub fn supported_problems() -> &'static [&'static str] {
     ]
 }
 
+/// A fresh, never-repeating 64-bit seed for non-reproducible Monte Carlo
+/// runs (`quad_mc` seed 0): wall-clock nanos XORed with a process-wide
+/// draw counter, whitened through splitmix64's finalizer. The counter
+/// guarantees distinct seeds even for back-to-back draws within one
+/// clock tick.
+fn fresh_entropy() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DRAWS: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed_5eed_5eed_5eed);
+    let mut x = nanos ^ DRAWS.fetch_add(1, Ordering::Relaxed).rotate_left(32);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)).max(1)
+}
+
 fn arg_count(args: &[DataObject], want: usize, problem: &str) -> Result<()> {
     if args.len() != want {
         return Err(NetSolveError::BadArguments(format!(
@@ -176,7 +194,14 @@ pub fn execute(problem: &str, args: &[DataObject]) -> Result<Vec<DataObject>> {
             let b = args[2].as_double()?;
             let samples = u64::try_from(args[3].as_int()?)
                 .map_err(|_| NetSolveError::BadArguments("samples out of range".into()))?;
-            let seed = args[4].as_int()? as u64;
+            // Seed 0 requests a non-reproducible run: draw fresh
+            // server-side entropy so repeated identical submissions
+            // yield independent Monte Carlo estimates (the cache layer
+            // bypasses `quad_mc` for the same reason).
+            let seed = match args[4].as_int()? as u64 {
+                0 => fresh_entropy(),
+                s => s,
+            };
             let r = quad_mc(fname, a, b, samples, seed)?;
             Ok(vec![
                 DataObject::Double(r.integral),

@@ -97,9 +97,17 @@ sleep 0.3
 FED_S1=$!
 ./target/debug/ns-server --agent 127.0.0.1:${FA2} --listen 127.0.0.1:${FS2} --mflops 150 &
 FED_S2=$!
-sleep 1   # a few gossip rounds: both servers replicate to all three agents
-# Agent 3 learned both servers purely from gossip; it must answer for them.
-./target/debug/ns-client --agent 127.0.0.1:${FA3} servers | grep -q "${FS1}" || {
+# Poll for gossip convergence (a fixed sleep flakes on loaded machines):
+# agent 3 must learn server 1 purely from gossip before we proceed.
+FED_CONVERGED=0
+for attempt in $(seq 1 20); do
+    if ./target/debug/ns-client --agent 127.0.0.1:${FA3} servers 2>/dev/null \
+        | grep -q "${FS1}"; then
+        FED_CONVERGED=1; break
+    fi
+    sleep 0.5
+done
+[ "${FED_CONVERGED}" -eq 1 ] || {
     echo "federation smoke: agent 3 never learned server 1 via gossip"; exit 1; }
 kill -9 ${FED_A1}
 for problem in "demo dnrm2 256" "demo dgesv 120" "demo dposv 100" "demo vsort 400"; do
@@ -115,6 +123,43 @@ echo "${FED_STATS}" | grep -q "agent.gossip_rounds" || {
     echo "federation smoke: no gossip_rounds counter in netsl-stats output"; exit 1; }
 kill -9 ${FED_A2} ${FED_A3} ${FED_S1} ${FED_S2} 2>/dev/null || true
 echo "federation smoke passed: batch completed with zero failed solves"
+
+echo "=== admission overload smoke (queue-bound shed with retry hints) ==="
+# A synthetic ~0.2 s/solve server (dnrm2 n=256 at 0.0025 Mflop/s) behind
+# a depth-2 admission gate: an 8-client parallel burst must overflow the
+# bound and shed with retryable Busy replies, while the gate keeps the
+# server itself healthy — a calm follow-up request still solves.
+ADM_AGENT_PORT=19781
+ADM_SERVER_PORT=19782
+./target/debug/ns-agent --listen 127.0.0.1:${ADM_AGENT_PORT} &
+ADM_AGENT_PID=$!
+trap 'kill -9 ${FED_A1} ${FED_A2} ${FED_A3} ${FED_S1:-} ${FED_S2:-} \
+      ${ADM_AGENT_PID} ${ADM_SERVER_PID:-} 2>/dev/null || true; \
+      rm -f "${TRACE_DUMP}"' EXIT
+sleep 0.3
+./target/debug/ns-server --agent 127.0.0.1:${ADM_AGENT_PORT} \
+    --listen 127.0.0.1:${ADM_SERVER_PORT} --synthetic --mflops 0.0025 --max-queue 2 &
+ADM_SERVER_PID=$!
+sleep 0.3
+ADM_PIDS=()
+for i in $(seq 1 8); do
+    ./target/debug/ns-client --agent 127.0.0.1:${ADM_AGENT_PORT} demo dnrm2 256 \
+        >/dev/null 2>&1 &
+    ADM_PIDS+=($!)
+done
+ADM_OK=0
+for pid in "${ADM_PIDS[@]}"; do
+    if wait ${pid}; then ADM_OK=$((ADM_OK+1)); fi
+done
+[ "${ADM_OK}" -ge 1 ] || {
+    echo "admission smoke: every client failed under overload"; exit 1; }
+ADM_STATS=$(./target/debug/netsl-stats 127.0.0.1:${ADM_SERVER_PORT})
+echo "${ADM_STATS}" | grep -E "server.admission_shed +[1-9]" -q || {
+    echo "admission smoke: overload burst never shed"; exit 1; }
+./target/debug/ns-client --agent 127.0.0.1:${ADM_AGENT_PORT} demo dnrm2 256 || {
+    echo "admission smoke: server wedged after overload"; exit 1; }
+kill ${ADM_AGENT_PID} ${ADM_SERVER_PID} 2>/dev/null || true
+echo "admission smoke passed: ${ADM_OK}/8 burst clients served, the rest shed"
 
 echo "=== wire-path bench smoke (writer routes + decode routes) ==="
 cargo build --release -p netsolve-bench --bin r1_wire_path
@@ -133,6 +178,10 @@ cargo build --release -p netsolve-bench --bin r9_trace_overhead
 echo "=== solve-cache bench smoke (cache on vs off) ==="
 cargo build --release -p netsolve-bench --bin r10_cache
 ./target/release/r10_cache --quick
+
+echo "=== admission bench smoke (sim vs live shed agreement, calendar scale) ==="
+cargo build --release -p netsolve-bench --bin r11_admission
+./target/release/r11_admission --quick
 
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]
-//!           [--host NAME] [--synthetic] [--cache-bytes N] [--pdl FILE]...
+//!           [--host NAME] [--synthetic] [--cache-bytes N]
+//!           [--admission] [--max-queue N] [--pdl FILE]...
 //! ```
 //!
 //! Registers with the agent, then serves requests until killed.
@@ -12,9 +13,13 @@
 //! enables the content-addressed solve cache (LRU under N bytes, with
 //! in-flight coalescing of identical concurrent requests); hit/miss/
 //! eviction counters appear in `netsl-stats` under `server.cache_*`.
-//! `--pdl FILE` adds extra problem descriptions (they must name problems
-//! the executor implements, or requests for them will fail at execution
-//! time).
+//! `--admission` turns on the admission-control gate with default
+//! watermarks; `--max-queue N` does the same but sheds at queue depth N
+//! (hysteresis resumes at 3N/4). Shed requests get a retryable Busy with
+//! a `retry_after_ms` hint; counters land under `server.admission_shed`
+//! and `server.queue_deadline_shed`. `--pdl FILE` adds extra problem
+//! descriptions (they must name problems the executor implements, or
+//! requests for them will fail at execution time).
 
 use std::sync::Arc;
 
@@ -25,7 +30,8 @@ use netsolve::server::{ExecutionMode, ServerConfig, ServerCore, ServerDaemon};
 fn usage() -> ! {
     eprintln!(
         "usage: ns-server --agent HOST:PORT [--listen HOST:PORT] [--mflops N]\n\
-         \x20                 [--host NAME] [--synthetic] [--cache-bytes N] [--pdl FILE]..."
+         \x20                 [--host NAME] [--synthetic] [--cache-bytes N]\n\
+         \x20                 [--admission] [--max-queue N] [--pdl FILE]..."
     );
     std::process::exit(2);
 }
@@ -37,6 +43,7 @@ fn main() {
     let mut host = hostname_or("rust-server");
     let mut synthetic = false;
     let mut cache_bytes = 0usize;
+    let mut admission: Option<netsolve::core::AdmissionConfig> = None;
     let mut pdl_files: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -57,6 +64,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--admission" => {
+                admission.get_or_insert_with(netsolve::core::AdmissionConfig::default);
+            }
+            "--max-queue" => {
+                let depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                admission = Some(netsolve::core::AdmissionConfig::with_max_queue(depth));
             }
             "--pdl" => pdl_files.push(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -96,12 +113,9 @@ fn main() {
         core = core.with_cache(cache_bytes);
     }
     let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
-    let daemon = match ServerDaemon::start(
-        transport,
-        &agent,
-        core,
-        ServerConfig::quick(&host, &listen, mflops),
-    ) {
+    let mut config = ServerConfig::quick(&host, &listen, mflops);
+    config.admission = admission.clone();
+    let daemon = match ServerDaemon::start(transport, &agent, core, config) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("ns-server: failed to start: {e}");
@@ -109,12 +123,16 @@ fn main() {
         }
     };
     println!(
-        "ns-server '{host}' ({mflops} Mflop/s{}{}) listening on tcp://{} — registered as id {}",
+        "ns-server '{host}' ({mflops} Mflop/s{}{}{}) listening on tcp://{} — registered as id {}",
         if synthetic { ", synthetic" } else { "" },
         if cache_bytes > 0 {
             format!(", cache {cache_bytes}B")
         } else {
             String::new()
+        },
+        match &admission {
+            Some(cfg) => format!(", admission max-queue {}", cfg.max_queue_depth),
+            None => String::new(),
         },
         daemon.address(),
         daemon.server_id()

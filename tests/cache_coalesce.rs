@@ -185,3 +185,69 @@ fn mid_solve_failure_reaches_every_joined_waiter_and_is_not_cached() {
     server.stop();
     agent.stop();
 }
+
+/// DESIGN.md §4j / ROADMAP §3 regression: non-deterministic problems
+/// must never be served from the cache. Two identical seed-0 `quad_mc`
+/// submissions each run a fresh solve and return *independent* Monte
+/// Carlo estimates; a pinned nonzero seed reproduces bit-for-bit but
+/// STILL bypasses the cache (the bypass is per-problem, not per-seed —
+/// a seeded entry must not shadow a later seed-0 run); and deterministic
+/// problems keep hitting the cache as before.
+#[test]
+fn nondeterministic_problems_bypass_the_cache() {
+    let (mut agent, mut server, transport, agent_address, tracer, server_metrics) =
+        boot(ExecutionMode::Real);
+    let client = NetSolveClient::new(Arc::clone(&transport), &agent_address);
+
+    // seed 0 = "use fresh server entropy each run".
+    let pi = std::f64::consts::PI;
+    let fresh: Vec<DataObject> = vec![
+        "sin".into(),
+        DataObject::Double(0.0),
+        DataObject::Double(pi),
+        DataObject::Int(200_000),
+        DataObject::Int(0),
+    ];
+    let first = client.netsl("quad_mc", &fresh).unwrap()[0].as_double().unwrap();
+    let second = client.netsl("quad_mc", &fresh).unwrap()[0].as_double().unwrap();
+    assert_ne!(first, second, "identical seed-0 submissions must give independent estimates");
+    for est in [first, second] {
+        // Independent, but both still estimates of ∫sin over [0, π] = 2.
+        assert!((est - 2.0).abs() < 0.05, "MC estimate off: {est}");
+    }
+    assert_eq!(span_count(&tracer, "solve"), 2, "both submissions really solved");
+
+    // Pinned seed: reproducible answers, identical requests — and still
+    // no cache traffic.
+    let pinned: Vec<DataObject> = vec![
+        "sin".into(),
+        DataObject::Double(0.0),
+        DataObject::Double(pi),
+        DataObject::Int(50_000),
+        DataObject::Int(42),
+    ];
+    let p1 = client.netsl("quad_mc", &pinned).unwrap()[0].as_double().unwrap();
+    let p2 = client.netsl("quad_mc", &pinned).unwrap()[0].as_double().unwrap();
+    assert_eq!(p1, p2, "a pinned seed is reproducible");
+    assert_eq!(span_count(&tracer, "solve"), 4, "reproducible != cacheable");
+
+    let snap = server_metrics.snapshot("server");
+    assert_eq!(snap.counter("server.cache_bypass_nondet"), 4);
+    assert_eq!(snap.counter("server.cache_inserts"), 0, "nondet results are never cached");
+    assert_eq!(snap.counter("server.cache_hits"), 0);
+    assert_eq!(snap.counter("server.cache_misses"), 0, "bypass skips the lookup entirely");
+
+    // Determinism intact: the same dgesv twice is one solve + one hit.
+    let a = Matrix::identity(16);
+    let b = vec![1.0f64; 16];
+    let det_inputs: Vec<DataObject> = vec![a.into(), b.clone().into()];
+    let x1 = client.netsl("dgesv", &det_inputs).unwrap();
+    let x2 = client.netsl("dgesv", &det_inputs).unwrap();
+    assert_eq!(x1[0].as_vector().unwrap(), x2[0].as_vector().unwrap());
+    let snap = server_metrics.snapshot("server");
+    assert_eq!(snap.counter("server.cache_hits"), 1, "deterministic problems still hit");
+    assert_eq!(snap.counter("server.cache_inserts"), 1);
+
+    server.stop();
+    agent.stop();
+}

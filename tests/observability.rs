@@ -249,8 +249,20 @@ fn connection_cap_sheds_with_retryable_busy() {
     }
 
     // The shed is visible in the metrics a live operator would scrape.
-    let mut c = net.connect("srv-capped").unwrap();
-    let stats = expect_stats(call(c.as_mut(), &Message::StatsQuery, timeout()).unwrap());
+    // The recovery probe's serve thread may still be draining, so the
+    // stats connection itself can catch a Busy — retry like a client would.
+    let stats = loop {
+        let mut c = net.connect("srv-capped").unwrap();
+        match call(c.as_mut(), &Message::StatsQuery, timeout()).unwrap() {
+            Message::Error { code, detail } => {
+                let e = NetSolveError::from_code(code, detail);
+                assert!(matches!(e, NetSolveError::Resource(_)), "unexpected error: {e}");
+                assert!(Instant::now() < deadline, "stats query never got past the cap");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            reply => break expect_stats(reply),
+        }
+    };
     assert_eq!(stats.component, "server");
     assert!(stats.counter("server.busy_rejected") >= 1);
     assert!(stats.counter("server.accepts") >= 3);

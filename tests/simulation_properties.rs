@@ -198,3 +198,104 @@ fn ranking_scales_to_hundreds_of_servers() {
     let per_call = start.elapsed().as_secs_f64() / iterations as f64;
     assert!(per_call < 0.01, "ranking 512 servers took {per_call}s per call");
 }
+
+/// DESIGN.md §4j cross-check: `max_attempts` is a *total-tries* budget
+/// with candidate cycling in BOTH the simulator and the live client.
+/// Two always-failing servers and a budget of 3 must burn exactly 3
+/// attempts on each side, with the third try wrapping back to an
+/// already-tried candidate. (The sim used to abandon a job once the
+/// ranked list was exhausted — one effective try short of live.)
+#[test]
+fn retry_attempt_budget_matches_live_client_cycling() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use netsolve::agent::{AgentCore, AgentDaemon};
+    use netsolve::client::NetSolveClient;
+    use netsolve::core::admission::{format_busy_detail, ShedReason};
+    use netsolve::core::config::{Backoff, RetryPolicy};
+    use netsolve::core::{DataObject, NetSolveError};
+    use netsolve::net::{call, ChannelNetwork, Transport};
+    use netsolve::proto::{Message, ServerDescriptor};
+
+    const BUDGET: usize = 3;
+
+    // --- Sim side: two certain-to-fail servers, budget of 3. ---
+    let mut sc = Scenario::default_with(
+        vec![
+            SimServer::new(100.0).with_fail_prob(1.0),
+            SimServer::new(100.0).with_fail_prob(1.0),
+        ],
+        1,
+    );
+    sc.max_attempts = BUDGET;
+    let report = run(&sc).unwrap();
+    let record = &report.requests()[0];
+    assert!(!record.ok, "nothing can succeed");
+    assert_eq!(record.attempts as usize, BUDGET, "sim burns the whole total-tries budget");
+
+    // --- Live side: two hand-rolled servers that shed every request. ---
+    let net = ChannelNetwork::new();
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let agent =
+        AgentDaemon::start(Arc::clone(&transport), "agent", AgentCore::with_defaults()).unwrap();
+    let registry = netsolve::pdl::ProblemRegistry::with_standard_catalogue();
+    let ddot_pdl = netsolve::pdl::render(registry.get("ddot").unwrap());
+    let submits: Arc<[AtomicU32; 2]> = Arc::new([AtomicU32::new(0), AtomicU32::new(0)]);
+    for i in 0..2usize {
+        let address = format!("busy{i}");
+        let mut conn = net.connect("agent").unwrap();
+        let reply = call(
+            conn.as_mut(),
+            &Message::RegisterServer(ServerDescriptor {
+                server_id: 0,
+                host: format!("busyhost{i}"),
+                address: address.clone(),
+                mflops: 100.0,
+                problems: vec!["ddot".into()],
+                pdl_source: ddot_pdl.clone(),
+            }),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert!(matches!(reply, Message::RegisterAck { accepted: true, .. }));
+        let listener = net.listen(&address).unwrap();
+        let submits = Arc::clone(&submits);
+        // Leaked on purpose: the listener outlives the test body.
+        std::thread::spawn(move || {
+            while let Ok(mut conn) = listener.accept() {
+                if let Ok(Message::RequestSubmit { .. }) = conn.recv() {
+                    submits[i].fetch_add(1, Ordering::SeqCst);
+                    let _ = conn.send(&Message::from_error(&NetSolveError::Resource(
+                        format_busy_detail(ShedReason::QueueFull, 9, 1),
+                    )));
+                }
+            }
+        });
+    }
+
+    let client = NetSolveClient::new(Arc::new(net.clone()), "agent").with_retry(RetryPolicy {
+        max_attempts: BUDGET,
+        attempt_timeout_secs: 5.0,
+        backoff: Backoff::Fixed { delay_secs: 0.0 },
+        deadline_secs: 0.0,
+        report_failures: true,
+    });
+    let inputs: Vec<DataObject> = vec![vec![1.0, 2.0].into(), vec![3.0, 4.0].into()];
+    let err = client.netsl("ddot", &inputs).expect_err("everything is busy");
+    assert!(matches!(err, NetSolveError::Resource(_)), "got {err}");
+    assert_eq!(
+        client.metrics().counter("client.attempts").get() as usize,
+        BUDGET,
+        "live burns the whole total-tries budget"
+    );
+    let counts = [submits[0].load(Ordering::SeqCst), submits[1].load(Ordering::SeqCst)];
+    assert_eq!((counts[0] + counts[1]) as usize, BUDGET, "{counts:?}");
+    assert_eq!(
+        counts[0].max(counts[1]),
+        2,
+        "the third try wraps back to an already-tried candidate: {counts:?}"
+    );
+    drop(agent);
+}
