@@ -14,7 +14,7 @@ use netsolve_core::error::{NetSolveError, Result};
 use netsolve_core::ids::{HostId, ServerId};
 use netsolve_core::problem::RequestShape;
 use netsolve_net::NetworkView;
-use netsolve_obs::{MetricsRegistry, SpanContext, Tracer};
+use netsolve_obs::{MetricsRegistry, SpanContext, StatsDigest, Tracer};
 use netsolve_proto::{Candidate, GossipEntry, Message, QueryShape};
 
 use crate::balance::{rank, BalancerState, Policy, Ranked, ServerSnapshot};
@@ -47,6 +47,11 @@ pub struct AgentCore {
     /// arriving back through a peer cycle). Set by the daemon once the
     /// listener is bound; unset in simulator/unit use.
     self_address: Option<String>,
+    /// Fleet stats digests keyed by origin daemon address, each with the
+    /// origin-relative freshness instant it was computed at (the same
+    /// `now - age` scheme registry gossip uses, so copies arriving over
+    /// different paths compare without clock synchronisation).
+    digests: HashMap<String, (StatsDigest, SimTime)>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -65,6 +70,7 @@ impl AgentCore {
             balancer: BalancerState::default(),
             pending: HashMap::new(),
             self_address: None,
+            digests: HashMap::new(),
             metrics: Arc::new(MetricsRegistry::new()),
             tracer: Arc::new(Tracer::new()),
         }
@@ -241,6 +247,90 @@ impl AgentCore {
     /// The gossip policy in force (the daemon's gossip loop reads it).
     pub fn gossip_policy(&self) -> netsolve_core::config::GossipPolicy {
         self.config.gossip
+    }
+
+    /// The telemetry policy in force (the daemon's sampler reads it).
+    pub fn telemetry_policy(&self) -> netsolve_core::config::TelemetryPolicy {
+        self.config.telemetry
+    }
+
+    /// Store one stats digest, keeping the strictly-fresher copy when the
+    /// origin is already known. `digest.age_secs` is relative to `now`
+    /// (0 for a digest computed locally this instant), so freshness
+    /// comparisons work across hops without clock synchronisation.
+    /// Returns whether the digest was kept.
+    pub fn store_digest(&mut self, digest: StatsDigest, now: SimTime) -> bool {
+        let fresh_at =
+            SimTime::from_secs((now.as_secs() - digest.age_secs.max(0.0)).max(0.0));
+        match self.digests.get(&digest.origin) {
+            Some((_, held)) if fresh_at.as_secs() <= held.as_secs() => false,
+            _ => {
+                self.digests.insert(digest.origin.clone(), (digest, fresh_at));
+                true
+            }
+        }
+    }
+
+    /// Merge digests from a peer's gossip round. Echoes of this agent's
+    /// own digest (its address looping back through a peer cycle) are
+    /// dropped; everything else keeps the strictly-fresher copy. Returns
+    /// how many digests were kept.
+    pub fn merge_digests(&mut self, digests: &[StatsDigest], now: SimTime) -> u32 {
+        let mut kept = 0u32;
+        for digest in digests {
+            if self.self_address.as_deref() == Some(digest.origin.as_str()) {
+                continue;
+            }
+            if self.store_digest(digest.clone(), now) {
+                kept += 1;
+                self.metrics.counter("agent.digest_merges").inc();
+            }
+        }
+        kept
+    }
+
+    /// Every stored digest with its age recomputed to `now`, sorted by
+    /// origin address — what `FleetStatsQuery` answers and what rides
+    /// along on outgoing gossip.
+    pub fn digest_snapshot(&self, now: SimTime) -> Vec<StatsDigest> {
+        let mut out: Vec<StatsDigest> = self
+            .digests
+            .values()
+            .map(|(digest, fresh_at)| {
+                let mut d = digest.clone();
+                d.age_secs = now.since(*fresh_at).max(0.0);
+                d
+            })
+            .collect();
+        out.sort_by(|a, b| a.origin.cmp(&b.origin));
+        out
+    }
+
+    /// Expire digests whose freshness has aged past the gossip entry
+    /// TTL — a dead daemon's series disappears from the fleet view the
+    /// same way its registration ages out of the registry. Returns how
+    /// many were dropped.
+    pub fn expire_digests(&mut self, now: SimTime) -> usize {
+        let ttl = self.config.gossip.entry_ttl_secs;
+        let before = self.digests.len();
+        self.digests.retain(|_, (_, fresh_at)| now.since(*fresh_at) <= ttl);
+        let dropped = before - self.digests.len();
+        for _ in 0..dropped {
+            self.metrics.counter("agent.digest_expired").inc();
+        }
+        dropped
+    }
+
+    /// Addresses of live locally-registered servers — the ones this
+    /// agent's telemetry thread scrapes for digests (remote servers'
+    /// digests arrive via their own agent's gossip instead).
+    pub fn local_server_addresses(&self, now: SimTime) -> Vec<String> {
+        self.registry
+            .all_servers()
+            .into_iter()
+            .filter(|s| s.origin.is_none() && !self.faults.is_down(s.server_id, now))
+            .map(|s| s.address.clone())
+            .collect()
     }
 
     /// Store a workload report.
@@ -553,11 +643,15 @@ impl AgentCore {
                 }
                 Message::Pong
             }
-            Message::GossipSync { from_agent, entries } => {
+            Message::GossipSync { from_agent, entries, digests } => {
                 self.metrics.counter("agent.gossip_syncs_received").inc();
                 let sync_timer = self.tracer.start();
                 let (merged, refreshed, conflicts) = self.merge_gossip(entries, now);
                 self.expire_gossip(now);
+                if self.config.telemetry.digests {
+                    self.merge_digests(digests, now);
+                    self.expire_digests(now);
+                }
                 // Traceless: gossip rounds belong to no client request.
                 self.tracer.record(
                     SpanContext::NONE,
@@ -592,6 +686,15 @@ impl AgentCore {
                     c.add(global - seen);
                 }
                 Message::StatsReply(self.metrics.snapshot("agent"))
+            }
+            Message::FleetStatsQuery => {
+                if self.config.telemetry.digests {
+                    Message::FleetStatsReply { digests: self.digest_snapshot(now) }
+                } else {
+                    Message::from_error(&NetSolveError::Protocol(
+                        "fleet stats disabled on this agent".into(),
+                    ))
+                }
             }
             Message::TraceQuery { trace_id } => {
                 // Same monotone downgrade catch-up as StatsQuery: a trace
@@ -1036,6 +1139,7 @@ mod tests {
             &Message::GossipSync {
                 from_agent: "agent-1".into(),
                 entries: donor.gossip_digest(now),
+                digests: vec![],
             },
             now,
         );

@@ -39,6 +39,7 @@ pub struct AgentDaemon {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     heartbeat_thread: Option<std::thread::JoinHandle<()>>,
     gossip_thread: Option<std::thread::JoinHandle<()>>,
+    telemetry_thread: Option<std::thread::JoinHandle<()>>,
     peers: Arc<Mutex<Vec<String>>>,
     transport: Arc<dyn Transport>,
 }
@@ -149,6 +150,21 @@ impl AgentDaemon {
                 .expect("spawn agent gossip thread")
         };
 
+        // Telemetry sampler: ticks this agent's own windowed series,
+        // scrapes locally-registered servers for their digests, and
+        // expires dead peers' series — the state gossip replicates.
+        let telemetry_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let transport = Arc::clone(&transport);
+            let clock = Arc::clone(&clock);
+            let self_address = address.clone();
+            std::thread::Builder::new()
+                .name("agent-telemetry".into())
+                .spawn(move || run_telemetry(transport, core, clock, stop, self_address))
+                .expect("spawn agent telemetry thread")
+        };
+
         let accept_core = Arc::clone(&core);
         let accept_stop = Arc::clone(&stop);
         let accept_transport = Arc::clone(&transport);
@@ -195,6 +211,7 @@ impl AgentDaemon {
             accept_thread: Some(accept_thread),
             heartbeat_thread: Some(heartbeat_thread),
             gossip_thread: Some(gossip_thread),
+            telemetry_thread: Some(telemetry_thread),
             peers,
             transport,
         })
@@ -235,6 +252,9 @@ impl AgentDaemon {
             let _ = t.join();
         }
         if let Some(t) = self.gossip_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.telemetry_thread.take() {
             let _ = t.join();
         }
     }
@@ -433,14 +453,21 @@ fn run_gossip(
         }
         metrics.counter("agent.gossip_rounds").inc();
         let now = clock.now();
-        let digest = {
+        let (digest, stats_digests) = {
             let mut core = core.lock();
             core.expire_gossip(now);
-            core.gossip_digest(now)
+            let stats = if core.telemetry_policy().digests {
+                core.expire_digests(now);
+                core.digest_snapshot(now)
+            } else {
+                Vec::new()
+            };
+            (core.gossip_digest(now), stats)
         };
         let sync = netsolve_proto::Message::GossipSync {
             from_agent: self_address.clone(),
             entries: digest,
+            digests: stats_digests,
         };
         for peer in &round_peers {
             if stop.load(Ordering::Acquire) {
@@ -504,6 +531,92 @@ fn run_gossip(
         metrics
             .gauge("agent.peers_up")
             .set(round_peers.len().saturating_sub(down_now) as i64);
+    }
+}
+
+/// Telemetry sampler loop: each tick, (1) snapshot the agent's metrics
+/// registry into its windowed series and fold the series into the
+/// digest store as this agent's own entry, (2) scrape every live
+/// locally-registered server with `FleetStatsQuery` and store its
+/// digest, (3) TTL-expire digests of daemons nobody has refreshed.
+/// Gossip then carries the whole store to peers, so one scrape of any
+/// agent returns the fleet's recent history.
+fn run_telemetry(
+    transport: Arc<dyn Transport>,
+    core: Arc<Mutex<AgentCore>>,
+    clock: Arc<dyn Clock>,
+    stop: Arc<AtomicBool>,
+    self_address: String,
+) {
+    let (metrics, policy) = {
+        let core = core.lock();
+        (core.metrics(), core.telemetry_policy())
+    };
+    if !policy.digests {
+        return;
+    }
+    let series = netsolve_obs::WindowedSeries::new(netsolve_obs::SeriesConfig {
+        tick_secs: policy.tick_secs,
+        slots: policy.window_slots,
+    });
+    let window_secs = policy.tick_secs * policy.window_slots as f64;
+    let interval = Duration::from_secs_f64(policy.tick_secs.clamp(0.005, 60.0));
+    // Sleep in short ticks so stop() never waits long for this thread.
+    let tick = (interval / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    // Seed the series baseline at startup so events that land before the
+    // first tick show up in the first delta slot instead of vanishing
+    // into it.
+    series.record(metrics.snapshot("agent"), netsolve_obs::unix_now_secs());
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let step = tick.min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        series.record(metrics.snapshot("agent"), netsolve_obs::unix_now_secs());
+        let own = series.digest(&self_address, "agent", window_secs);
+        let targets = {
+            let now = clock.now();
+            let mut core = core.lock();
+            core.store_digest(own, now);
+            core.expire_digests(now);
+            core.local_server_addresses(now)
+        };
+        // Scrape outside the core lock — a wedged server may cost the
+        // full call timeout, and queries must keep flowing meanwhile.
+        for address in targets {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let Ok(mut conn) = transport.connect(&address) else {
+                continue;
+            };
+            match netsolve_net::call(
+                conn.as_mut(),
+                &netsolve_proto::Message::FleetStatsQuery,
+                Duration::from_secs(2),
+            ) {
+                Ok(netsolve_proto::Message::FleetStatsReply { digests }) => {
+                    let now = clock.now();
+                    let mut core = core.lock();
+                    for digest in digests {
+                        core.store_digest(digest, now);
+                    }
+                }
+                // A pre-v6 server answers Error (unsupported); count it
+                // the way gossip counts unsupported peers and move on.
+                Ok(netsolve_proto::Message::Error { .. }) => {
+                    metrics.counter("agent.digest_scrape_unsupported").inc();
+                }
+                _ => {
+                    metrics.counter("agent.digest_scrape_failures").inc();
+                }
+            }
+        }
     }
 }
 

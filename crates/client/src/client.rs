@@ -423,11 +423,11 @@ impl NetSolveClient {
         let started = Instant::now();
         let result = self.netsl_inner(problem, inputs);
         match &result {
-            Ok(_) => {
+            Ok((_, report)) => {
                 self.metrics.counter("client.calls_ok").inc();
                 self.metrics
                     .histogram("client.call_secs")
-                    .record_secs(started.elapsed().as_secs_f64());
+                    .record_secs_traced(started.elapsed().as_secs_f64(), report.trace_id);
             }
             Err(_) => {
                 self.metrics.counter("client.calls_failed").inc();
@@ -534,7 +534,7 @@ impl NetSolveClient {
                     }
                     self.metrics
                         .histogram("client.backoff_wait_secs")
-                        .record_secs(pause.as_secs_f64());
+                        .record_secs_traced(pause.as_secs_f64(), ctx.trace_id);
                     let backoff_timer = self.tracer.start();
                     std::thread::sleep(pause);
                     self.tracer.record(ctx, backoff_timer, "client", "backoff", String::new());

@@ -187,6 +187,32 @@ impl Default for GossipPolicy {
     }
 }
 
+/// Daemon-side telemetry sampling knobs.
+///
+/// Every daemon runs a sampler thread that snapshots its metrics
+/// registry each `tick_secs` into a windowed series of deltas
+/// (`window_slots` ticks deep), from which rates and rolling
+/// percentiles are answered. Agents additionally fold the fleet's
+/// windowed digests into their gossip rounds when `digests` is on, so
+/// one scrape of any agent returns every peer's recent history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryPolicy {
+    /// Seconds between registry samples.
+    pub tick_secs: f64,
+    /// How many ticks of history the windowed series retains.
+    pub window_slots: usize,
+    /// Whether stats digests ride along on gossip and answer
+    /// `FleetStatsQuery`.
+    pub digests: bool,
+}
+
+impl Default for TelemetryPolicy {
+    /// 1 s × 120 slots — two minutes of per-second history.
+    fn default() -> Self {
+        TelemetryPolicy { tick_secs: 1.0, window_slots: 120, digests: true }
+    }
+}
+
 /// Everything configurable about one agent.
 #[derive(Debug, Clone)]
 pub struct AgentConfig {
@@ -203,6 +229,8 @@ pub struct AgentConfig {
     /// server's workload (the herd-effect defence). Disabling reproduces
     /// the naive report-only broker for the R4 ablation.
     pub pending_tracking: bool,
+    /// Telemetry sampling and digest replication policy.
+    pub telemetry: TelemetryPolicy,
 }
 
 impl Default for AgentConfig {
@@ -213,6 +241,7 @@ impl Default for AgentConfig {
             gossip: GossipPolicy::default(),
             candidates_returned: CandidateCount::default(),
             pending_tracking: true,
+            telemetry: TelemetryPolicy::default(),
         }
     }
 }

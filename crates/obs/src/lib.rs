@@ -17,11 +17,15 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod series;
 pub mod stitch;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, StatsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use series::{
+    unix_now_secs, DigestQuantiles, SeriesConfig, SeriesSlot, StatsDigest, WindowedSeries,
 };
 pub use stitch::{render, stitch, PhaseShare, Timeline, TimelineEntry};
 pub use trace::{Span, SpanContext, SpanRecord, SpanTimer, Tracer};

@@ -79,6 +79,20 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    /// Trace exemplars: the most recent trace id recorded into each
+    /// bucket plus the trace of the slowest sample seen. 128-bit ids
+    /// cannot be updated tearlessly with two atomics, so the slots sit
+    /// behind a mutex taken with `try_lock` — a contended update is
+    /// simply skipped (exemplars are a sample, not an invariant), so
+    /// the recording hot path never blocks.
+    exemplars: Mutex<ExemplarSlots>,
+}
+
+#[derive(Debug)]
+struct ExemplarSlots {
+    per_bucket: [u128; HISTOGRAM_BUCKETS],
+    max_secs: f64,
+    max_trace: u128,
 }
 
 impl Default for Histogram {
@@ -87,6 +101,11 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            exemplars: Mutex::new(ExemplarSlots {
+                per_bucket: [0; HISTOGRAM_BUCKETS],
+                max_secs: f64::NEG_INFINITY,
+                max_trace: 0,
+            }),
         }
     }
 }
@@ -110,7 +129,17 @@ pub fn bucket_bound_secs(i: usize) -> f64 {
 impl Histogram {
     /// Record one duration sample in seconds.
     pub fn record_secs(&self, secs: f64) {
-        self.buckets[bucket_index(secs)].fetch_add(1, Ordering::Relaxed);
+        self.record_secs_traced(secs, 0);
+    }
+
+    /// Record one duration sample in seconds, retaining `trace_id` as the
+    /// bucket's exemplar (and as the histogram's max exemplar if this is
+    /// the slowest sample yet). A zero trace id records the sample
+    /// without touching the exemplar slots — identical cost to
+    /// [`Histogram::record_secs`].
+    pub fn record_secs_traced(&self, secs: f64, trace_id: u128) {
+        let idx = bucket_index(secs);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         let nanos = if secs.is_finite() && secs > 0.0 {
             (secs * 1e9).min(u64::MAX as f64) as u64
@@ -118,6 +147,17 @@ impl Histogram {
             0
         };
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if trace_id != 0 {
+            // Skipped under contention: a lost exemplar update is
+            // acceptable sampling loss, a blocked request path is not.
+            if let Some(mut slots) = self.exemplars.try_lock() {
+                slots.per_bucket[idx] = trace_id;
+                if secs > slots.max_secs {
+                    slots.max_secs = secs;
+                    slots.max_trace = trace_id;
+                }
+            }
+        }
     }
 
     /// Number of samples recorded.
@@ -132,17 +172,23 @@ impl Histogram {
 
     /// Freeze this histogram into plain data.
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let (exemplars, max_exemplar) = {
+            let slots = self.exemplars.lock();
+            (slots.per_bucket.to_vec(), slots.max_trace)
+        };
         HistogramSnapshot {
             name: name.to_string(),
             count: self.count(),
             sum_secs: self.sum_secs(),
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            exemplars,
+            max_exemplar,
         }
     }
 }
 
 /// Plain-data form of one histogram, as carried in `StatsReply`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSnapshot {
     /// Metric name (e.g. `server.compute_secs`).
     pub name: String,
@@ -153,6 +199,12 @@ pub struct HistogramSnapshot {
     /// Per-bucket sample counts ([`HISTOGRAM_BUCKETS`] entries; decoded
     /// snapshots from other builds may legitimately differ in length).
     pub buckets: Vec<u64>,
+    /// The most recent trace id recorded into each bucket (0 = none
+    /// yet). Same length as `buckets`, or empty when the snapshot came
+    /// from a pre-v6 peer that does not carry exemplars.
+    pub exemplars: Vec<u128>,
+    /// Trace id of the slowest sample ever recorded (0 = none).
+    pub max_exemplar: u128,
 }
 
 impl HistogramSnapshot {
@@ -171,8 +223,18 @@ impl HistogramSnapshot {
     /// within 2x of the true sample, which is what a log histogram can
     /// promise. Returns 0 when empty; `q` is clamped to `[0, 1]`.
     pub fn quantile_secs(&self, q: f64) -> f64 {
+        match self.quantile_bucket(q) {
+            Some(i) => bucket_bound_secs(i),
+            None => 0.0,
+        }
+    }
+
+    /// Index of the bucket holding the `q`-th sample (the same walk
+    /// [`HistogramSnapshot::quantile_secs`] reports the bound of), or
+    /// `None` when the histogram is empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 || self.buckets.is_empty() {
-            return 0.0;
+            return None;
         }
         let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
         let target = ((q * self.count as f64).ceil() as u64).max(1);
@@ -180,10 +242,35 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative = cumulative.saturating_add(c);
             if cumulative >= target {
-                return bucket_bound_secs(i);
+                return Some(i);
             }
         }
-        bucket_bound_secs(self.buckets.len() - 1)
+        Some(self.buckets.len() - 1)
+    }
+
+    /// The trace exemplar nearest the `q`-quantile bucket: the exemplar
+    /// of the bucket itself if one was captured, else the nearest lower
+    /// bucket's, else the nearest higher, else the max-sample exemplar.
+    /// Returns 0 when no sample ever carried a trace id.
+    pub fn exemplar_near(&self, q: f64) -> u128 {
+        let Some(idx) = self.quantile_bucket(q) else {
+            return self.max_exemplar;
+        };
+        if self.exemplars.is_empty() {
+            return self.max_exemplar;
+        }
+        let idx = idx.min(self.exemplars.len() - 1);
+        for i in (0..=idx).rev() {
+            if self.exemplars[i] != 0 {
+                return self.exemplars[i];
+            }
+        }
+        for &e in &self.exemplars[idx + 1..] {
+            if e != 0 {
+                return e;
+            }
+        }
+        self.max_exemplar
     }
 }
 
@@ -364,11 +451,35 @@ mod tests {
         assert!(snap.quantile_secs(1.0) >= snap.quantile_secs(0.5));
         let empty = HistogramSnapshot {
             name: "e".into(),
-            count: 0,
-            sum_secs: 0.0,
             buckets: vec![0; HISTOGRAM_BUCKETS],
+            ..Default::default()
         };
         assert_eq!(empty.quantile_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn exemplars_track_buckets_and_the_max_sample() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.secs");
+        h.record_secs(1e-3); // untraced: no exemplar
+        h.record_secs_traced(1e-3, 0xAA);
+        h.record_secs_traced(0.9e-3, 0xBB); // same bucket (≤1.024 ms): overwrites
+        h.record_secs_traced(0.5, 0xCC); // slowest sample so far
+        h.record_secs_traced(2e-6, 0xDD);
+        let snap = h.snapshot("x.secs");
+        assert_eq!(snap.exemplars.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(snap.exemplars[bucket_index(1e-3)], 0xBB, "latest wins the bucket");
+        assert_eq!(snap.exemplars[bucket_index(2e-6)], 0xDD);
+        assert_eq!(snap.max_exemplar, 0xCC, "slowest sample pins the max exemplar");
+        // p99 of {2µs, 1ms, 1ms, 1ms, 0.5s} lands in the 0.5 s bucket.
+        assert_eq!(snap.exemplar_near(0.99), 0xCC);
+        // p50 lands in the 1 ms bucket.
+        assert_eq!(snap.exemplar_near(0.5), 0xBB);
+        // A quantile falling in an exemplar-free bucket borrows the
+        // nearest captured one rather than returning nothing.
+        assert_ne!(snap.exemplar_near(0.2), 0);
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.exemplar_near(0.99), 0);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Windowed time series over periodic [`StatsSnapshot`]s.
+//!
+//! A [`WindowedSeries`] is a fixed-size ring of per-tick *deltas*: a
+//! sampler thread in each daemon feeds it one cumulative snapshot per
+//! tick, and the series stores what changed since the previous tick —
+//! counter increments, latest gauge levels, and per-bucket histogram
+//! increments (with the cumulative exemplars carried along). From those
+//! slots it answers rate, derivative, and rolling-quantile queries over
+//! any trailing window, and it collapses into the compact
+//! [`StatsDigest`] that agents gossip fleet-wide.
+//!
+//! Everything lives behind one short mutex taken once per tick and once
+//! per query — the sampler path never touches request hot paths, which
+//! keep their lock-free atomic instruments.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{HistogramSnapshot, StatsSnapshot};
+
+/// How a daemon samples its registry into a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesConfig {
+    /// Seconds between samples.
+    pub tick_secs: f64,
+    /// Ring length: how many ticks of history are retained.
+    pub slots: usize,
+}
+
+impl Default for SeriesConfig {
+    /// 1 s × 120 slots — two minutes of per-second history.
+    fn default() -> Self {
+        SeriesConfig { tick_secs: 1.0, slots: 120 }
+    }
+}
+
+/// One tick's worth of change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSlot {
+    /// Wall-clock seconds (unix epoch) the sample was taken at.
+    pub at_unix_secs: f64,
+    /// Seconds actually elapsed since the previous sample (close to the
+    /// configured tick, but measured — sleeps are not exact).
+    pub elapsed_secs: f64,
+    /// Counter increments during the tick, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels at sample time, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Per-bucket histogram increments during the tick (exemplars and
+    /// `max_exemplar` are the cumulative values at sample time — an
+    /// exemplar is a pointer, not an additive quantity).
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[derive(Debug, Default)]
+struct SeriesInner {
+    ring: VecDeque<SeriesSlot>,
+    last: Option<(StatsSnapshot, f64)>,
+}
+
+/// A bounded ring of per-tick snapshot deltas (see the module docs).
+#[derive(Debug)]
+pub struct WindowedSeries {
+    config: SeriesConfig,
+    inner: Mutex<SeriesInner>,
+}
+
+impl Default for WindowedSeries {
+    fn default() -> Self {
+        Self::new(SeriesConfig::default())
+    }
+}
+
+impl WindowedSeries {
+    /// An empty series with the given tick/ring geometry.
+    pub fn new(config: SeriesConfig) -> Self {
+        WindowedSeries {
+            config: SeriesConfig { tick_secs: config.tick_secs.max(1e-3), slots: config.slots.max(2) },
+            inner: Mutex::new(SeriesInner::default()),
+        }
+    }
+
+    /// The tick/ring geometry.
+    pub fn config(&self) -> SeriesConfig {
+        self.config
+    }
+
+    /// Feed one cumulative snapshot taken at `at_unix_secs`. The first
+    /// sample only seeds the baseline (no slot is produced — there is
+    /// nothing to delta against yet).
+    pub fn record(&self, snapshot: StatsSnapshot, at_unix_secs: f64) {
+        let mut inner = self.inner.lock();
+        if let Some((prev, prev_at)) = &inner.last {
+            let elapsed = (at_unix_secs - prev_at).max(1e-9);
+            let slot = delta_slot(prev, &snapshot, at_unix_secs, elapsed);
+            inner.ring.push_back(slot);
+            while inner.ring.len() > self.config.slots {
+                inner.ring.pop_front();
+            }
+        }
+        inner.last = Some((snapshot, at_unix_secs));
+    }
+
+    /// How many delta slots are currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// Whether no delta slot has been produced yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained slots, oldest first.
+    pub fn slots(&self) -> Vec<SeriesSlot> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Mean events/second of `counter` over the trailing `window_secs`
+    /// (clamped to the history actually retained). 0 when no slots.
+    pub fn rate(&self, counter: &str, window_secs: f64) -> f64 {
+        let inner = self.inner.lock();
+        let (mut events, mut secs) = (0u64, 0f64);
+        for slot in window(&inner.ring, window_secs) {
+            events += lookup_u64(&slot.counters, counter);
+            secs += slot.elapsed_secs;
+        }
+        if secs <= 0.0 {
+            0.0
+        } else {
+            events as f64 / secs
+        }
+    }
+
+    /// First derivative of `gauge` over the trailing window: (last −
+    /// first) / elapsed, in units per second. `None` without at least
+    /// two slots in the window.
+    pub fn gauge_derivative(&self, gauge: &str, window_secs: f64) -> Option<f64> {
+        let inner = self.inner.lock();
+        let slots: Vec<&SeriesSlot> = window(&inner.ring, window_secs).collect();
+        let (first, last) = (slots.first()?, slots.last()?);
+        let dt = last.at_unix_secs - first.at_unix_secs;
+        if slots.len() < 2 || dt <= 0.0 {
+            return None;
+        }
+        let dv = lookup_i64(&last.gauges, gauge) - lookup_i64(&first.gauges, gauge);
+        Some(dv as f64 / dt)
+    }
+
+    /// Latest sampled level of `gauge` (`None` before any slot).
+    pub fn gauge_last(&self, gauge: &str) -> Option<i64> {
+        let inner = self.inner.lock();
+        inner.ring.back().map(|s| lookup_i64(&s.gauges, gauge))
+    }
+
+    /// The histogram of samples recorded during the trailing window:
+    /// per-bucket increments summed across the window's slots, with the
+    /// most recent slot's exemplars carried along. Quantiles of the
+    /// result are *rolling* quantiles — `p99 over the last 30 s`, not
+    /// since process start. `None` when the window holds no slot that
+    /// saw the histogram.
+    pub fn windowed_histogram(&self, name: &str, window_secs: f64) -> Option<HistogramSnapshot> {
+        let inner = self.inner.lock();
+        let mut acc: Option<HistogramSnapshot> = None;
+        for slot in window(&inner.ring, window_secs) {
+            let Some(h) = slot.histograms.iter().find(|h| h.name == name) else {
+                continue;
+            };
+            match &mut acc {
+                None => acc = Some(h.clone()),
+                Some(acc) => {
+                    acc.count += h.count;
+                    acc.sum_secs += h.sum_secs;
+                    for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                        *a += b;
+                    }
+                    // Later slots are fresher: their exemplars win.
+                    acc.exemplars = h.exemplars.clone();
+                    acc.max_exemplar = h.max_exemplar;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Collapse the trailing window into a compact [`StatsDigest`] for
+    /// gossip: counter rates, latest gauges, and p50/p95/p99 (+ p99
+    /// exemplar) per histogram.
+    pub fn digest(&self, origin: &str, component: &str, window_secs: f64) -> StatsDigest {
+        let inner = self.inner.lock();
+        let slots: Vec<&SeriesSlot> = window(&inner.ring, window_secs).collect();
+        // `+ 0.0` normalises the empty-window sum (IEEE -0.0) to +0.0 so
+        // an idle digest reports a plain zero window.
+        let covered: f64 = slots.iter().map(|s| s.elapsed_secs).sum::<f64>() + 0.0;
+        let mut counters: Vec<(String, f64)> = Vec::new();
+        let mut histograms: Vec<HistogramSnapshot> = Vec::new();
+        for slot in &slots {
+            for (name, v) in &slot.counters {
+                match counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += *v as f64,
+                    None => counters.push((name.clone(), *v as f64)),
+                }
+            }
+            for h in &slot.histograms {
+                match histograms.iter_mut().find(|a| a.name == h.name) {
+                    Some(acc) => {
+                        acc.count += h.count;
+                        acc.sum_secs += h.sum_secs;
+                        for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                            *a += b;
+                        }
+                        acc.exemplars = h.exemplars.clone();
+                        acc.max_exemplar = h.max_exemplar;
+                    }
+                    None => histograms.push(h.clone()),
+                }
+            }
+        }
+        if covered > 0.0 {
+            for (_, v) in &mut counters {
+                *v /= covered;
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let quantiles = histograms
+            .iter()
+            .filter(|h| h.count > 0)
+            .map(|h| DigestQuantiles {
+                name: h.name.clone(),
+                count: h.count,
+                p50_secs: h.quantile_secs(0.50),
+                p95_secs: h.quantile_secs(0.95),
+                p99_secs: h.quantile_secs(0.99),
+                p99_exemplar: h.exemplar_near(0.99),
+            })
+            .collect();
+        StatsDigest {
+            origin: origin.to_string(),
+            component: component.to_string(),
+            age_secs: 0.0,
+            window_secs: covered,
+            counters,
+            gauges: slots.last().map(|s| s.gauges.clone()).unwrap_or_default(),
+            quantiles,
+        }
+    }
+}
+
+/// Wall-clock seconds since the unix epoch — the time axis sampler
+/// threads feed [`WindowedSeries::record`] with.
+pub fn unix_now_secs() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs_f64()
+}
+
+/// Slots inside the trailing `window_secs`, oldest first.
+fn window(ring: &VecDeque<SeriesSlot>, window_secs: f64) -> impl Iterator<Item = &SeriesSlot> {
+    let newest = ring.back().map(|s| s.at_unix_secs).unwrap_or(0.0);
+    ring.iter().filter(move |s| newest - s.at_unix_secs <= window_secs.max(0.0))
+}
+
+fn lookup_u64(items: &[(String, u64)], name: &str) -> u64 {
+    items.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+fn lookup_i64(items: &[(String, i64)], name: &str) -> i64 {
+    items.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+/// Delta of two cumulative snapshots. Counters and histogram buckets
+/// subtract (saturating: a restarted instrument just reads as zero);
+/// gauges take the new level.
+fn delta_slot(
+    prev: &StatsSnapshot,
+    next: &StatsSnapshot,
+    at_unix_secs: f64,
+    elapsed_secs: f64,
+) -> SeriesSlot {
+    let counters = next
+        .counters
+        .iter()
+        .map(|(n, v)| (n.clone(), v.saturating_sub(prev.counter(n))))
+        .collect();
+    let histograms = next
+        .histograms
+        .iter()
+        .map(|h| {
+            let base = prev.histogram(&h.name);
+            HistogramSnapshot {
+                name: h.name.clone(),
+                count: h.count.saturating_sub(base.map(|b| b.count).unwrap_or(0)),
+                sum_secs: (h.sum_secs - base.map(|b| b.sum_secs).unwrap_or(0.0)).max(0.0),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        v.saturating_sub(
+                            base.and_then(|b| b.buckets.get(i)).copied().unwrap_or(0),
+                        )
+                    })
+                    .collect(),
+                exemplars: h.exemplars.clone(),
+                max_exemplar: h.max_exemplar,
+            }
+        })
+        .collect();
+    SeriesSlot {
+        at_unix_secs,
+        elapsed_secs,
+        counters,
+        gauges: next.gauges.clone(),
+        histograms,
+    }
+}
+
+/// The compact per-peer stats summary agents replicate over gossip: one
+/// entry per daemon (`origin` is its listen address), holding counter
+/// *rates* over the trailing window, latest gauge levels, and rolling
+/// latency quantiles with the p99 trace exemplar. Freshness travels as
+/// a relative `age_secs` exactly like registry gossip entries, so
+/// receivers with different clocks still agree on which copy is newer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsDigest {
+    /// Listen address of the daemon the stats describe.
+    pub origin: String,
+    /// `"agent"` / `"server"` / … — which kind of daemon.
+    pub component: String,
+    /// How old this digest is, seconds (0 at the origin; accumulates
+    /// hop-relative age as it travels, like gossip registry entries).
+    pub age_secs: f64,
+    /// Seconds of history the rates/quantiles summarize.
+    pub window_secs: f64,
+    /// Counter rates over the window, events/second, sorted by name.
+    pub counters: Vec<(String, f64)>,
+    /// Latest gauge levels, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Rolling quantiles per histogram.
+    pub quantiles: Vec<DigestQuantiles>,
+}
+
+/// Rolling latency quantiles of one histogram over the digest window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DigestQuantiles {
+    /// Histogram name (e.g. `server.compute_secs`).
+    pub name: String,
+    /// Samples recorded during the window.
+    pub count: u64,
+    /// Rolling p50, seconds.
+    pub p50_secs: f64,
+    /// Rolling p95, seconds.
+    pub p95_secs: f64,
+    /// Rolling p99, seconds.
+    pub p99_secs: f64,
+    /// Trace exemplar nearest the p99 bucket (0 = none captured).
+    pub p99_exemplar: u128,
+}
+
+impl StatsDigest {
+    /// Look up a counter rate by name (0 when absent).
+    pub fn rate(&self, name: &str) -> f64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    /// Look up a gauge level by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        lookup_i64(&self.gauges, name)
+    }
+
+    /// Look up a histogram's rolling quantiles by name.
+    pub fn quantiles(&self, name: &str) -> Option<&DigestQuantiles> {
+        self.quantiles.iter().find(|q| q.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, HISTOGRAM_BUCKETS};
+
+    fn tick(reg: &MetricsRegistry, series: &WindowedSeries, at: f64) {
+        series.record(reg.snapshot("test"), at);
+    }
+
+    #[test]
+    fn first_sample_seeds_later_samples_delta() {
+        let reg = MetricsRegistry::new();
+        let series = WindowedSeries::new(SeriesConfig { tick_secs: 1.0, slots: 8 });
+        reg.counter("x.events").add(100);
+        tick(&reg, &series, 10.0);
+        assert!(series.is_empty(), "baseline produces no slot");
+        reg.counter("x.events").add(5);
+        tick(&reg, &series, 11.0);
+        assert_eq!(series.len(), 1);
+        let slot = &series.slots()[0];
+        assert_eq!(lookup_u64(&slot.counters, "x.events"), 5, "delta, not cumulative");
+        assert!((series.rate("x.events", 60.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_rates_window() {
+        let reg = MetricsRegistry::new();
+        let series = WindowedSeries::new(SeriesConfig { tick_secs: 1.0, slots: 4 });
+        for i in 0..10 {
+            reg.counter("x.events").add(i);
+            tick(&reg, &series, i as f64);
+        }
+        assert_eq!(series.len(), 4, "ring bounded at 4 slots");
+        // Last 4 deltas are 6, 7, 8, 9 over 4 seconds.
+        assert!((series.rate("x.events", 100.0) - 7.5).abs() < 1e-9);
+        // A 1-second window sees only the newest delta (9 over 1 s) —
+        // window membership is by timestamp distance from the newest.
+        assert!((series.rate("x.events", 1.0) - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_take_levels_and_derivatives() {
+        let reg = MetricsRegistry::new();
+        let series = WindowedSeries::new(SeriesConfig { tick_secs: 1.0, slots: 8 });
+        reg.gauge("x.depth").set(2);
+        tick(&reg, &series, 0.0);
+        reg.gauge("x.depth").set(4);
+        tick(&reg, &series, 1.0);
+        reg.gauge("x.depth").set(8);
+        tick(&reg, &series, 2.0);
+        assert_eq!(series.gauge_last("x.depth"), Some(8));
+        let d = series.gauge_derivative("x.depth", 100.0).unwrap();
+        assert!((d - 4.0).abs() < 1e-9, "8-4 over 1s window pair: {d}");
+    }
+
+    #[test]
+    fn windowed_histogram_sums_deltas_and_keeps_fresh_exemplars() {
+        let reg = MetricsRegistry::new();
+        let series = WindowedSeries::new(SeriesConfig { tick_secs: 1.0, slots: 8 });
+        let h = reg.histogram("x.secs");
+        h.record_secs_traced(1e-3, 0x1);
+        tick(&reg, &series, 0.0);
+        h.record_secs_traced(1e-3, 0x2);
+        h.record_secs_traced(0.3, 0x3);
+        tick(&reg, &series, 1.0);
+        let w = series.windowed_histogram("x.secs", 100.0).unwrap();
+        assert_eq!(w.count, 2, "only samples after the baseline");
+        assert_eq!(w.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(w.exemplar_near(0.99), 0x3);
+        assert_eq!(w.buckets.len(), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn digest_summarizes_rates_gauges_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        let series = WindowedSeries::new(SeriesConfig { tick_secs: 1.0, slots: 8 });
+        tick(&reg, &series, 0.0);
+        reg.counter("x.requests").add(30);
+        reg.gauge("x.depth").set(5);
+        let h = reg.histogram("x.secs");
+        for _ in 0..97 {
+            h.record_secs_traced(1e-3, 0xAB);
+        }
+        for _ in 0..3 {
+            h.record_secs_traced(2.0, 0xCD);
+        }
+        tick(&reg, &series, 3.0);
+        let d = series.digest("srv0", "server", 100.0);
+        assert_eq!(d.origin, "srv0");
+        assert_eq!(d.component, "server");
+        assert!((d.rate("x.requests") - 10.0).abs() < 1e-9, "30 events / 3 s");
+        assert_eq!(d.gauge("x.depth"), 5);
+        let q = d.quantiles("x.secs").unwrap();
+        assert_eq!(q.count, 100);
+        assert!(q.p50_secs <= q.p95_secs && q.p95_secs <= q.p99_secs);
+        assert_eq!(q.p99_exemplar, 0xCD, "p99 exemplar points at the slow trace");
+        assert!((d.window_secs - 3.0).abs() < 1e-9);
+    }
+}

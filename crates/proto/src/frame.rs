@@ -79,8 +79,15 @@ pub const MAGIC: u32 = 0x4E53_5256;
 /// `FailureReport` carry the server's `server_address` so agents can
 /// credit reports by address instead of per-agent id numbering after a
 /// client fails over between agents. v4 decodes see the defaults
-/// (`cached = false`, empty address → fall back to the raw id).
-pub const VERSION: u32 = 5;
+/// (`cached = false`, empty address → fall back to the raw id);
+/// v6 — fleet telemetry: `StatsReply` histograms carry per-bucket trace
+/// exemplars, the `FleetStatsQuery`/`FleetStatsReply` pair exists
+/// (windowed per-daemon `StatsDigest` summaries), and `GossipSync`
+/// piggybacks a digest leg so agents replicate the fleet's recent
+/// stats history alongside registry entries. v5 decodes see the
+/// defaults (no exemplars, empty digest legs); v5 peers answer the new
+/// tags with their generic `Error` reply, counted *unsupported*.
+pub const VERSION: u32 = 6;
 /// Oldest protocol version this implementation still decodes.
 pub const MIN_VERSION: u32 = 1;
 /// Maximum payload size accepted (512 MiB), matching the largest

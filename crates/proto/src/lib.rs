@@ -140,6 +140,52 @@ mod proptests {
                             },
                         )
                         .collect(),
+                    digests: vec![],
+                }),
+            (
+                prop::collection::vec(
+                    (
+                        "[ -~]{0,24}",
+                        "[a-z]{1,8}",
+                        0.0..1e4f64,
+                        0.0..600.0f64,
+                        prop::collection::vec(("[a-z._]{1,16}", 0.0..1e6f64), 0..4),
+                        prop::collection::vec(("[a-z._]{1,16}", any::<i64>()), 0..4),
+                        prop::collection::vec(
+                            ("[a-z._]{1,16}", any::<u64>(), 0.0..60.0f64, any::<u128>()),
+                            0..3,
+                        ),
+                    ),
+                    0..4,
+                ),
+            )
+                .prop_map(|(digests,)| Message::FleetStatsReply {
+                    digests: digests
+                        .into_iter()
+                        .map(|(origin, component, age, window, counters, gauges, quants)| {
+                            netsolve_obs::StatsDigest {
+                                origin,
+                                component,
+                                age_secs: age,
+                                window_secs: window,
+                                counters,
+                                gauges,
+                                quantiles: quants
+                                    .into_iter()
+                                    .map(|(name, count, p, exemplar)| {
+                                        netsolve_obs::DigestQuantiles {
+                                            name,
+                                            count,
+                                            p50_secs: p,
+                                            p95_secs: p * 2.0,
+                                            p99_secs: p * 4.0,
+                                            p99_exemplar: exemplar,
+                                        }
+                                    })
+                                    .collect(),
+                            }
+                        })
+                        .collect(),
                 }),
             Just(Message::StatsQuery),
             any::<u128>().prop_map(|trace_id| Message::TraceQuery { trace_id }),
@@ -191,6 +237,8 @@ mod proptests {
                         any::<u64>(),
                         0.0..1e6f64,
                         prop::collection::vec(any::<u64>(), 0..30),
+                        prop::collection::vec(any::<u128>(), 0..30),
+                        any::<u128>(),
                     ),
                     0..3,
                 ),
@@ -202,8 +250,15 @@ mod proptests {
                         gauges,
                         histograms: hists
                             .into_iter()
-                            .map(|(name, count, sum_secs, buckets)| {
-                                netsolve_obs::HistogramSnapshot { name, count, sum_secs, buckets }
+                            .map(|(name, count, sum_secs, buckets, exemplars, max_exemplar)| {
+                                netsolve_obs::HistogramSnapshot {
+                                    name,
+                                    count,
+                                    sum_secs,
+                                    buckets,
+                                    exemplars,
+                                    max_exemplar,
+                                }
                             })
                             .collect(),
                     })

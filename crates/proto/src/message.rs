@@ -12,7 +12,7 @@
 
 use netsolve_core::data::DataObject;
 use netsolve_core::error::{NetSolveError, Result};
-use netsolve_obs::{HistogramSnapshot, SpanRecord, StatsSnapshot};
+use netsolve_obs::{DigestQuantiles, HistogramSnapshot, SpanRecord, StatsDigest, StatsSnapshot};
 use netsolve_xdr::{Decoder, Encoder, XdrSource};
 
 /// Description of one computational server, sent at registration and
@@ -295,6 +295,11 @@ pub enum Message {
         from_agent: String,
         /// Every registration the sender knows, freshest view.
         entries: Vec<GossipEntry>,
+        /// Windowed stats digests the sender knows — its own and ones
+        /// learned from gossip, ages accumulated hop-relative exactly
+        /// like registry `entries`. Additive in protocol version 6: v5
+        /// frames carry no digest leg and decode with an empty vec.
+        digests: Vec<StatsDigest>,
     },
     /// agent → peer agent: gossip merge outcome, closing the round.
     GossipAck {
@@ -305,6 +310,19 @@ pub enum Message {
         /// Entries rejected because they conflict with local state (e.g. a
         /// different catalogue already registered at the same address).
         conflicts: u32,
+    },
+    /// any → daemon: dump the windowed stats digests you hold — your own
+    /// plus, on agents, every digest replicated over gossip — so one
+    /// scrape of one agent returns the whole fleet's recent history.
+    /// Additive in protocol version 6: older daemons answer with their
+    /// generic "cannot handle" `Error` reply, which scrapers treat as
+    /// *unsupported*, so mixed-version domains keep working.
+    FleetStatsQuery,
+    /// daemon → any: the windowed digests, freshest view (ages
+    /// recomputed to the moment of encoding).
+    FleetStatsReply {
+        /// One digest per known daemon, own digest first.
+        digests: Vec<StatsDigest>,
     },
     /// any → any: liveness probe.
     Ping,
@@ -346,6 +364,8 @@ impl Message {
             Message::TraceReply { .. } => 24,
             Message::GossipSync { .. } => 25,
             Message::GossipAck { .. } => 26,
+            Message::FleetStatsQuery => 27,
+            Message::FleetStatsReply { .. } => 28,
             Message::Ping => 13,
             Message::Pong => 14,
             Message::Error { .. } => 15,
@@ -378,6 +398,8 @@ impl Message {
             Message::TraceReply { .. } => "TraceReply",
             Message::GossipSync { .. } => "GossipSync",
             Message::GossipAck { .. } => "GossipAck",
+            Message::FleetStatsQuery => "FleetStatsQuery",
+            Message::FleetStatsReply { .. } => "FleetStatsReply",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Error { .. } => "Error",
@@ -560,6 +582,13 @@ impl Message {
                     for b in &h.buckets {
                         e.put_u64(*b);
                     }
+                    if version >= 6 {
+                        e.put_u32(h.exemplars.len() as u32);
+                        for x in &h.exemplars {
+                            Self::put_u128(e, *x);
+                        }
+                        Self::put_u128(e, h.max_exemplar);
+                    }
                 }
             }
             Message::TraceQuery { trace_id } => {
@@ -582,7 +611,7 @@ impl Message {
                     e.put_string(&s.detail);
                 }
             }
-            Message::GossipSync { from_agent, entries } => {
+            Message::GossipSync { from_agent, entries, digests } => {
                 e.put_string(from_agent);
                 e.put_u32(entries.len() as u32);
                 for g in entries {
@@ -598,11 +627,18 @@ impl Message {
                     e.put_f64(g.workload);
                     e.put_f64(g.age_secs);
                 }
+                if version >= 6 {
+                    Self::encode_digests(e, digests);
+                }
             }
             Message::GossipAck { merged, refreshed, conflicts } => {
                 e.put_u32(*merged);
                 e.put_u32(*refreshed);
                 e.put_u32(*conflicts);
+            }
+            Message::FleetStatsQuery => {}
+            Message::FleetStatsReply { digests } => {
+                Self::encode_digests(e, digests);
             }
             Message::Ping | Message::Pong => {}
             Message::Error { code, detail } => {
@@ -780,11 +816,28 @@ impl Message {
                     for _ in 0..buckets_len {
                         buckets.push(d.get_u64()?);
                     }
+                    let (exemplars, max_exemplar) = if version >= 6 {
+                        let xlen = d.get_u32()? as usize;
+                        if xlen > d.remaining() / 16 + 1 {
+                            return Err(NetSolveError::Protocol(
+                                "exemplar count too large".into(),
+                            ));
+                        }
+                        let mut exemplars = Vec::with_capacity(xlen);
+                        for _ in 0..xlen {
+                            exemplars.push(Self::get_u128(d)?);
+                        }
+                        (exemplars, Self::get_u128(d)?)
+                    } else {
+                        (Vec::new(), 0)
+                    };
                     histograms.push(HistogramSnapshot {
                         name,
                         count: sample_count,
                         sum_secs,
                         buckets,
+                        exemplars,
+                        max_exemplar,
                     });
                 }
                 Message::StatsReply(StatsSnapshot { component, counters, gauges, histograms })
@@ -849,13 +902,17 @@ impl Message {
                         age_secs: d.get_f64()?,
                     });
                 }
-                Message::GossipSync { from_agent, entries }
+                let digests =
+                    if version >= 6 { Self::decode_digests(d)? } else { Vec::new() };
+                Message::GossipSync { from_agent, entries, digests }
             }
             26 => Message::GossipAck {
                 merged: d.get_u32()?,
                 refreshed: d.get_u32()?,
                 conflicts: d.get_u32()?,
             },
+            27 => Message::FleetStatsQuery,
+            28 => Message::FleetStatsReply { digests: Self::decode_digests(d)? },
             15 => Message::Error { code: d.get_u32()?, detail: d.get_string()? },
             other => {
                 return Err(NetSolveError::Protocol(format!("unknown message tag {other}")))
@@ -868,6 +925,101 @@ impl Message {
         let hi = d.get_u64()?;
         let lo = d.get_u64()?;
         Ok(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// The 128-bit id counterpart of [`Self::get_u128`].
+    fn put_u128(e: &mut Encoder<'_>, x: u128) {
+        e.put_u64((x >> 64) as u64);
+        e.put_u64(x as u64);
+    }
+
+    /// The digest leg shared by `GossipSync` (v6 piggyback) and
+    /// `FleetStatsReply`.
+    fn encode_digests(e: &mut Encoder<'_>, digests: &[StatsDigest]) {
+        e.put_u32(digests.len() as u32);
+        for dg in digests {
+            e.put_string(&dg.origin);
+            e.put_string(&dg.component);
+            e.put_f64(dg.age_secs);
+            e.put_f64(dg.window_secs);
+            e.put_u32(dg.counters.len() as u32);
+            for (name, rate) in &dg.counters {
+                e.put_string(name);
+                e.put_f64(*rate);
+            }
+            e.put_u32(dg.gauges.len() as u32);
+            for (name, value) in &dg.gauges {
+                e.put_string(name);
+                e.put_u64(*value as u64); // two's complement on the wire
+            }
+            e.put_u32(dg.quantiles.len() as u32);
+            for q in &dg.quantiles {
+                e.put_string(&q.name);
+                e.put_u64(q.count);
+                e.put_f64(q.p50_secs);
+                e.put_f64(q.p95_secs);
+                e.put_f64(q.p99_secs);
+                Self::put_u128(e, q.p99_exemplar);
+            }
+        }
+    }
+
+    fn decode_digests<S: XdrSource>(d: &mut S) -> Result<Vec<StatsDigest>> {
+        let count = d.get_u32()? as usize;
+        // Minimum wire size of one digest: two 8-byte floats, three
+        // 4-byte counts, two (possibly empty) strings.
+        if count > d.remaining() / 36 + 1 {
+            return Err(NetSolveError::Protocol("digest count too large".into()));
+        }
+        let mut digests = Vec::with_capacity(count);
+        for _ in 0..count {
+            let origin = d.get_string()?;
+            let component = d.get_string()?;
+            let age_secs = d.get_f64()?;
+            let window_secs = d.get_f64()?;
+            let ccount = d.get_u32()? as usize;
+            if ccount > d.remaining() / 12 + 1 {
+                return Err(NetSolveError::Protocol("digest counter count too large".into()));
+            }
+            let mut counters = Vec::with_capacity(ccount);
+            for _ in 0..ccount {
+                counters.push((d.get_string()?, d.get_f64()?));
+            }
+            let gcount = d.get_u32()? as usize;
+            if gcount > d.remaining() / 12 + 1 {
+                return Err(NetSolveError::Protocol("digest gauge count too large".into()));
+            }
+            let mut gauges = Vec::with_capacity(gcount);
+            for _ in 0..gcount {
+                gauges.push((d.get_string()?, d.get_u64()? as i64));
+            }
+            let qcount = d.get_u32()? as usize;
+            // One quantile row: name + count + three f64 + u128 ≥ 52 bytes.
+            if qcount > d.remaining() / 52 + 1 {
+                return Err(NetSolveError::Protocol("digest quantile count too large".into()));
+            }
+            let mut quantiles = Vec::with_capacity(qcount);
+            for _ in 0..qcount {
+                quantiles.push(DigestQuantiles {
+                    name: d.get_string()?,
+                    count: d.get_u64()?,
+                    p50_secs: d.get_f64()?,
+                    p95_secs: d.get_f64()?,
+                    p99_secs: d.get_f64()?,
+                    p99_exemplar: Self::get_u128(d)?,
+                });
+            }
+            digests.push(StatsDigest {
+                origin,
+                component,
+                age_secs,
+                window_secs,
+                counters,
+                gauges,
+                quantiles,
+            });
+        }
+        Ok(digests)
     }
 
     fn decode_query_shape<S: XdrSource>(d: &mut S, version: u32) -> Result<QueryShape> {
@@ -887,6 +1039,25 @@ impl Message {
 mod tests {
     use super::*;
     use netsolve_core::matrix::Matrix;
+
+    fn sample_digest() -> StatsDigest {
+        StatsDigest {
+            origin: "127.0.0.1:9021".into(),
+            component: "server".into(),
+            age_secs: 1.5,
+            window_secs: 30.0,
+            counters: vec![("server.requests".into(), 12.5), ("server.sheds".into(), 0.25)],
+            gauges: vec![("server.active_requests".into(), -2)],
+            quantiles: vec![DigestQuantiles {
+                name: "server.compute_secs".into(),
+                count: 375,
+                p50_secs: 0.004,
+                p95_secs: 0.04,
+                p99_secs: 0.26,
+                p99_exemplar: 0xfeed_face_0000_0001_dead_beef_0000_0003,
+            }],
+        }
+    }
 
     fn samples() -> Vec<Message> {
         vec![
@@ -988,6 +1159,8 @@ mod tests {
                     count: 3,
                     sum_secs: 0.125,
                     buckets: vec![0, 1, 2, 0],
+                    exemplars: vec![0, 0xfeed_0001, 0xfeed_0002, 0],
+                    max_exemplar: 0xfeed_0002,
                 }],
             }),
             Message::StatsReply(StatsSnapshot::default()),
@@ -1023,9 +1196,17 @@ mod tests {
                     workload: 37.5,
                     age_secs: 4.25,
                 }],
+                digests: vec![sample_digest()],
             },
-            Message::GossipSync { from_agent: "agent-b".into(), entries: vec![] },
+            Message::GossipSync {
+                from_agent: "agent-b".into(),
+                entries: vec![],
+                digests: vec![],
+            },
             Message::GossipAck { merged: 2, refreshed: 5, conflicts: 1 },
+            Message::FleetStatsQuery,
+            Message::FleetStatsReply { digests: vec![sample_digest(), StatsDigest::default()] },
+            Message::FleetStatsReply { digests: vec![] },
             Message::Ping,
             Message::Pong,
             Message::Error { code: 1, detail: "problem not found".into() },
@@ -1047,9 +1228,9 @@ mod tests {
         let mut tags: Vec<u32> = samples().iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        // RegisterAck, RequestReply, StatsReply, TraceQuery, TraceReply
-        // and GossipSync each appear twice in samples
-        assert_eq!(tags.len(), samples().len() - 6);
+        // RegisterAck, RequestReply, StatsReply, TraceQuery, TraceReply,
+        // GossipSync and FleetStatsReply each appear twice in samples
+        assert_eq!(tags.len(), samples().len() - 7);
     }
 
     #[test]
@@ -1140,6 +1321,64 @@ mod tests {
             Message::FailureReport { server_id, server_address, .. } => {
                 assert_eq!(server_id, 9);
                 assert!(server_address.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// v5 peers carry no exemplar or digest legs: encoding *to* a v5
+    /// peer must omit them so it can decode us, and its payloads decode
+    /// here with the conservative defaults (no exemplars, no digests).
+    #[test]
+    fn v5_payloads_decode_with_v6_defaults() {
+        let reply = Message::StatsReply(StatsSnapshot {
+            component: "server".into(),
+            counters: vec![("server.requests".into(), 9)],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "server.compute_secs".into(),
+                count: 2,
+                sum_secs: 0.5,
+                buckets: vec![1, 1],
+                exemplars: vec![0xAA, 0xBB],
+                max_exemplar: 0xBB,
+            }],
+        });
+        match Message::decode_versioned(&reply.encode_versioned(5), 5).unwrap() {
+            Message::StatsReply(snap) => {
+                let h = &snap.histograms[0];
+                assert_eq!(h.buckets, vec![1, 1], "buckets survive at v5");
+                assert!(h.exemplars.is_empty(), "v5 carries no exemplars");
+                assert_eq!(h.max_exemplar, 0, "v5 carries no max exemplar");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let sync = Message::GossipSync {
+            from_agent: "127.0.0.1:9000".into(),
+            entries: vec![],
+            digests: vec![sample_digest()],
+        };
+        match Message::decode_versioned(&sync.encode_versioned(5), 5).unwrap() {
+            Message::GossipSync { from_agent, digests, .. } => {
+                assert_eq!(from_agent, "127.0.0.1:9000");
+                assert!(digests.is_empty(), "v5 gossip carries no digest leg");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_digests_roundtrip_losslessly() {
+        let msg = Message::FleetStatsReply { digests: vec![sample_digest()] };
+        match Message::decode(&msg.encode()).unwrap() {
+            Message::FleetStatsReply { digests } => {
+                assert_eq!(digests, vec![sample_digest()]);
+                assert_eq!(
+                    digests[0].quantiles("server.compute_secs").unwrap().p99_exemplar,
+                    0xfeed_face_0000_0001_dead_beef_0000_0003,
+                    "128-bit exemplar survives the wire"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

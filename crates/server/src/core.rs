@@ -190,7 +190,9 @@ impl ServerCore {
                 let dispatched = Instant::now();
                 let queued = dispatched.saturating_duration_since(received_at);
                 let queue_timer = self.tracer.start_at(received_at);
-                self.metrics.histogram("server.queue_secs").record_secs(queued.as_secs_f64());
+                self.metrics
+                    .histogram("server.queue_secs")
+                    .record_secs_traced(queued.as_secs_f64(), *trace_id);
                 self.tracer.record_at(ctx, queue_timer, dispatched, "server", "queue", String::new());
                 // Shed expired work: if the client's remaining budget was
                 // already consumed before execution starts, nobody is
@@ -326,7 +328,7 @@ impl ServerCore {
                         self.metrics.counter("server.requests_ok").inc();
                         self.metrics
                             .histogram("server.compute_secs")
-                            .record_secs(exec.compute_secs);
+                            .record_secs_traced(exec.compute_secs, *trace_id);
                         Message::RequestReply {
                             request_id: *request_id,
                             outputs: exec.outputs,

@@ -8,7 +8,7 @@ use std::time::Duration;
 use netsolve_core::admission::{
     format_busy_detail, AdmissionConfig, AdmissionDecision, AdmissionPolicy, ShedReason,
 };
-use netsolve_core::config::WorkloadPolicy;
+use netsolve_core::config::{TelemetryPolicy, WorkloadPolicy};
 use netsolve_core::error::{NetSolveError, Result};
 use netsolve_net::{call, Connection, Transport};
 use netsolve_proto::{Message, ServerDescriptor};
@@ -45,10 +45,15 @@ pub struct ServerConfig {
     /// keeps the pre-admission behavior: every accepted connection solves
     /// immediately on its own thread.
     pub admission: Option<AdmissionConfig>,
+    /// Telemetry sampling: how often the daemon snapshots its metrics
+    /// into the windowed series that answers `FleetStatsQuery`.
+    pub telemetry: TelemetryPolicy,
 }
 
 impl ServerConfig {
-    /// Reasonable defaults for in-process experiments.
+    /// Reasonable defaults for in-process experiments: a faster
+    /// telemetry tick than the live default so short-lived test trios
+    /// accumulate windowed history promptly.
     pub fn quick(host: &str, listen_hint: &str, mflops: f64) -> Self {
         ServerConfig {
             host: host.to_string(),
@@ -58,6 +63,7 @@ impl ServerConfig {
             capacity: 1,
             max_connections: 64,
             admission: None,
+            telemetry: TelemetryPolicy { tick_secs: 0.25, ..TelemetryPolicy::default() },
         }
     }
 }
@@ -146,6 +152,27 @@ impl AdmissionGate {
     }
 }
 
+/// The daemon's windowed-stats surface, shared between the sampler
+/// thread feeding it and the connection threads answering
+/// `FleetStatsQuery` from it.
+pub(crate) struct ServerTelemetry {
+    /// This daemon's listen address — the digest `origin` key.
+    pub address: String,
+    /// The ring of per-tick snapshot deltas.
+    pub series: netsolve_obs::WindowedSeries,
+    /// Whether `FleetStatsQuery` is answered (off = unsupported Error,
+    /// matching a pre-v6 daemon, for compat tests and overhead ablation).
+    pub enabled: bool,
+}
+
+impl ServerTelemetry {
+    /// This daemon's digest over its full retained window.
+    pub fn digest(&self) -> netsolve_obs::StatsDigest {
+        let cfg = self.series.config();
+        self.series.digest(&self.address, "server", cfg.tick_secs * cfg.slots as f64)
+    }
+}
+
 /// Handle to a running server daemon.
 pub struct ServerDaemon {
     address: String,
@@ -155,6 +182,7 @@ pub struct ServerDaemon {
     threads: Vec<std::thread::JoinHandle<()>>,
     transport: Arc<dyn Transport>,
     requests_served: Arc<AtomicU64>,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl ServerDaemon {
@@ -225,6 +253,14 @@ impl ServerDaemon {
         let active = Arc::new(AtomicU32::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
+        let telemetry = Arc::new(ServerTelemetry {
+            address: address.clone(),
+            series: netsolve_obs::WindowedSeries::new(netsolve_obs::SeriesConfig {
+                tick_secs: config.telemetry.tick_secs,
+                slots: config.telemetry.window_slots,
+            }),
+            enabled: config.telemetry.digests,
+        });
         let mut threads = Vec::new();
 
         // Accept loop.
@@ -233,6 +269,7 @@ impl ServerDaemon {
             let active = Arc::clone(&active);
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&requests_served);
+            let telemetry_for_accept = Arc::clone(&telemetry);
             let metrics = core.metrics();
             let tracer = core.tracer();
             let max_conns = config.max_connections.max(1);
@@ -278,6 +315,7 @@ impl ServerDaemon {
                                 let served = Arc::clone(&served);
                                 let conns = Arc::clone(&live_conns);
                                 let gate = gate.clone();
+                                let telemetry = Arc::clone(&telemetry_for_accept);
                                 // Park the connection where a failed spawn
                                 // can still reach it to answer Busy.
                                 let slot = Arc::new(Mutex::new(Some(conn)));
@@ -286,7 +324,9 @@ impl ServerDaemon {
                                     .name("server-conn".into())
                                     .spawn(move || {
                                         if let Some(conn) = thread_slot.lock().take() {
-                                            serve_connection(conn, core, active, served, gate);
+                                            serve_connection(
+                                                conn, core, active, served, gate, telemetry,
+                                            );
                                         }
                                         conns.fetch_sub(1, Ordering::AcqRel);
                                     });
@@ -370,6 +410,40 @@ impl ServerDaemon {
             );
         }
 
+        // Telemetry sampler: one registry snapshot per tick into the
+        // windowed series. Off the request path entirely — connection
+        // threads only read the series when asked via `FleetStatsQuery`.
+        {
+            let stop = Arc::clone(&stop);
+            let telemetry = Arc::clone(&telemetry);
+            let metrics = core.metrics();
+            let tick =
+                Duration::from_secs_f64(config.telemetry.tick_secs.clamp(0.005, 60.0));
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("server-sampler-{server_id}"))
+                    .spawn(move || {
+                        // Seed the series baseline at startup so events
+                        // that land before the first tick show up in the
+                        // first delta slot instead of vanishing into it.
+                        telemetry
+                            .series
+                            .record(metrics.snapshot("server"), netsolve_obs::unix_now_secs());
+                        loop {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(tick);
+                            telemetry.series.record(
+                                metrics.snapshot("server"),
+                                netsolve_obs::unix_now_secs(),
+                            );
+                        }
+                    })
+                    .expect("spawn telemetry sampler"),
+            );
+        }
+
         Ok(ServerDaemon {
             address,
             server_id,
@@ -378,6 +452,7 @@ impl ServerDaemon {
             threads,
             transport,
             requests_served,
+            telemetry,
         })
     }
 
@@ -399,6 +474,16 @@ impl ServerDaemon {
     /// Requests completed over the daemon's lifetime.
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Acquire)
+    }
+
+    /// The daemon's windowed time series (fed by its sampler thread).
+    pub fn series(&self) -> &netsolve_obs::WindowedSeries {
+        &self.telemetry.series
+    }
+
+    /// The daemon's current stats digest over its full retained window.
+    pub fn stats_digest(&self) -> netsolve_obs::StatsDigest {
+        self.telemetry.digest()
     }
 
     /// Stop all daemon threads.
@@ -492,6 +577,7 @@ fn serve_connection(
     active: Arc<AtomicU32>,
     served: Arc<AtomicU64>,
     gate: Option<Arc<AdmissionGate>>,
+    telemetry: Arc<ServerTelemetry>,
 ) {
     let metrics = core.metrics();
     let tracer = core.tracer();
@@ -501,6 +587,23 @@ fn serve_connection(
             Err(_) => return,
         };
         let received_at = Instant::now();
+        // Fleet telemetry is daemon state (the windowed series lives
+        // beside the sampler thread, not in the core), so the daemon
+        // answers `FleetStatsQuery` itself. A server knows only its own
+        // digest; agents aggregate the fleet.
+        if matches!(msg, Message::FleetStatsQuery) {
+            let reply = if telemetry.enabled {
+                Message::FleetStatsReply { digests: vec![telemetry.digest()] }
+            } else {
+                Message::from_error(&NetSolveError::Protocol(
+                    "fleet stats disabled on this server".into(),
+                ))
+            };
+            if conn.send(&reply).is_err() {
+                return;
+            }
+            continue;
+        }
         // Trace context rides in the request; decode happened inside
         // `conn.recv()` (the transport owns the frame parse), so the queue
         // span the core records starts here, at wire arrival.

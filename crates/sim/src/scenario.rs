@@ -16,6 +16,12 @@ pub struct SimServer {
     pub mflops: f64,
     /// Multiplicative log-normal noise sigma on service times (0 = exact).
     pub service_noise_sigma: f64,
+    /// Draw service times from an exponential distribution whose mean is
+    /// the load-adjusted deterministic time. Turns a server into the M/M/c
+    /// service process queueing theory analyses, so simulator output can be
+    /// cross-checked against Erlang-C formulas. Mutually exclusive with
+    /// `service_noise_sigma` (exponential wins when both are set).
+    pub service_exponential: bool,
     /// Probability that any dispatched attempt fails (fault injection).
     pub fail_prob: f64,
     /// If set, the server crashes permanently at this time (seconds).
@@ -33,6 +39,7 @@ impl SimServer {
         SimServer {
             mflops,
             service_noise_sigma: 0.0,
+            service_exponential: false,
             fail_prob: 0.0,
             crash_at: None,
             background: Vec::new(),
@@ -42,6 +49,12 @@ impl SimServer {
     /// Builder: set service-time noise.
     pub fn with_noise(mut self, sigma: f64) -> Self {
         self.service_noise_sigma = sigma;
+        self
+    }
+
+    /// Builder: make service times exponentially distributed (M/M/c).
+    pub fn with_exponential_service(mut self) -> Self {
+        self.service_exponential = true;
         self
     }
 

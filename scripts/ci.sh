@@ -161,6 +161,64 @@ echo "${ADM_STATS}" | grep -E "server.admission_shed +[1-9]" -q || {
 kill ${ADM_AGENT_PID} ${ADM_SERVER_PID} 2>/dev/null || true
 echo "admission smoke passed: ${ADM_OK}/8 burst clients served, the rest shed"
 
+echo "=== fleet-view smoke (netsl-top over a live trio, exemplar chase) ==="
+# An agent with two registered servers: after a scripted burst, one
+# netsl-top scrape of the agent must show a row per server with a
+# nonzero solve rate, and the p99 exemplar it prints must resolve
+# through netsl-trace to a stitched timeline containing the solve span.
+TOP_AGENT_PORT=19791
+TOP_SERVER1_PORT=19792
+TOP_SERVER2_PORT=19793
+./target/debug/ns-agent --listen 127.0.0.1:${TOP_AGENT_PORT} &
+TOP_AGENT_PID=$!
+trap 'kill -9 ${FED_A1} ${FED_A2} ${FED_A3} ${FED_S1:-} ${FED_S2:-} \
+      ${ADM_AGENT_PID} ${ADM_SERVER_PID:-} \
+      ${TOP_AGENT_PID} ${TOP_SERVER1_PID:-} ${TOP_SERVER2_PID:-} 2>/dev/null || true; \
+      rm -f "${TRACE_DUMP}"' EXIT
+sleep 0.3
+./target/debug/ns-server --agent 127.0.0.1:${TOP_AGENT_PORT} \
+    --listen 127.0.0.1:${TOP_SERVER1_PORT} --mflops 250 &
+TOP_SERVER1_PID=$!
+./target/debug/ns-server --agent 127.0.0.1:${TOP_AGENT_PORT} \
+    --listen 127.0.0.1:${TOP_SERVER2_PORT} --mflops 150 &
+TOP_SERVER2_PID=$!
+sleep 0.3
+for i in $(seq 1 6); do
+    ./target/debug/ns-client --agent 127.0.0.1:${TOP_AGENT_PORT} demo dnrm2 256 \
+        >/dev/null || { echo "fleet smoke: burst solve ${i} failed"; exit 1; }
+done
+# Digests appear one telemetry tick (1 s) after the burst and reach the
+# agent on its next server scrape; poll rather than sleep a guess.
+TOP_OK=0
+for attempt in $(seq 1 30); do
+    TOP_VIEW=$(./target/debug/netsl-top 127.0.0.1:${TOP_AGENT_PORT}) || true
+    # Column 3 of a server row is SOLVE/S; the burst must show up as a
+    # nonzero rate summed across the two servers.
+    TOP_RATE=$(echo "${TOP_VIEW}" | awk -v s1="127.0.0.1:${TOP_SERVER1_PORT}" \
+        -v s2="127.0.0.1:${TOP_SERVER2_PORT}" \
+        '$1 == s1 || $1 == s2 { sum += $3 } END { print sum + 0 }')
+    if echo "${TOP_VIEW}" | grep -q "127.0.0.1:${TOP_SERVER1_PORT}" \
+        && echo "${TOP_VIEW}" | grep -q "127.0.0.1:${TOP_SERVER2_PORT}" \
+        && awk -v r="${TOP_RATE}" 'BEGIN { exit !(r > 0) }' \
+        && echo "${TOP_VIEW}" | grep -Eq "[0-9a-f]{32}"; then
+        TOP_OK=1; break
+    fi
+    sleep 0.5
+done
+echo "${TOP_VIEW}"
+[ "${TOP_OK}" -eq 1 ] || {
+    echo "fleet smoke: netsl-top never showed both servers with a solve rate and exemplar"
+    exit 1; }
+TOP_EXEMPLAR=$(echo "${TOP_VIEW}" | grep -Eo "[0-9a-f]{32}" | head -1)
+TOP_TIMELINE=$(./target/debug/netsl-trace --trace "${TOP_EXEMPLAR}" \
+    127.0.0.1:${TOP_AGENT_PORT} 127.0.0.1:${TOP_SERVER1_PORT} \
+    127.0.0.1:${TOP_SERVER2_PORT})
+echo "${TOP_TIMELINE}" | grep -q "server/solve" || {
+    echo "fleet smoke: p99 exemplar ${TOP_EXEMPLAR} did not stitch to a solve span"
+    exit 1; }
+kill ${TOP_AGENT_PID} ${TOP_SERVER1_PID} ${TOP_SERVER2_PID} 2>/dev/null || true
+echo "fleet smoke passed: one scrape covered both servers, exemplar stitched"
+
 echo "=== wire-path bench smoke (writer routes + decode routes) ==="
 cargo build --release -p netsolve-bench --bin r1_wire_path
 R1_SMOKE=$(./target/release/r1_wire_path --quick)
@@ -182,6 +240,10 @@ cargo build --release -p netsolve-bench --bin r10_cache
 echo "=== admission bench smoke (sim vs live shed agreement, calendar scale) ==="
 cargo build --release -p netsolve-bench --bin r11_admission
 ./target/release/r11_admission --quick
+
+echo "=== fleet-telemetry bench smoke (sampler overhead + digest freshness) ==="
+cargo build --release -p netsolve-bench --bin r12_fleet_obs
+./target/release/r12_fleet_obs --quick
 
 echo "=== clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,7 +1,7 @@
 //! `netsl-stats` — scrape live NetSolve daemons for their metrics.
 //!
 //! ```text
-//! netsl-stats HOST:PORT [HOST:PORT ...]
+//! netsl-stats [--watch SECS] HOST:PORT [HOST:PORT ...]
 //! ```
 //!
 //! Dials each address over TCP, sends a `StatsQuery`, and pretty-prints
@@ -9,32 +9,55 @@
 //! their generic "cannot handle" error; those are reported as
 //! *unsupported* rather than failures, so a mixed-version domain can
 //! still be scraped.
+//!
+//! With `--watch SECS` it rescrapes every `SECS` seconds and prints
+//! counter *rates* (events/sec over the last interval) plus windowed
+//! latency quantiles, by feeding each scrape into the same
+//! [`WindowedSeries`] ring the daemons use for their own fleet digests.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use netsolve::net::{call, TcpTransport, Transport};
 use netsolve::obs::metrics::bucket_bound_secs;
-use netsolve::obs::StatsSnapshot;
+use netsolve::obs::{unix_now_secs, SeriesConfig, StatsSnapshot, WindowedSeries};
 use netsolve::proto::Message;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netsl-stats HOST:PORT [HOST:PORT ...]\n\
+        "usage: netsl-stats [--watch SECS] HOST:PORT [HOST:PORT ...]\n\
          \n\
          Sends a StatsQuery to each daemon (agent, server or any future\n\
-         component) and prints its counters, gauges and latency histograms."
+         component) and prints its counters, gauges and latency histograms.\n\
+         With --watch, rescrapes every SECS seconds and prints rates\n\
+         (deltas per second) instead of raw totals."
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let addresses: Vec<String> = std::env::args().skip(1).collect();
-    if addresses.is_empty() || addresses.iter().any(|a| a == "--help" || a == "-h") {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut watch_secs: Option<f64> = None;
+    let mut addresses: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--watch" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => watch_secs = Some(secs),
+                _ => usage(),
+            },
+            _ => addresses.push(arg),
+        }
+    }
+    if addresses.is_empty() {
         usage();
     }
 
     let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    if let Some(interval) = watch_secs {
+        watch(&transport, &addresses, interval);
+    }
     let mut failures = 0usize;
     for address in &addresses {
         match scrape(&transport, address) {
@@ -48,6 +71,70 @@ fn main() {
     }
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `--watch` loop: scrape every `interval` seconds forever, feeding each
+/// snapshot into a per-address [`WindowedSeries`] and printing the rates
+/// the freshest delta implies. Never returns; ^C is the exit.
+fn watch(transport: &Arc<dyn Transport>, addresses: &[String], interval: f64) -> ! {
+    let mut series: HashMap<String, WindowedSeries> = HashMap::new();
+    loop {
+        for address in addresses {
+            match scrape(transport, address) {
+                Ok(Some(snapshot)) => {
+                    let s = series.entry(address.clone()).or_insert_with(|| {
+                        WindowedSeries::new(SeriesConfig { tick_secs: interval, slots: 300 })
+                    });
+                    s.record(snapshot, unix_now_secs());
+                    if s.is_empty() {
+                        // First scrape only seeds the delta baseline.
+                        println!("{address}: baseline taken, rates next interval");
+                    } else {
+                        print_rates(address, s, interval);
+                    }
+                }
+                Ok(None) => println!("{address}: stats unsupported by this daemon"),
+                Err(e) => eprintln!("netsl-stats: {address}: {e}"),
+            }
+        }
+        println!();
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// One interval's view of a daemon: counter rates over the freshest
+/// delta, gauge levels, and latency quantiles over the whole retained
+/// window (so the percentiles have enough mass to mean something even
+/// at short intervals).
+fn print_rates(address: &str, series: &WindowedSeries, interval: f64) {
+    let slots = series.slots();
+    let Some(last) = slots.last() else { return };
+    println!("{address} (last {interval:.1}s)");
+    for (name, delta) in &last.counters {
+        let rate = *delta as f64 / last.elapsed_secs.max(1e-9);
+        if rate != 0.0 {
+            println!("  {name:<32} {rate:>10.2}/s");
+        }
+    }
+    for (name, value) in &last.gauges {
+        println!("  {name:<32} {value:>10}");
+    }
+    let window = series.config().tick_secs * series.config().slots as f64;
+    for slot_hist in &last.histograms {
+        let name = &slot_hist.name;
+        let Some(h) = series.windowed_histogram(name, window) else { continue };
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<32} n={}  p50 {:.6}s  p95 {:.6}s  p99 {:.6}s",
+            name,
+            h.count,
+            h.quantile_secs(0.50),
+            h.quantile_secs(0.95),
+            h.quantile_secs(0.99)
+        );
     }
 }
 

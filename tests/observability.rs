@@ -75,6 +75,65 @@ impl Transport for ScriptedRefusals {
     }
 }
 
+/// `HistogramSnapshot::quantile_secs` / `mean_secs` edge cases: the
+/// degenerate shapes (empty, one sample, extreme `q`, all mass in the
+/// overflow bucket) are exactly where a cumulative-walk estimator goes
+/// wrong, and the netsl-top / fleet-digest path calls these on every
+/// scraped histogram, empty or not.
+#[test]
+fn histogram_quantile_and_mean_edge_cases() {
+    use netsolve::obs::metrics::bucket_bound_secs;
+    use netsolve::obs::HISTOGRAM_BUCKETS;
+
+    // Empty: everything reports zero rather than panicking or NaN-ing.
+    let metrics = MetricsRegistry::new();
+    let empty = metrics.histogram("t.empty").snapshot("t.empty");
+    assert_eq!(empty.count, 0);
+    assert_eq!(empty.mean_secs(), 0.0);
+    assert_eq!(empty.quantile_secs(0.0), 0.0);
+    assert_eq!(empty.quantile_secs(0.5), 0.0);
+    assert_eq!(empty.quantile_secs(1.0), 0.0);
+
+    // Single sample: every quantile is that sample's bucket bound, and
+    // the mean is exact (it comes from the sum, not the buckets).
+    let h = metrics.histogram("t.single");
+    h.record_secs(3e-3);
+    let single = h.snapshot("t.single");
+    assert_eq!(single.count, 1);
+    assert!((single.mean_secs() - 3e-3).abs() < 1e-12);
+    let bound = single.quantile_secs(0.5);
+    assert!((3e-3..=6e-3).contains(&bound), "log bucket promise: {bound}");
+    for q in [0.0, 0.25, 0.99, 1.0] {
+        assert_eq!(single.quantile_secs(q), bound, "q={q}");
+    }
+
+    // q = 0.0 and q = 1.0 on a spread histogram: the walk must clamp to
+    // the first and last occupied buckets (q=0 still needs the 1st
+    // sample, not the 0th).
+    let h = metrics.histogram("t.spread");
+    h.record_secs(1e-6);
+    h.record_secs(1e-3);
+    h.record_secs(1.0);
+    let spread = h.snapshot("t.spread");
+    assert!(spread.quantile_secs(0.0) <= 2e-6);
+    assert!(spread.quantile_secs(1.0) >= 1.0);
+    assert!(spread.quantile_secs(0.5) >= 1e-3 && spread.quantile_secs(0.5) < 1.0);
+
+    // All mass beyond the last bucket bound: samples clamp into the
+    // overflow bucket and quantiles report its bound instead of running
+    // off the end of the array.
+    let h = metrics.histogram("t.overflow");
+    for _ in 0..10 {
+        h.record_secs(1e9);
+    }
+    let overflow = h.snapshot("t.overflow");
+    let last_bound = bucket_bound_secs(HISTOGRAM_BUCKETS - 1);
+    assert_eq!(overflow.count, 10);
+    assert_eq!(overflow.quantile_secs(0.5), last_bound);
+    assert_eq!(overflow.quantile_secs(1.0), last_bound);
+    assert!((overflow.mean_secs() - 1e9).abs() < 1.0);
+}
+
 fn expect_stats(reply: Message) -> StatsSnapshot {
     match reply {
         Message::StatsReply(s) => s,

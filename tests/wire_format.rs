@@ -11,11 +11,12 @@ use netsolve::xdr::{crc32, Encoder};
 #[test]
 fn ping_frame_is_pinned() {
     let bytes = frame_bytes(&Message::Ping).unwrap();
-    // magic "NSRV", version 5 (cached-reply marker + report addresses),
-    // length 4, payload = tag 13, crc
+    // magic "NSRV", version 6 (fleet telemetry: histogram exemplars,
+    // gossip digest leg, FleetStatsQuery/Reply), length 4, payload =
+    // tag 13, crc
     let mut expect = Vec::new();
     expect.extend_from_slice(&0x4E53_5256u32.to_be_bytes());
-    expect.extend_from_slice(&5u32.to_be_bytes());
+    expect.extend_from_slice(&6u32.to_be_bytes());
     expect.extend_from_slice(&4u32.to_be_bytes());
     expect.extend_from_slice(&13u32.to_be_bytes());
     expect.extend_from_slice(&crc32(&13u32.to_be_bytes()).to_be_bytes());
@@ -107,6 +108,8 @@ fn message_tags_are_pinned() {
         (Message::Pong, 14),
         (Message::Error { code: 0, detail: String::new() }, 15),
         (Message::ListServers, 19),
+        (Message::FleetStatsQuery, 27),
+        (Message::FleetStatsReply { digests: vec![] }, 28),
     ];
     for (msg, tag) in cases {
         assert_eq!(msg.tag(), tag, "{} tag drifted", msg.name());
@@ -131,6 +134,32 @@ fn error_codes_are_pinned() {
     for (e, code) in cases {
         assert_eq!(e.code(), code, "{} code drifted", e.kind());
     }
+}
+
+#[test]
+fn v5_gossip_payload_is_unchanged_by_v6_digest_leg() {
+    // Regression for the v6 additive legs: a GossipSync encoded at v5
+    // must be byte-identical whether or not the in-memory message
+    // carries stats digests — v5 peers never see the new leg, so mixed
+    // fleets keep interoperating.
+    let bare = Message::GossipSync { from_agent: "a1".into(), entries: vec![], digests: vec![] };
+    let with_digest = Message::GossipSync {
+        from_agent: "a1".into(),
+        entries: vec![],
+        digests: vec![netsolve::obs::StatsDigest {
+            origin: "srv".into(),
+            component: "server".into(),
+            age_secs: 0.5,
+            window_secs: 30.0,
+            counters: vec![("server.requests".into(), 4.0)],
+            gauges: vec![],
+            quantiles: vec![],
+        }],
+    };
+    assert_eq!(bare.encode_versioned(5), with_digest.encode_versioned(5));
+    // And decoding the v5 bytes yields the digest-free default.
+    let decoded = Message::decode_versioned(&with_digest.encode_versioned(5), 5).unwrap();
+    assert_eq!(decoded, bare);
 }
 
 #[test]
